@@ -1,0 +1,12 @@
+"""AVAIL bench: blocking / lock retention comparison across protocols."""
+
+from repro.experiments import run_availability_comparison
+
+
+def test_bench_availability_comparison(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_availability_comparison)
+    record_report(report)
+    details = report.details
+    assert details["terminating-three-phase-commit"]["blocking"].blocking_rate == 0.0
+    assert details["three-phase-commit"]["blocking"].blocking_rate > 0.0
+    assert details["terminating-three-phase-commit"]["atomicity"].resilient

@@ -1,0 +1,12 @@
+"""FIG1 bench: regenerate the two-phase commit behaviour of Fig. 1."""
+
+from repro.experiments import run_fig1_two_phase
+
+
+def test_bench_fig1_two_phase(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_fig1_two_phase)
+    record_report(report)
+    assert report.details["commit_run"].all_committed
+    assert report.details["abort_run"].all_aborted
+    assert report.details["crash_run"].blocked
+    assert report.details["partition_run"].blocked

@@ -1,0 +1,10 @@
+"""FIG2 bench: regenerate the extended two-phase commit protocol of Fig. 2."""
+
+from repro.experiments import run_fig2_extended_two_phase
+
+
+def test_bench_fig2_extended_two_phase(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_fig2_extended_two_phase)
+    record_report(report)
+    assert report.details["two_site"].resilient
+    assert report.details["three_site"].atomicity_violations > 0

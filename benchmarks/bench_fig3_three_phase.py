@@ -1,0 +1,11 @@
+"""FIG3 bench: regenerate the three-phase commit behaviour of Fig. 3."""
+
+from repro.experiments import run_fig3_three_phase
+
+
+def test_bench_fig3_three_phase(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_fig3_three_phase)
+    record_report(report)
+    assert report.details["lemma_3pc"].satisfies_both
+    assert report.details["partition_summary"].blocked_runs > 0
+    assert report.details["partition_summary"].atomicity_violations == 0

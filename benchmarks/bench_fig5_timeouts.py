@@ -1,0 +1,9 @@
+"""FIG5 bench: the commit-protocol timeout intervals (2T / 3T)."""
+
+from repro.experiments import run_fig5_timeouts
+
+
+def test_bench_fig5_timeout_intervals(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_fig5_timeouts)
+    record_report(report)
+    assert all(m.within_bound for m in report.details["measurements"])

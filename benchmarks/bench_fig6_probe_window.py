@@ -1,0 +1,10 @@
+"""FIG6 bench: the master's 5T probe-collection window."""
+
+from repro.experiments import run_fig6_probe_window
+
+
+def test_bench_fig6_probe_window(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_fig6_probe_window)
+    record_report(report)
+    assert report.details["measurement"].within_bound
+    assert report.details["windows"] > 0

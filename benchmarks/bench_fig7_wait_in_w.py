@@ -1,0 +1,10 @@
+"""FIG7 bench: the 6T wait after a slave times out in w."""
+
+from repro.experiments import run_fig7_wait_in_w
+
+
+def test_bench_fig7_wait_in_w(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_fig7_wait_in_w)
+    record_report(report)
+    assert report.details["measurement"].within_bound
+    assert report.details["samples"] > 0

@@ -1,0 +1,11 @@
+"""FIG8 / THM9 bench: the termination protocol's resilience sweep."""
+
+from repro.experiments import run_fig8_termination
+
+
+def test_bench_fig8_termination_protocol(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_fig8_termination, site_counts=(3, 4, 5))
+    record_report(report)
+    for row in report.rows():
+        assert row["atomicity violations"] == 0
+        assert row["blocked runs"] == 0

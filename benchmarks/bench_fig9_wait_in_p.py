@@ -1,0 +1,10 @@
+"""FIG9 bench: the 5T wait after a slave times out in p (permanent partitions)."""
+
+from repro.experiments import run_fig9_wait_in_p
+
+
+def test_bench_fig9_wait_in_p(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_fig9_wait_in_p)
+    record_report(report)
+    assert report.details["measurement"].within_bound
+    assert report.details["blocked"] == 0

@@ -1,0 +1,19 @@
+"""LEMMA12 / LEMMA3 bench: structural lemma checks and the Lemma 3 sweep."""
+
+from repro.experiments import run_lemma_checks, run_lemma3_sweep
+
+
+def test_bench_lemma12_structural_checks(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_lemma_checks)
+    record_report(report)
+    verdicts = report.details["reports"]
+    assert not verdicts["two-phase-commit"].satisfies_both
+    assert verdicts["three-phase-commit"].satisfies_both
+
+
+def test_bench_lemma3_insufficiency_sweep(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_lemma3_sweep)
+    record_report(report)
+    summaries = report.details["summaries"]
+    assert not summaries["naive-extended-three-phase-commit"].resilient
+    assert summaries["terminating-three-phase-commit"].resilient

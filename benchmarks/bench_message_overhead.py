@@ -1,0 +1,13 @@
+"""MSG bench: message overhead per transaction (ablation)."""
+
+from repro.experiments import run_message_overhead
+
+
+def test_bench_message_overhead(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_message_overhead)
+    record_report(report)
+    rows = {row["protocol"]: row for row in report.rows()}
+    assert (
+        rows["three-phase-commit"]["messages (failure-free)"]
+        > rows["two-phase-commit"]["messages (failure-free)"]
+    )

@@ -1,0 +1,11 @@
+"""MULTI bench: multiple (three-way) partitioning defeats every protocol."""
+
+from repro.experiments import run_multiple_partitioning
+
+
+def test_bench_multiple_partitioning(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_multiple_partitioning)
+    record_report(report)
+    for summary in report.details.values():
+        assert not summary.resilient
+        assert summary.atomicity_violations > 0

@@ -1,0 +1,10 @@
+"""SEC3 bench: regenerate the Section 3 counterexamples."""
+
+from repro.experiments import run_sec3_counterexamples
+
+
+def test_bench_sec3_counterexamples(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_sec3_counterexamples)
+    record_report(report)
+    assert report.details["extended_summary"].atomicity_violations > 0
+    assert report.details["naive_summary"].atomicity_violations > 0

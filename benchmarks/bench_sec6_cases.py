@@ -1,0 +1,18 @@
+"""SEC6 bench: the transient-partitioning case table of Section 6."""
+
+import math
+
+from repro.experiments import run_sec6_cases
+
+
+def test_bench_sec6_case_table(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_sec6_cases)
+    record_report(report)
+    # every construction realizes its intended case
+    for row in report.rows():
+        assert row["case"] == row["classified as"]
+    # only case 3.2.2.2 blocks the Section 5 protocol and the Section 6 rule fixes it
+    blocking = [row["case"] for row in report.rows() if row["Section 5 protocol"] == "blocks"]
+    assert blocking == ["3.2.2.2"]
+    assert all(row["with Section 6 rule"] == "consistent" for row in report.rows())
+    assert math.isinf(report.details["3.2.2.2"]["measured"])

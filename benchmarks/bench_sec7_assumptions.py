@@ -1,0 +1,10 @@
+"""SEC7 bench: concurrent site failures / message loss defeat the protocol."""
+
+from repro.experiments import run_sec7_assumptions
+
+
+def test_bench_sec7_assumptions(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_sec7_assumptions)
+    record_report(report)
+    assert report.details["scenario1"].atomicity_violated
+    assert report.details["scenario2"].atomicity_violated

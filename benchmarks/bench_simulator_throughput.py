@@ -1,0 +1,44 @@
+"""Micro-benchmarks of the substrates themselves.
+
+Not a paper figure: these time the building blocks (a failure-free commit, a
+partitioned termination run, a reachability exploration) so regressions in
+the simulator or the formal-model layer show up independently of the
+experiment sweeps.
+"""
+
+from repro.core.catalog import three_phase_commit
+from repro.core.concurrency import analyze
+from repro.protocols.registry import create_protocol
+from repro.protocols.runner import ScenarioSpec, run_scenario
+from repro.sim.partition import PartitionSchedule
+
+
+def test_bench_failure_free_commit(benchmark):
+    def run():
+        return run_scenario(
+            create_protocol("terminating-three-phase-commit"), ScenarioSpec(n_sites=5)
+        )
+
+    result = benchmark(run)
+    assert result.all_committed
+
+
+def test_bench_partitioned_termination_run(benchmark):
+    partition = PartitionSchedule.simple(2.5, [1, 2, 3], [4, 5])
+
+    def run():
+        return run_scenario(
+            create_protocol("terminating-three-phase-commit"),
+            ScenarioSpec(n_sites=5, partition=partition),
+        )
+
+    result = benchmark(run)
+    assert result.consistent
+
+
+def test_bench_reachability_analysis(benchmark):
+    def run():
+        return analyze(three_phase_commit(), 4)
+
+    analysis = benchmark(run)
+    assert analysis.global_state_count > 0

@@ -1,0 +1,10 @@
+"""THM10 bench: the generic termination construction on the quorum skeleton."""
+
+from repro.experiments import run_thm10_generalization
+
+
+def test_bench_thm10_generalization(run_once_benchmark, record_report):
+    report = run_once_benchmark(run_thm10_generalization)
+    record_report(report)
+    assert report.details["conditions"]["quorum-commit"].applicable
+    assert report.details["quorum_sweep"].resilient

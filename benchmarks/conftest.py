@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one paper figure / table via the corresponding
+experiment module, times it with pytest-benchmark, prints the resulting
+table and also writes it to ``benchmarks/results/<experiment>.txt`` so the
+reproduced numbers survive output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_report():
+    """Print an experiment report and persist it under ``benchmarks/results``."""
+
+    def _record(report):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = report.format()
+        print()
+        print(text)
+        filename = report.experiment.lower().replace("/", "-") + ".txt"
+        (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+        return report
+
+    return _record
+
+
+@pytest.fixture
+def run_once_benchmark(benchmark):
+    """Run a callable exactly once under pytest-benchmark.
+
+    The experiment sweeps are deterministic and some take a second or more;
+    a single measured round keeps the benchmark suite fast while still
+    reporting wall-clock cost per figure.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

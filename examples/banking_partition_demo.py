@@ -1,0 +1,73 @@
+"""Why the older protocols are not enough: a bank transfer under a partition.
+
+A bank keeps replicated account balances at several branches.  A transfer
+must be installed at every branch or none (transaction atomicity).  This
+example runs the *same* partition scenario under four protocols and shows:
+
+* plain two-phase commit blocks (branches keep their locks indefinitely);
+* the extended two-phase commit of Fig. 2 violates atomicity with three or
+  more branches;
+* three-phase commit with naive Rule (a)/(b) timeouts also violates
+  atomicity (Section 3 of the paper);
+* the paper's termination protocol terminates every branch consistently.
+
+Run with::
+
+    python examples/banking_partition_demo.py
+"""
+
+from repro.protocols import ScenarioSpec, create_protocol, run_scenario
+from repro.sim.partition import PartitionSchedule
+
+PROTOCOLS = [
+    ("two-phase-commit", "plain 2PC (Fig. 1)"),
+    ("extended-two-phase-commit", "extended 2PC (Fig. 2, Rules a/b)"),
+    ("naive-extended-three-phase-commit", "3PC + Rules a/b only (Section 3)"),
+    ("terminating-three-phase-commit", "3PC + termination protocol (Section 5)"),
+]
+
+
+def run_transfer(protocol_name: str, partition_at: float, no_voter: int | None) -> None:
+    partition = PartitionSchedule.simple(partition_at, [1, 2], [3])
+    spec = ScenarioSpec(
+        n_sites=3,
+        partition=partition,
+        no_voters=frozenset({no_voter}) if no_voter else frozenset(),
+        initial_data={"alice": 900, "bob": 100},
+        write_key="alice",
+        write_value=400,
+    )
+    result = run_scenario(create_protocol(protocol_name), spec)
+    verdict = (
+        "ATOMICITY VIOLATED"
+        if result.atomicity_violated
+        else ("BLOCKED" if result.blocked else "consistent")
+    )
+    print(f"  -> commit at {list(result.committed_sites)}, abort at {list(result.aborted_sites)}, "
+          f"undecided {list(result.undecided_sites)}   [{verdict}]")
+    balances = {site: result.values_at_end[site] for site in result.participants}
+    print(f"     alice's balance per branch: {balances}")
+
+
+def main() -> None:
+    print("Transfer of 500 from alice to bob, replicated at 3 branches.")
+    print("The network splits {branch1, branch2} | {branch3} while the transfer commits.\n")
+    for name, label in PROTOCOLS:
+        print(f"{label} ({name})")
+        # A partition at 2.25T (after the votes, before the decision reaches
+        # branch 3) is the interesting moment for every protocol; the broken
+        # extended 2PC additionally needs a dissenting branch to expose its
+        # multisite defect, so we run both vote patterns.
+        run_transfer(name, partition_at=2.25, no_voter=None)
+        if name == "extended-two-phase-commit":
+            print("  (same, but branch 2 votes no)")
+            run_transfer(name, partition_at=2.25, no_voter=2)
+        print()
+    print(
+        "Only the termination protocol terminates every branch with a single outcome while the "
+        "network is still partitioned -- which is exactly the paper's claim (Theorem 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

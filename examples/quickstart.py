@@ -1,0 +1,48 @@
+"""Quickstart: commit one distributed transaction, with and without a partition.
+
+Runs the paper's termination protocol (modified three-phase commit plus the
+Section 5.3 termination protocol) on a simulated four-site database, first
+failure-free and then with a simple network partition striking mid-protocol,
+and prints what every site decided.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.protocols import ScenarioSpec, create_protocol, run_scenario
+from repro.sim.partition import PartitionSchedule
+
+
+def main() -> None:
+    protocol = create_protocol("terminating-three-phase-commit")
+
+    print("=== failure-free run (4 sites) ===")
+    result = run_scenario(protocol, ScenarioSpec(n_sites=4, write_key="balance", write_value=250))
+    print(result.summary())
+    for site in result.participants:
+        print(
+            f"  site {site}: decision={result.decisions[site]!r} "
+            f"at t={result.decision_times[site]:.1f}T, balance={result.values_at_end[site]}"
+        )
+    print(f"  messages sent: {result.messages_sent}\n")
+
+    print("=== same transaction, network splits {1,2} | {3,4} at t=2.5T ===")
+    partition = PartitionSchedule.simple(2.5, [1, 2], [3, 4])
+    result = run_scenario(
+        create_protocol("terminating-three-phase-commit"),
+        ScenarioSpec(n_sites=4, partition=partition, write_key="balance", write_value=250),
+    )
+    print(result.summary())
+    for site in result.participants:
+        decided_at = result.decision_times[site]
+        when = f"t={decided_at:.1f}T" if decided_at is not None else "never"
+        print(f"  site {site}: decision={result.decisions[site]!r} ({when})")
+    print(
+        "\nNo site is blocked and no site disagrees: the termination protocol resolved the "
+        "partition without waiting for it to heal (Theorem 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

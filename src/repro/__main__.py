@@ -1,0 +1,74 @@
+"""Command-line entry point: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run FIG8
+    python -m repro run SEC6 FIG5 AVAIL
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro import experiments as ex
+
+EXPERIMENTS: dict[str, Callable[[], "ex.ExperimentReport"]] = {
+    "FIG1": ex.run_fig1_two_phase,
+    "FIG2": ex.run_fig2_extended_two_phase,
+    "FIG3": ex.run_fig3_three_phase,
+    "FIG5": ex.run_fig5_timeouts,
+    "FIG6": ex.run_fig6_probe_window,
+    "FIG7": ex.run_fig7_wait_in_w,
+    "FIG8": ex.run_fig8_termination,
+    "FIG9": ex.run_fig9_wait_in_p,
+    "SEC3": ex.run_sec3_counterexamples,
+    "LEMMA12": ex.run_lemma_checks,
+    "LEMMA3": ex.run_lemma3_sweep,
+    "SEC6": ex.run_sec6_cases,
+    "SEC7": ex.run_sec7_assumptions,
+    "THM10": ex.run_thm10_generalization,
+    "AVAIL": ex.run_availability_comparison,
+    "MSG": ex.run_message_overhead,
+    "MULTI": ex.run_multiple_partitioning,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from Huang & Li (ICDE 1987).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiment ids")
+    run = sub.add_parser("run", help="run one or more experiments by id")
+    run.add_argument("ids", nargs="+", metavar="ID", help="experiment ids (see 'list')")
+    sub.add_parser("all", help="run every experiment")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    ids = list(EXPERIMENTS) if args.command == "all" else [i.upper() for i in args.ids]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        report = EXPERIMENTS[experiment_id]()
+        print(report.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Atomicity verdicts over batches of scenario runs.
+
+A commit protocol is *resilient* to a class of failures only if it enforces
+transaction atomicity and is nonblocking for every failure in the class
+(Section 2).  :func:`summarize_runs` turns a batch of
+:class:`~repro.protocols.runner.TransactionRunResult` into exactly that
+verdict, plus the witnesses needed to understand a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.protocols.runner import TransactionRunResult
+
+
+@dataclass
+class AtomicityReport:
+    """Aggregate verdict over a batch of runs of one protocol."""
+
+    protocol: str
+    total_runs: int = 0
+    atomicity_violations: int = 0
+    blocked_runs: int = 0
+    committed_runs: int = 0
+    aborted_runs: int = 0
+    store_divergences: int = 0
+    violation_witnesses: list[str] = field(default_factory=list)
+    blocking_witnesses: list[str] = field(default_factory=list)
+
+    @property
+    def consistent_runs(self) -> int:
+        """Runs that terminated everywhere with a single outcome."""
+        return self.total_runs - self.atomicity_violations - self.blocked_runs
+
+    @property
+    def resilient(self) -> bool:
+        """The Section 2 resilience property over the batch."""
+        return self.atomicity_violations == 0 and self.blocked_runs == 0
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of runs that violated atomicity."""
+        return self.atomicity_violations / self.total_runs if self.total_runs else 0.0
+
+    @property
+    def blocking_rate(self) -> float:
+        """Fraction of runs that left at least one site blocked."""
+        return self.blocked_runs / self.total_runs if self.total_runs else 0.0
+
+    def summary(self) -> str:
+        """One-line verdict used by the benches."""
+        verdict = "resilient" if self.resilient else "NOT resilient"
+        return (
+            f"{self.protocol}: {self.total_runs} runs, "
+            f"{self.atomicity_violations} atomicity violations, "
+            f"{self.blocked_runs} blocked runs -> {verdict}"
+        )
+
+
+def check_atomicity(result: TransactionRunResult) -> bool:
+    """True when the single run preserved atomicity (no commit/abort mix)."""
+    return not result.atomicity_violated
+
+
+def summarize_runs(
+    results: Iterable[TransactionRunResult],
+    *,
+    protocol: Optional[str] = None,
+    max_witnesses: int = 5,
+) -> AtomicityReport:
+    """Fold a batch of runs into an :class:`AtomicityReport`."""
+    results = list(results)
+    name = protocol or (results[0].protocol if results else "unknown")
+    report = AtomicityReport(protocol=name, total_runs=len(results))
+    for result in results:
+        if result.atomicity_violated:
+            report.atomicity_violations += 1
+            if len(report.violation_witnesses) < max_witnesses:
+                report.violation_witnesses.append(result.summary())
+        if result.blocked:
+            report.blocked_runs += 1
+            if len(report.blocking_witnesses) < max_witnesses:
+                report.blocking_witnesses.append(result.summary())
+        if result.all_committed:
+            report.committed_runs += 1
+        if result.all_aborted:
+            report.aborted_runs += 1
+        if not result.stores_agree:
+            report.store_divergences += 1
+    return report

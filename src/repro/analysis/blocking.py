@@ -1,0 +1,104 @@
+"""Blocking and lock-retention analysis.
+
+Blocking is the availability failure the paper sets out to remove: a blocked
+transaction "cannot relinquish the locks acquired ... rendering those data
+inaccessible to other transactions" (Section 2).  The report below measures
+how often each protocol blocks and for how long data stays locked, which is
+what the AVAIL experiment compares across protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.protocols.runner import TransactionRunResult
+
+
+@dataclass
+class BlockingReport:
+    """Blocking statistics over a batch of runs of one protocol."""
+
+    protocol: str
+    total_runs: int = 0
+    blocked_runs: int = 0
+    blocked_site_count: int = 0
+    runs_with_locks_held_at_end: int = 0
+    lock_hold_times: list[float] = field(default_factory=list)
+    decision_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def blocking_rate(self) -> float:
+        """Fraction of runs with at least one blocked site."""
+        return self.blocked_runs / self.total_runs if self.total_runs else 0.0
+
+    @property
+    def mean_blocked_sites(self) -> float:
+        """Average number of blocked sites per run."""
+        return self.blocked_site_count / self.total_runs if self.total_runs else 0.0
+
+    @property
+    def mean_decision_latency(self) -> Optional[float]:
+        """Mean time to the slowest decision, over runs where everyone decided."""
+        if not self.decision_latencies:
+            return None
+        return sum(self.decision_latencies) / len(self.decision_latencies)
+
+    @property
+    def max_decision_latency(self) -> Optional[float]:
+        """Worst time to the slowest decision over the batch."""
+        return max(self.decision_latencies) if self.decision_latencies else None
+
+    @property
+    def mean_lock_hold_time(self) -> Optional[float]:
+        """Mean total lock-hold time per run (simulated time units)."""
+        if not self.lock_hold_times:
+            return None
+        return sum(self.lock_hold_times) / len(self.lock_hold_times)
+
+    def summary(self) -> str:
+        """One-line report used by the availability bench."""
+        latency = self.max_decision_latency
+        latency_text = f"{latency:.1f}" if latency is not None else "n/a"
+        return (
+            f"{self.protocol}: blocking rate {self.blocking_rate:.1%}, "
+            f"mean blocked sites {self.mean_blocked_sites:.2f}, "
+            f"worst decision latency {latency_text}"
+        )
+
+
+def _total_lock_hold_time(result: TransactionRunResult) -> float:
+    """Total lock-hold time across sites for one run.
+
+    Locks still held when the run ends (blocked sites) are charged up to the
+    run horizon, which is exactly the unavailability a blocked protocol
+    inflicts on other transactions.
+    """
+    total = 0.0
+    for site, db in result.db_sites.items():
+        total += db.locks.stats.total_hold_time
+        for (_, _), since in db.locks.stats.held_since.items():
+            total += max(0.0, result.finished_at - since)
+    return total
+
+
+def blocking_report(
+    results: Iterable[TransactionRunResult],
+    *,
+    protocol: Optional[str] = None,
+) -> BlockingReport:
+    """Fold a batch of runs into a :class:`BlockingReport`."""
+    results = list(results)
+    name = protocol or (results[0].protocol if results else "unknown")
+    report = BlockingReport(protocol=name, total_runs=len(results))
+    for result in results:
+        if result.blocked:
+            report.blocked_runs += 1
+        report.blocked_site_count += len(result.blocked_sites)
+        if any(result.locks_held_at_end.values()):
+            report.runs_with_locks_held_at_end += 1
+        report.lock_hold_times.append(_total_lock_hold_time(result))
+        latency = result.max_decision_latency()
+        if latency is not None and not result.blocked:
+            report.decision_latencies.append(latency)
+    return report

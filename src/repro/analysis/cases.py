@@ -1,0 +1,199 @@
+"""Construction and classification of the Section 6 partition cases.
+
+Section 6 enumerates how a simple partition can interleave with the
+three-phase commit protocol (which messages manage to cross the boundary
+``B`` before the partition takes effect, and -- for transient partitions --
+whether the probes sent later pass).  :func:`build_case_scenario` constructs
+a concrete scenario that realizes each case on the simulator, and
+:func:`classify_run` classifies an executed run back into the taxonomy from
+its trace, so the experiments can verify that the construction produced the
+intended case before measuring its worst-case waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.transient import PartitionCase, classify_interleaving
+from repro.protocols.runner import ScenarioSpec, TransactionRunResult
+from repro.sim.latency import PerLinkLatency
+from repro.sim.partition import PartitionSchedule, PartitionSpec
+
+_PROMOTION_PAYLOADS = ("prepare", "pre-commit")
+
+
+@dataclass(frozen=True)
+class CaseScenario:
+    """A concrete scenario engineered to realize one Section 6 case."""
+
+    case: PartitionCase
+    spec: ScenarioSpec
+    description: str
+
+    @property
+    def label(self) -> str:
+        """The paper's case label (e.g. ``"3.2.2.2"``)."""
+        return self.case.label
+
+
+def _g2_of(result: TransactionRunResult) -> frozenset[int]:
+    """The set of sites separated from the master in the run's partition."""
+    schedule = result.spec.partition
+    if schedule is None or len(schedule) == 0:
+        return frozenset()
+    first = next(iter(schedule))
+    if first.spec is None:
+        return frozenset()
+    return first.spec.remote_partition(result.transaction.master)
+
+
+def classify_run(result: TransactionRunResult) -> PartitionCase:
+    """Classify an executed run into the Section 6 taxonomy from its trace."""
+    g2 = _g2_of(result)
+    if not g2:
+        # No partition ever separated anyone from the master: trivially the
+        # "everything passed B" case.
+        return PartitionCase.ALL_PREPARE_ALL_COMMIT_PASS
+    trace = result.trace
+    prepares_crossed = len(
+        trace.filter(
+            "deliver",
+            predicate=lambda r: r.get("payload") in _PROMOTION_PAYLOADS and r.site in g2,
+        )
+    )
+    prepares_blocked = len(
+        trace.filter(
+            "bounce",
+            predicate=lambda r: r.get("payload") in _PROMOTION_PAYLOADS
+            and r.get("destination") in g2,
+        )
+    )
+    acks_blocked = len(
+        trace.filter(
+            "bounce",
+            predicate=lambda r: r.get("payload") == "ack" and r.site in g2,
+        )
+    )
+    commits_blocked = len(
+        trace.filter(
+            "bounce",
+            predicate=lambda r: r.get("payload") == "commit"
+            and r.get("destination") in g2
+            and r.site == result.transaction.master,
+        )
+    )
+    probes_blocked = len(
+        trace.filter(
+            "bounce",
+            predicate=lambda r: r.get("payload") == "probe" and r.site in g2,
+        )
+    )
+    return classify_interleaving(
+        prepares_crossed=prepares_crossed,
+        prepares_blocked=prepares_blocked,
+        acks_blocked=acks_blocked,
+        commits_blocked=commits_blocked,
+        probes_blocked=probes_blocked,
+    )
+
+
+def build_case_scenario(case: PartitionCase, *, horizon: float = 80.0) -> CaseScenario:
+    """A concrete scenario realizing ``case`` (with ``T = 1``).
+
+    The "some prepare crosses, some does not" cases need two slaves in ``G2``
+    with different prepare arrival times, which is arranged with a slower
+    link from the master to site 4; the "all prepares cross" cases use a
+    three-site configuration.
+    """
+    slow_link = PerLinkLatency(1.0, {(1, 4): 3.0})
+    if case is PartitionCase.NO_PREPARE_CROSSES:
+        return CaseScenario(
+            case,
+            ScenarioSpec(
+                n_sites=3,
+                partition=PartitionSchedule.simple(2.5, [1, 2], [3]),
+                horizon=horizon,
+            ),
+            "partition cuts the only prepare addressed to G2",
+        )
+    if case is PartitionCase.SOME_PREPARE_SOME_NOT_ACK_LOST:
+        return CaseScenario(
+            case,
+            ScenarioSpec(
+                n_sites=4,
+                latency=PerLinkLatency(1.0, {(1, 4): 1.5}),
+                partition=PartitionSchedule.simple(3.7, [1, 2], [3, 4]),
+                horizon=horizon,
+            ),
+            "site 3's prepare crossed B, its ack is cut; site 4's prepare is cut",
+        )
+    if case is PartitionCase.SOME_PREPARE_PROBE_LOST:
+        return CaseScenario(
+            case,
+            ScenarioSpec(
+                n_sites=4,
+                latency=slow_link,
+                partition=PartitionSchedule.simple(6.5, [1, 2], [3, 4]),
+                horizon=horizon,
+            ),
+            "site 3's prepare and ack crossed B; site 4's prepare is cut; "
+            "the partition persists so site 3's probe bounces",
+        )
+    if case is PartitionCase.SOME_PREPARE_PROBES_PASS:
+        return CaseScenario(
+            case,
+            ScenarioSpec(
+                n_sites=4,
+                latency=slow_link,
+                partition=PartitionSchedule.transient(6.5, 7.5, [1, 2], [3, 4]),
+                horizon=horizon,
+            ),
+            "as case 2.2.1 but the network heals before site 3 probes",
+        )
+    if case is PartitionCase.ALL_PREPARE_ACK_LOST:
+        return CaseScenario(
+            case,
+            ScenarioSpec(
+                n_sites=3,
+                partition=PartitionSchedule.simple(3.5, [1, 2], [3]),
+                horizon=horizon,
+            ),
+            "every prepare crossed B; site 3's ack is cut",
+        )
+    if case is PartitionCase.ALL_PREPARE_ALL_COMMIT_PASS:
+        return CaseScenario(
+            case,
+            ScenarioSpec(
+                n_sites=3,
+                partition=PartitionSchedule.simple(5.5, [1, 2], [3]),
+                horizon=horizon,
+            ),
+            "the partition strikes after every commit was delivered",
+        )
+    if case is PartitionCase.ALL_PREPARE_COMMIT_LOST_PROBE_LOST:
+        return CaseScenario(
+            case,
+            ScenarioSpec(
+                n_sites=3,
+                partition=PartitionSchedule.simple(4.5, [1, 2], [3]),
+                horizon=horizon,
+            ),
+            "site 3's commit is cut and the partition persists, so its probe bounces",
+        )
+    if case is PartitionCase.ALL_PREPARE_COMMIT_LOST_PROBES_PASS:
+        return CaseScenario(
+            case,
+            ScenarioSpec(
+                n_sites=3,
+                partition=PartitionSchedule.transient(4.5, 5.5, [1, 2], [3]),
+                horizon=horizon,
+            ),
+            "site 3's commit is cut but the network heals before it probes",
+        )
+    raise ValueError(f"unknown partition case: {case}")
+
+
+def section6_cases() -> list[CaseScenario]:
+    """Concrete scenarios for every case of the Section 6 enumeration."""
+    return [build_case_scenario(case) for case in PartitionCase]

@@ -1,0 +1,116 @@
+"""Systematic partition-scenario generation.
+
+The correctness arguments of the paper (Theorem 9 in particular) quantify
+over *when* the partition strikes and *which* sites it separates.  The
+generators below enumerate those dimensions so the experiments can sweep
+them exhaustively on concrete configurations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.protocols.runner import ScenarioSpec
+from repro.sim.partition import PartitionSchedule
+
+
+def split_choices(n_sites: int, *, master: int = 1) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Every simple partition split of sites ``1..n`` as ``(G1, G2)`` pairs.
+
+    ``G1`` always contains the master; ``G2`` is every non-empty subset of the
+    slaves (taking complements would only swap the labels).
+    """
+    sites = list(range(1, n_sites + 1))
+    slaves = [site for site in sites if site != master]
+    splits = []
+    for size in range(1, len(slaves) + 1):
+        for combo in itertools.combinations(slaves, size):
+            g2 = tuple(sorted(combo))
+            g1 = tuple(sorted(set(sites) - set(combo)))
+            splits.append((g1, g2))
+    return splits
+
+
+def default_partition_times(max_delay: float = 1.0, *, resolution: float = 0.25, horizon: float = 8.0) -> list[float]:
+    """A grid of partition onset times covering the whole protocol execution.
+
+    The grid is offset from the message-delivery instants (multiples of ``T``)
+    so that both "partition just before delivery" and "just after delivery"
+    orderings are exercised.
+    """
+    steps = int(horizon / resolution)
+    return [round((i + 1) * resolution * max_delay, 6) for i in range(steps)]
+
+
+@dataclass
+class ScenarioGrid:
+    """A cartesian grid of partition scenarios for one configuration.
+
+    Attributes:
+        n_sites: number of participating sites.
+        partition_times: onset times to sweep.
+        heal_after: if set, every partition heals this long after onset
+            (transient partitioning); ``None`` means permanent partitions.
+        no_voter_options: vote patterns to sweep.
+        horizon: run horizon passed to every generated spec.
+    """
+
+    n_sites: int = 3
+    partition_times: Optional[Sequence[float]] = None
+    heal_after: Optional[float] = None
+    no_voter_options: Sequence[frozenset[int]] = (frozenset(),)
+    horizon: Optional[float] = None
+    base_spec: ScenarioSpec = field(default_factory=ScenarioSpec)
+
+    def specs(self) -> Iterator[ScenarioSpec]:
+        """Yield one :class:`ScenarioSpec` per grid point."""
+        times = (
+            list(self.partition_times)
+            if self.partition_times is not None
+            else default_partition_times(self.base_spec.effective_latency().upper_bound)
+        )
+        for at in times:
+            for g1, g2 in split_choices(self.n_sites):
+                for no_voters in self.no_voter_options:
+                    if self.heal_after is None:
+                        partition = PartitionSchedule.simple(at, g1, g2)
+                    else:
+                        partition = PartitionSchedule.transient(at, at + self.heal_after, g1, g2)
+                    yield ScenarioSpec(
+                        **{
+                            **self.base_spec.__dict__,
+                            "n_sites": self.n_sites,
+                            "partition": partition,
+                            "no_voters": no_voters,
+                            "horizon": self.horizon or self.base_spec.horizon,
+                        }
+                    )
+
+    def __len__(self) -> int:
+        times = (
+            list(self.partition_times)
+            if self.partition_times is not None
+            else default_partition_times(self.base_spec.effective_latency().upper_bound)
+        )
+        return len(times) * len(split_choices(self.n_sites)) * len(list(self.no_voter_options))
+
+
+def partition_sweep(
+    n_sites: int,
+    *,
+    times: Optional[Iterable[float]] = None,
+    heal_after: Optional[float] = None,
+    no_voter_options: Sequence[frozenset[int]] = (frozenset(),),
+    horizon: Optional[float] = None,
+) -> list[ScenarioSpec]:
+    """Convenience wrapper returning the grid's specs as a list."""
+    grid = ScenarioGrid(
+        n_sites=n_sites,
+        partition_times=list(times) if times is not None else None,
+        heal_after=heal_after,
+        no_voter_options=no_voter_options,
+        horizon=horizon,
+    )
+    return list(grid.specs())

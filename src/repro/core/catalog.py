@@ -1,0 +1,359 @@
+"""The commit protocols of the paper's figures, as formal specifications.
+
+* :func:`two_phase_commit` -- Fig. 1, the centralized two-phase commit
+  protocol;
+* :func:`three_phase_commit` -- Fig. 3, Skeen's three-phase commit protocol;
+* :func:`modified_three_phase_commit` -- Fig. 8, the three-phase commit
+  protocol with the extra ``w -> c`` slave transition the termination
+  protocol requires (so a slave still waiting in ``w`` accepts a commit
+  relayed by another slave in ``G2``);
+* :func:`quorum_commit` -- the quorum-based commit protocol of Skeen's 1982
+  Berkeley Workshop paper (reference [5]), used as the Theorem 10 baseline.
+
+The specifications are *data*: the reachability and rules modules derive the
+extended protocols (Fig. 2 and the naive extended 3PC of Section 3) from
+them instead of hard-coding the figures.
+"""
+
+from __future__ import annotations
+
+from repro.core import messages as m
+from repro.core.fsa import (
+    ALL_SLAVES,
+    ANY_SLAVE,
+    CommitProtocolSpec,
+    EACH_SLAVE,
+    MASTER,
+    MASTER_ROLE,
+    OPERATOR,
+    ReadSpec,
+    SendSpec,
+    SLAVE_ROLE,
+    Transition,
+    role_automaton,
+)
+
+
+def _t(source: str, read: ReadSpec, sends: tuple[SendSpec, ...], target: str) -> Transition:
+    return Transition(source=source, read=read, sends=sends, target=target)
+
+
+def two_phase_commit() -> CommitProtocolSpec:
+    """Fig. 1: the centralized two-phase commit protocol.
+
+    The master forwards the transaction to the slaves, collects votes and
+    broadcasts the decision.  The slave's wait state ``w`` has both a commit
+    and an abort in its concurrency set, which is why (Lemma 1) the protocol
+    cannot be made resilient to multisite partitioning.
+    """
+    master = role_automaton(
+        MASTER_ROLE,
+        initial=m.INITIAL,
+        transitions=[
+            _t(
+                m.INITIAL,
+                ReadSpec(m.REQUEST, OPERATOR),
+                (SendSpec(m.XACT, ALL_SLAVES),),
+                m.WAIT,
+            ),
+            _t(
+                m.WAIT,
+                ReadSpec(m.YES, EACH_SLAVE),
+                (SendSpec(m.COMMIT, ALL_SLAVES),),
+                m.COMMITTED,
+            ),
+            _t(
+                m.WAIT,
+                ReadSpec(m.NO, ANY_SLAVE),
+                (SendSpec(m.ABORT, ALL_SLAVES),),
+                m.ABORTED,
+            ),
+        ],
+        commit_states=[m.COMMITTED],
+        abort_states=[m.ABORTED],
+        yes_vote_states=[m.COMMITTED],
+    )
+    slave = role_automaton(
+        SLAVE_ROLE,
+        initial=m.INITIAL,
+        transitions=[
+            _t(m.INITIAL, ReadSpec(m.XACT, MASTER), (SendSpec(m.YES, MASTER),), m.WAIT),
+            _t(m.INITIAL, ReadSpec(m.XACT, MASTER), (SendSpec(m.NO, MASTER),), m.ABORTED),
+            _t(m.WAIT, ReadSpec(m.COMMIT, MASTER), (), m.COMMITTED),
+            _t(m.WAIT, ReadSpec(m.ABORT, MASTER), (), m.ABORTED),
+        ],
+        commit_states=[m.COMMITTED],
+        abort_states=[m.ABORTED],
+        yes_vote_states=[m.WAIT, m.COMMITTED],
+    )
+    return CommitProtocolSpec(
+        name="two-phase-commit",
+        master=master,
+        slave=slave,
+        description="Centralized 2PC (Gray / Lampson-Sturgis), Fig. 1 of the paper.",
+    )
+
+
+def three_phase_commit() -> CommitProtocolSpec:
+    """Fig. 3: Skeen's three-phase commit protocol.
+
+    A buffering ``prepare`` phase is inserted between the vote collection and
+    the commit broadcast so that no local state has both a commit and an
+    abort in its concurrency set (Lemma 1) and no noncommittable state has a
+    commit in its concurrency set (Lemma 2).
+    """
+    master = role_automaton(
+        MASTER_ROLE,
+        initial=m.INITIAL,
+        transitions=[
+            _t(
+                m.INITIAL,
+                ReadSpec(m.REQUEST, OPERATOR),
+                (SendSpec(m.XACT, ALL_SLAVES),),
+                m.WAIT,
+            ),
+            _t(
+                m.WAIT,
+                ReadSpec(m.YES, EACH_SLAVE),
+                (SendSpec(m.PREPARE, ALL_SLAVES),),
+                m.PREPARED,
+            ),
+            _t(
+                m.WAIT,
+                ReadSpec(m.NO, ANY_SLAVE),
+                (SendSpec(m.ABORT, ALL_SLAVES),),
+                m.ABORTED,
+            ),
+            _t(
+                m.PREPARED,
+                ReadSpec(m.ACK, EACH_SLAVE),
+                (SendSpec(m.COMMIT, ALL_SLAVES),),
+                m.COMMITTED,
+            ),
+        ],
+        commit_states=[m.COMMITTED],
+        abort_states=[m.ABORTED],
+        yes_vote_states=[m.PREPARED, m.COMMITTED],
+    )
+    slave = role_automaton(
+        SLAVE_ROLE,
+        initial=m.INITIAL,
+        transitions=[
+            _t(m.INITIAL, ReadSpec(m.XACT, MASTER), (SendSpec(m.YES, MASTER),), m.WAIT),
+            _t(m.INITIAL, ReadSpec(m.XACT, MASTER), (SendSpec(m.NO, MASTER),), m.ABORTED),
+            _t(m.WAIT, ReadSpec(m.PREPARE, MASTER), (SendSpec(m.ACK, MASTER),), m.PREPARED),
+            _t(m.WAIT, ReadSpec(m.ABORT, MASTER), (), m.ABORTED),
+            _t(m.PREPARED, ReadSpec(m.COMMIT, MASTER), (), m.COMMITTED),
+        ],
+        commit_states=[m.COMMITTED],
+        abort_states=[m.ABORTED],
+        yes_vote_states=[m.WAIT, m.PREPARED, m.COMMITTED],
+    )
+    return CommitProtocolSpec(
+        name="three-phase-commit",
+        master=master,
+        slave=slave,
+        description="Skeen's non-blocking 3PC, Fig. 3 of the paper.",
+    )
+
+
+def modified_three_phase_commit() -> CommitProtocolSpec:
+    """Fig. 8: 3PC with the extra slave transition ``w -> c`` on a commit.
+
+    Section 5.3 observes that a slave in ``G2`` that never received a prepare
+    message may be handed a commit by *another slave* acting for the master;
+    without the ``w -> c`` transition it would ignore that (possibly unique)
+    commit and later abort.  The termination protocol therefore runs on this
+    modified automaton.
+    """
+    base = three_phase_commit()
+    slave_transitions = list(base.slave.transitions)
+    slave_transitions.append(
+        _t(m.WAIT, ReadSpec(m.COMMIT, MASTER), (), m.COMMITTED)
+    )
+    slave = role_automaton(
+        SLAVE_ROLE,
+        initial=base.slave.initial,
+        transitions=slave_transitions,
+        commit_states=base.slave.commit_states,
+        abort_states=base.slave.abort_states,
+        yes_vote_states=base.slave.yes_vote_states,
+    )
+    return CommitProtocolSpec(
+        name="modified-three-phase-commit",
+        master=base.master,
+        slave=slave,
+        description="3PC with the w->c slave transition of Fig. 8.",
+    )
+
+
+def quorum_commit() -> CommitProtocolSpec:
+    """Skeen's quorum-based commit protocol (reference [5]), failure-free skeleton.
+
+    The quorum protocol's failure-free execution buffers the decision in a
+    ``pre-commit`` state before finalising it (the quorum machinery proper
+    only matters during recovery), so its skeleton is structurally a 3PC with
+    a differently named promotion message.  It satisfies the Lemma 1 /
+    Lemma 2 conditions and is the Theorem 10 demonstration target: the
+    generic construction must discover ``pre-commit`` (not ``prepare``) as
+    the promotion message ``m``.
+    """
+    master = role_automaton(
+        MASTER_ROLE,
+        initial=m.INITIAL,
+        transitions=[
+            _t(
+                m.INITIAL,
+                ReadSpec(m.REQUEST, OPERATOR),
+                (SendSpec(m.XACT, ALL_SLAVES),),
+                m.WAIT,
+            ),
+            _t(
+                m.WAIT,
+                ReadSpec(m.YES, EACH_SLAVE),
+                (SendSpec(m.PRE_COMMIT, ALL_SLAVES),),
+                m.PRE_COMMITTED,
+            ),
+            _t(
+                m.WAIT,
+                ReadSpec(m.NO, ANY_SLAVE),
+                (SendSpec(m.ABORT, ALL_SLAVES),),
+                m.ABORTED,
+            ),
+            _t(
+                m.PRE_COMMITTED,
+                ReadSpec(m.ACK, EACH_SLAVE),
+                (SendSpec(m.COMMIT, ALL_SLAVES),),
+                m.COMMITTED,
+            ),
+        ],
+        commit_states=[m.COMMITTED],
+        abort_states=[m.ABORTED],
+        yes_vote_states=[m.PRE_COMMITTED, m.COMMITTED],
+    )
+    slave = role_automaton(
+        SLAVE_ROLE,
+        initial=m.INITIAL,
+        transitions=[
+            _t(m.INITIAL, ReadSpec(m.XACT, MASTER), (SendSpec(m.YES, MASTER),), m.WAIT),
+            _t(m.INITIAL, ReadSpec(m.XACT, MASTER), (SendSpec(m.NO, MASTER),), m.ABORTED),
+            _t(
+                m.WAIT,
+                ReadSpec(m.PRE_COMMIT, MASTER),
+                (SendSpec(m.ACK, MASTER),),
+                m.PRE_COMMITTED,
+            ),
+            _t(m.WAIT, ReadSpec(m.ABORT, MASTER), (), m.ABORTED),
+            _t(m.PRE_COMMITTED, ReadSpec(m.COMMIT, MASTER), (), m.COMMITTED),
+        ],
+        commit_states=[m.COMMITTED],
+        abort_states=[m.ABORTED],
+        yes_vote_states=[m.WAIT, m.PRE_COMMITTED, m.COMMITTED],
+    )
+    return CommitProtocolSpec(
+        name="quorum-commit",
+        master=master,
+        slave=slave,
+        description="Quorum-based commit (Skeen 1982), failure-free master/slave skeleton.",
+    )
+
+
+def four_phase_commit() -> CommitProtocolSpec:
+    """A four-phase commit protocol (extra buffering round before prepare).
+
+    Not in the paper; included as a second, structurally different Theorem 10
+    target.  The master inserts a ``pre-commit`` round before the
+    ``prepare`` round, so the slave crosses from noncommittable to
+    committable when it receives ``pre-commit`` -- the generic construction
+    must select that message (and not ``prepare``) as ``m``.
+    """
+    master = role_automaton(
+        MASTER_ROLE,
+        initial=m.INITIAL,
+        transitions=[
+            _t(
+                m.INITIAL,
+                ReadSpec(m.REQUEST, OPERATOR),
+                (SendSpec(m.XACT, ALL_SLAVES),),
+                m.WAIT,
+            ),
+            _t(
+                m.WAIT,
+                ReadSpec(m.YES, EACH_SLAVE),
+                (SendSpec(m.PRE_COMMIT, ALL_SLAVES),),
+                m.PRE_COMMITTED,
+            ),
+            _t(
+                m.WAIT,
+                ReadSpec(m.NO, ANY_SLAVE),
+                (SendSpec(m.ABORT, ALL_SLAVES),),
+                m.ABORTED,
+            ),
+            _t(
+                m.PRE_COMMITTED,
+                ReadSpec(m.ACK, EACH_SLAVE),
+                (SendSpec(m.PREPARE, ALL_SLAVES),),
+                m.PREPARED,
+            ),
+            _t(
+                m.PREPARED,
+                ReadSpec(m.ACK, EACH_SLAVE),
+                (SendSpec(m.COMMIT, ALL_SLAVES),),
+                m.COMMITTED,
+            ),
+        ],
+        commit_states=[m.COMMITTED],
+        abort_states=[m.ABORTED],
+        yes_vote_states=[m.PRE_COMMITTED, m.PREPARED, m.COMMITTED],
+    )
+    slave = role_automaton(
+        SLAVE_ROLE,
+        initial=m.INITIAL,
+        transitions=[
+            _t(m.INITIAL, ReadSpec(m.XACT, MASTER), (SendSpec(m.YES, MASTER),), m.WAIT),
+            _t(m.INITIAL, ReadSpec(m.XACT, MASTER), (SendSpec(m.NO, MASTER),), m.ABORTED),
+            _t(
+                m.WAIT,
+                ReadSpec(m.PRE_COMMIT, MASTER),
+                (SendSpec(m.ACK, MASTER),),
+                m.PRE_COMMITTED,
+            ),
+            _t(m.WAIT, ReadSpec(m.ABORT, MASTER), (), m.ABORTED),
+            _t(
+                m.PRE_COMMITTED,
+                ReadSpec(m.PREPARE, MASTER),
+                (SendSpec(m.ACK, MASTER),),
+                m.PREPARED,
+            ),
+            _t(m.PREPARED, ReadSpec(m.COMMIT, MASTER), (), m.COMMITTED),
+        ],
+        commit_states=[m.COMMITTED],
+        abort_states=[m.ABORTED],
+        yes_vote_states=[m.WAIT, m.PRE_COMMITTED, m.PREPARED, m.COMMITTED],
+    )
+    return CommitProtocolSpec(
+        name="four-phase-commit",
+        master=master,
+        slave=slave,
+        description="Four-phase commit with an extra buffering round (Theorem 10 target).",
+    )
+
+
+CATALOG = {
+    "two-phase-commit": two_phase_commit,
+    "three-phase-commit": three_phase_commit,
+    "modified-three-phase-commit": modified_three_phase_commit,
+    "quorum-commit": quorum_commit,
+    "four-phase-commit": four_phase_commit,
+}
+
+
+def by_name(name: str) -> CommitProtocolSpec:
+    """Look up a catalogued protocol specification by name."""
+    try:
+        factory = CATALOG[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {sorted(CATALOG)}"
+        ) from exc
+    return factory()

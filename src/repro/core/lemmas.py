@@ -1,0 +1,99 @@
+"""Lemma 1, Lemma 2 and the structural non-blocking conditions.
+
+Section 3 of the paper establishes two necessary conditions for a commit
+protocol to be (potentially) resilient to optimistic multisite simple
+network partitioning:
+
+* **Lemma 1** -- no local state may have both a commit and an abort state in
+  its concurrency set;
+* **Lemma 2** -- no *noncommittable* local state may have a commit state in
+  its concurrency set.
+
+They mirror Skeen's Fundamental Nonblocking Theorem (which handles site
+failures instead of partitions).  The checks below evaluate the conditions
+against the exhaustively computed concurrency sets, so "the three-phase
+commit protocol satisfies both lemmas while the two-phase commit protocol
+violates them" is a verified fact of the reproduction rather than a quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.concurrency import ConcurrencyAnalysis, LocalStateId, analyze
+from repro.core.fsa import CommitProtocolSpec
+
+
+@dataclass
+class LemmaReport:
+    """Outcome of the structural checks for one protocol instantiation."""
+
+    spec_name: str
+    n_sites: int
+    lemma1_violations: list[LocalStateId] = field(default_factory=list)
+    lemma2_violations: list[LocalStateId] = field(default_factory=list)
+
+    @property
+    def satisfies_lemma1(self) -> bool:
+        """True when no state has both a commit and an abort in its concurrency set."""
+        return not self.lemma1_violations
+
+    @property
+    def satisfies_lemma2(self) -> bool:
+        """True when no noncommittable state has a commit in its concurrency set."""
+        return not self.lemma2_violations
+
+    @property
+    def satisfies_both(self) -> bool:
+        """True when the protocol can potentially be made resilient (Lemmas 1-2)."""
+        return self.satisfies_lemma1 and self.satisfies_lemma2
+
+    def summary(self) -> str:
+        """One-line verdict, matching the wording used in EXPERIMENTS.md."""
+        verdict = "satisfies" if self.satisfies_both else "violates"
+        return (
+            f"{self.spec_name} (n={self.n_sites}) {verdict} the Lemma 1/2 conditions "
+            f"(lemma1 violations: {len(self.lemma1_violations)}, "
+            f"lemma2 violations: {len(self.lemma2_violations)})"
+        )
+
+
+def check_lemma1(analysis: ConcurrencyAnalysis) -> list[LocalStateId]:
+    """Local states whose concurrency set contains both a commit and an abort."""
+    violations: list[LocalStateId] = []
+    for local in sorted(analysis.occupied):
+        role, state = local
+        if analysis.has_commit_in_concurrency_set(role, state) and analysis.has_abort_in_concurrency_set(
+            role, state
+        ):
+            violations.append(local)
+    return violations
+
+
+def check_lemma2(analysis: ConcurrencyAnalysis) -> list[LocalStateId]:
+    """Noncommittable local states whose concurrency set contains a commit."""
+    violations: list[LocalStateId] = []
+    for local in sorted(analysis.occupied):
+        role, state = local
+        if analysis.is_committable(role, state):
+            continue
+        if analysis.has_commit_in_concurrency_set(role, state):
+            violations.append(local)
+    return violations
+
+
+def check_nonblocking_conditions(
+    spec: CommitProtocolSpec,
+    n_sites: int,
+    *,
+    analysis: Optional[ConcurrencyAnalysis] = None,
+) -> LemmaReport:
+    """Evaluate Lemma 1 and Lemma 2 for ``spec`` instantiated with ``n_sites``."""
+    analysis = analysis if analysis is not None else analyze(spec, n_sites)
+    return LemmaReport(
+        spec_name=spec.name,
+        n_sites=n_sites,
+        lemma1_violations=check_lemma1(analysis),
+        lemma2_violations=check_lemma2(analysis),
+    )

@@ -1,0 +1,51 @@
+"""Canonical message kind names used throughout the reproduction.
+
+The paper's protocols exchange a small vocabulary of messages; keeping the
+names in one module avoids stringly-typed drift between the formal model
+(:mod:`repro.core`), the timed protocol roles (:mod:`repro.protocols`) and
+the analysis layer.
+"""
+
+from __future__ import annotations
+
+# --- two-phase / three-phase commit protocol messages (Figs. 1 and 3) -----
+REQUEST = "request"  # the external transaction request arriving at the master
+XACT = "xact"        # master -> slaves: the transaction itself
+YES = "yes"          # slave -> master: willing to commit
+NO = "no"            # slave -> master: unilateral abort
+PREPARE = "prepare"  # master -> slaves: everyone voted yes (3PC only)
+ACK = "ack"          # slave -> master: prepare acknowledged (3PC only)
+COMMIT = "commit"    # decision broadcast
+ABORT = "abort"      # decision broadcast
+
+# --- termination protocol messages (Section 5.3) ---------------------------
+PROBE = "probe"      # slave -> master: probe(trans_id, slave_id) after timing out in p
+
+# --- quorum commit baseline -------------------------------------------------
+PRE_COMMIT = "pre-commit"
+PRE_ABORT = "pre-abort"
+
+ALL_KINDS = frozenset(
+    {
+        REQUEST,
+        XACT,
+        YES,
+        NO,
+        PREPARE,
+        ACK,
+        COMMIT,
+        ABORT,
+        PROBE,
+        PRE_COMMIT,
+        PRE_ABORT,
+    }
+)
+
+# --- canonical local state names (the paper's q / w / p / c / a) -----------
+INITIAL = "q"
+WAIT = "w"
+PREPARED = "p"
+COMMITTED = "c"
+ABORTED = "a"
+PRE_COMMITTED = "pc"  # quorum commit's buffered-commit state
+PRE_ABORTED = "pa"    # quorum commit's buffered-abort state

@@ -1,0 +1,305 @@
+"""Exhaustive exploration of a commit protocol's failure-free executions.
+
+The concurrency set, sender set and committable-state definitions of
+Sections 2-3 all quantify over the *reachable global states* of the
+protocol.  This module enumerates them for a protocol instantiated with
+``n`` participating sites (site 1 is the master).
+
+A global state is, exactly as in the paper's model, the vector of local
+states plus the set of outstanding messages; we additionally carry a
+"has voted yes" flag per site so that the committable-state classification
+("occupancy ... implies that all sites have voted yes") can be verified
+mechanically rather than trusted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core import messages as msg
+from repro.core.fsa import (
+    ANY_SLAVE,
+    CommitProtocolSpec,
+    EACH_SLAVE,
+    MASTER,
+    MASTER_ROLE,
+    OPERATOR,
+    RoleAutomaton,
+    SLAVE_ROLE,
+    Transition,
+)
+
+OPERATOR_SITE = 0  # pseudo-site the external "request" message comes from
+
+
+class ExplorationError(RuntimeError):
+    """Raised when exploration exceeds its safety limits."""
+
+
+@dataclass(frozen=True)
+class TaggedMessage:
+    """An outstanding message, tagged with the sender's state when it was sent.
+
+    The tag is what makes sender sets ``S(s)`` computable: when a site in
+    local state ``s`` consumes the message, the tagged state is by definition
+    a member of ``S(s)``.
+    """
+
+    kind: str
+    sender: int
+    receiver: int
+    sender_role: str
+    sender_state: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}[{self.sender}->{self.receiver}]"
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """One global state: local-state vector + outstanding messages + vote flags."""
+
+    locals: tuple[str, ...]
+    outstanding: frozenset[TaggedMessage]
+    voted: tuple[bool, ...]
+
+    @property
+    def n_sites(self) -> int:
+        """Number of participating sites."""
+        return len(self.locals)
+
+    def local(self, site: int) -> str:
+        """Local state of ``site`` (1-based)."""
+        return self.locals[site - 1]
+
+    def messages_to(self, site: int, kind: Optional[str] = None) -> tuple[TaggedMessage, ...]:
+        """Outstanding messages addressed to ``site`` (optionally of one kind)."""
+        return tuple(
+            message
+            for message in self.outstanding
+            if message.receiver == site and (kind is None or message.kind == kind)
+        )
+
+    def all_voted(self) -> bool:
+        """True when every participating site has voted yes."""
+        return all(self.voted)
+
+    def __str__(self) -> str:
+        vector = ", ".join(self.locals)
+        pending = ", ".join(sorted(str(m) for m in self.outstanding)) or "-"
+        return f"<({vector}) | {pending}>"
+
+
+@dataclass(frozen=True)
+class GlobalTransition:
+    """An edge of the global state graph."""
+
+    source: GlobalState
+    site: int
+    transition: Transition
+    target: GlobalState
+
+
+@dataclass
+class ReachabilityResult:
+    """Everything the concurrency analysis needs about a protocol instance."""
+
+    spec: CommitProtocolSpec
+    n_sites: int
+    initial: GlobalState
+    states: set[GlobalState] = field(default_factory=set)
+    edges: list[GlobalTransition] = field(default_factory=list)
+    # (receiver_role, receiver_state) -> set of (sender_role, sender_state)
+    receptions: dict[tuple[str, str], set[tuple[str, str]]] = field(default_factory=dict)
+
+    def role_of(self, site: int) -> str:
+        """Role played by ``site`` (site 1 is the master)."""
+        return MASTER_ROLE if site == 1 else SLAVE_ROLE
+
+    def occupancies(self) -> dict[tuple[str, str], list[GlobalState]]:
+        """Map (role, local state) -> global states in which some site occupies it."""
+        result: dict[tuple[str, str], list[GlobalState]] = {}
+        for state in self.states:
+            for site in range(1, self.n_sites + 1):
+                key = (self.role_of(site), state.local(site))
+                result.setdefault(key, []).append(state)
+        return result
+
+    def final_states(self) -> list[GlobalState]:
+        """Global states with no outgoing edges."""
+        sources = {edge.source for edge in self.edges}
+        return [state for state in self.states if state not in sources]
+
+    @property
+    def state_count(self) -> int:
+        """Number of distinct reachable global states."""
+        return len(self.states)
+
+
+def _automaton_for(spec: CommitProtocolSpec, site: int) -> RoleAutomaton:
+    return spec.master if site == 1 else spec.slave
+
+
+def _initial_state(spec: CommitProtocolSpec, n_sites: int) -> GlobalState:
+    locals_vector = tuple(
+        _automaton_for(spec, site).initial for site in range(1, n_sites + 1)
+    )
+    request = TaggedMessage(
+        kind=msg.REQUEST,
+        sender=OPERATOR_SITE,
+        receiver=1,
+        sender_role=OPERATOR,
+        sender_state=OPERATOR,
+    )
+    return GlobalState(
+        locals=locals_vector,
+        outstanding=frozenset({request}),
+        voted=tuple(False for _ in range(n_sites)),
+    )
+
+
+def _sends_for(
+    transition: Transition, site: int, role: str, n_sites: int
+) -> frozenset[TaggedMessage]:
+    """Messages written by ``transition`` when taken by ``site``."""
+    produced: set[TaggedMessage] = set()
+    slaves = [s for s in range(2, n_sites + 1)]
+    for send in transition.sends:
+        if send.target == MASTER:
+            produced.add(
+                TaggedMessage(
+                    kind=send.kind,
+                    sender=site,
+                    receiver=1,
+                    sender_role=role,
+                    sender_state=transition.source,
+                )
+            )
+        elif send.target == OPERATOR:
+            continue
+        else:  # all_slaves
+            for slave in slaves:
+                if slave == site:
+                    continue
+                produced.add(
+                    TaggedMessage(
+                        kind=send.kind,
+                        sender=site,
+                        receiver=slave,
+                        sender_role=role,
+                        sender_state=transition.source,
+                    )
+                )
+    return frozenset(produced)
+
+
+def _enabled_consumptions(
+    state: GlobalState, site: int, transition: Transition, n_sites: int
+) -> list[frozenset[TaggedMessage]]:
+    """Sets of outstanding messages that would satisfy the transition's read.
+
+    Returns an empty list when the read cannot be satisfied; several entries
+    when the read is satisfiable in more than one way (``any_slave`` with
+    messages from multiple slaves outstanding).
+    """
+    read = transition.read
+    if read.source == OPERATOR:
+        candidates = [
+            message
+            for message in state.messages_to(site, read.kind)
+            if message.sender == OPERATOR_SITE
+        ]
+        return [frozenset({candidate}) for candidate in candidates]
+    if read.source == MASTER:
+        candidates = [
+            message
+            for message in state.messages_to(site, read.kind)
+            if message.sender == 1
+        ]
+        return [frozenset({candidate}) for candidate in candidates]
+    if read.source == ANY_SLAVE:
+        candidates = [
+            message
+            for message in state.messages_to(site, read.kind)
+            if message.sender != 1 and message.sender != OPERATOR_SITE
+        ]
+        return [frozenset({candidate}) for candidate in candidates]
+    if read.source == EACH_SLAVE:
+        slaves = [s for s in range(2, n_sites + 1) if s != site]
+        needed: set[TaggedMessage] = set()
+        for slave in slaves:
+            matches = [
+                message
+                for message in state.messages_to(site, read.kind)
+                if message.sender == slave
+            ]
+            if not matches:
+                return []
+            needed.add(matches[0])
+        return [frozenset(needed)]
+    raise ValueError(f"unknown read source {read.source!r}")
+
+
+def explore(
+    spec: CommitProtocolSpec,
+    n_sites: int,
+    *,
+    max_states: int = 200_000,
+) -> ReachabilityResult:
+    """Enumerate every reachable global state of ``spec`` with ``n_sites`` sites.
+
+    Args:
+        spec: the commit protocol.
+        n_sites: number of participating sites (>= 2; site 1 is the master).
+        max_states: safety limit on the size of the explored graph.
+
+    Returns:
+        A :class:`ReachabilityResult` with the full state graph, plus the
+        reception relation used to compute sender sets.
+    """
+    if n_sites < 2:
+        raise ValueError(f"a distributed transaction needs at least 2 sites, got {n_sites}")
+    initial = _initial_state(spec, n_sites)
+    result = ReachabilityResult(spec=spec, n_sites=n_sites, initial=initial)
+    result.states.add(initial)
+    frontier: deque[GlobalState] = deque([initial])
+    while frontier:
+        current = frontier.popleft()
+        for site in range(1, n_sites + 1):
+            role = result.role_of(site)
+            automaton = _automaton_for(spec, site)
+            local = current.local(site)
+            for transition in automaton.transitions_from(local):
+                for consumed in _enabled_consumptions(current, site, transition, n_sites):
+                    produced = _sends_for(transition, site, role, n_sites)
+                    new_locals = list(current.locals)
+                    new_locals[site - 1] = transition.target
+                    new_voted = list(current.voted)
+                    if transition.target in automaton.yes_vote_states:
+                        new_voted[site - 1] = True
+                    successor = GlobalState(
+                        locals=tuple(new_locals),
+                        outstanding=(current.outstanding - consumed) | produced,
+                        voted=tuple(new_voted),
+                    )
+                    # Record the reception relation for sender sets.
+                    reception_key = (role, local)
+                    senders = result.receptions.setdefault(reception_key, set())
+                    for message in consumed:
+                        if message.sender_role != OPERATOR:
+                            senders.add((message.sender_role, message.sender_state))
+                    result.edges.append(
+                        GlobalTransition(
+                            source=current, site=site, transition=transition, target=successor
+                        )
+                    )
+                    if successor not in result.states:
+                        result.states.add(successor)
+                        frontier.append(successor)
+                        if len(result.states) > max_states:
+                            raise ExplorationError(
+                                f"exceeded {max_states} global states exploring {spec.name}"
+                            )
+    return result

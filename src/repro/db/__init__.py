@@ -1,0 +1,44 @@
+"""Distributed-database substrate.
+
+Section 2 of the paper sketches the single-site machinery that commit
+protocols assume: each site partially executes a transaction, records a
+commit log in stable storage before applying updates, re-applies updates
+idempotently after a crash, and holds locks on data touched by a transaction
+until the transaction terminates (which is why *blocking* is so costly).
+
+This package provides that machinery:
+
+* :mod:`repro.db.storage` -- an in-memory versioned key-value store,
+* :mod:`repro.db.wal` -- a write-ahead log with commit/abort records,
+* :mod:`repro.db.locks` -- a strict two-phase-locking lock table,
+* :mod:`repro.db.transactions` -- transaction descriptors and operations,
+* :mod:`repro.db.recovery` -- idempotent redo after crashes,
+* :mod:`repro.db.site` -- one database site tying the above together; this
+  is what the commit-protocol roles in :mod:`repro.protocols` drive.
+"""
+
+from repro.db.locks import LockConflict, LockManager, LockMode
+from repro.db.recovery import RecoveryManager, RecoveryReport
+from repro.db.site import DatabaseSite, SiteState
+from repro.db.storage import KeyValueStore, Version
+from repro.db.transactions import Operation, OpKind, Transaction, TransactionStatus
+from repro.db.wal import LogRecord, LogRecordKind, WriteAheadLog
+
+__all__ = [
+    "DatabaseSite",
+    "KeyValueStore",
+    "LockConflict",
+    "LockManager",
+    "LockMode",
+    "LogRecord",
+    "LogRecordKind",
+    "Operation",
+    "OpKind",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SiteState",
+    "Transaction",
+    "TransactionStatus",
+    "Version",
+    "WriteAheadLog",
+]

@@ -1,0 +1,158 @@
+"""Strict two-phase-locking lock table.
+
+The paper's motivation for non-blocking commit protocols is that a blocked
+transaction "cannot relinquish the locks acquired ... rendering those data
+inaccessible to other transactions".  The lock manager makes that cost
+measurable: the availability experiment (bench ``AVAIL``) counts how long
+keys stay locked under each protocol when a partition strikes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write) lock."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        """Lock compatibility matrix: only shared/shared is compatible."""
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+class LockConflict(RuntimeError):
+    """Raised when a lock request conflicts with an existing holder."""
+
+    def __init__(self, key: str, requester: str, holder: str) -> None:
+        super().__init__(f"lock on {key!r} requested by {requester} held by {holder}")
+        self.key = key
+        self.requester = requester
+        self.holder = holder
+
+
+@dataclass
+class LockGrant:
+    """A granted lock."""
+
+    key: str
+    owner: str
+    mode: LockMode
+    granted_at: float
+
+
+@dataclass
+class LockStats:
+    """Aggregate lock-contention statistics for one site."""
+
+    grants: int = 0
+    conflicts: int = 0
+    releases: int = 0
+    total_hold_time: float = 0.0
+    held_since: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+class LockManager:
+    """Per-site lock table with strict 2PL semantics.
+
+    Locks are requested by transaction id and released only when the
+    transaction terminates (commit or abort).  Upgrades from shared to
+    exclusive by the same owner are allowed when no other owner holds the
+    lock.
+    """
+
+    def __init__(self, site: int) -> None:
+        self.site = site
+        self._locks: dict[str, list[LockGrant]] = {}
+        self.stats = LockStats()
+
+    # ------------------------------------------------------------------
+    # acquisition / release
+    # ------------------------------------------------------------------
+    def acquire(
+        self, owner: str, key: str, mode: LockMode, *, now: float = 0.0
+    ) -> LockGrant:
+        """Grant ``owner`` a lock on ``key`` or raise :class:`LockConflict`."""
+        holders = self._locks.setdefault(key, [])
+        for grant in holders:
+            if grant.owner == owner:
+                if grant.mode is mode or grant.mode is LockMode.EXCLUSIVE:
+                    return grant
+                # Upgrade request: allowed only if we are the sole holder.
+                if len(holders) == 1:
+                    upgraded = LockGrant(key=key, owner=owner, mode=mode, granted_at=grant.granted_at)
+                    holders[0] = upgraded
+                    return upgraded
+                self.stats.conflicts += 1
+                other = next(g for g in holders if g.owner != owner)
+                raise LockConflict(key, owner, other.owner)
+            if not grant.mode.compatible_with(mode):
+                self.stats.conflicts += 1
+                raise LockConflict(key, owner, grant.owner)
+        grant = LockGrant(key=key, owner=owner, mode=mode, granted_at=now)
+        holders.append(grant)
+        self.stats.grants += 1
+        self.stats.held_since[(owner, key)] = now
+        return grant
+
+    def try_acquire(
+        self, owner: str, key: str, mode: LockMode, *, now: float = 0.0
+    ) -> Optional[LockGrant]:
+        """Like :meth:`acquire` but returns ``None`` instead of raising."""
+        try:
+            return self.acquire(owner, key, mode, now=now)
+        except LockConflict:
+            return None
+
+    def release_all(self, owner: str, *, now: float = 0.0) -> int:
+        """Release every lock held by ``owner``; returns the number released."""
+        released = 0
+        for key in list(self._locks):
+            holders = self._locks[key]
+            remaining = [grant for grant in holders if grant.owner != owner]
+            released += len(holders) - len(remaining)
+            if len(remaining) != len(holders):
+                since = self.stats.held_since.pop((owner, key), None)
+                if since is not None:
+                    self.stats.total_hold_time += max(0.0, now - since)
+                self.stats.releases += len(holders) - len(remaining)
+            if remaining:
+                self._locks[key] = remaining
+            else:
+                del self._locks[key]
+        return released
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def holders(self, key: str) -> tuple[LockGrant, ...]:
+        """Current holders of ``key``."""
+        return tuple(self._locks.get(key, ()))
+
+    def holds(self, owner: str, key: str) -> bool:
+        """True when ``owner`` holds any lock on ``key``."""
+        return any(grant.owner == owner for grant in self._locks.get(key, ()))
+
+    def locked_keys(self) -> list[str]:
+        """Keys with at least one holder, sorted."""
+        return sorted(self._locks)
+
+    def owners(self) -> set[str]:
+        """Transaction ids currently holding at least one lock."""
+        return {grant.owner for grants in self._locks.values() for grant in grants}
+
+    def is_available(self, key: str, mode: LockMode, *, owner: Optional[str] = None) -> bool:
+        """Could ``owner`` acquire ``key`` in ``mode`` right now?"""
+        for grant in self._locks.get(key, ()):
+            if owner is not None and grant.owner == owner:
+                continue
+            if not grant.mode.compatible_with(mode):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return sum(len(grants) for grants in self._locks.values())

@@ -1,0 +1,68 @@
+"""FIG2 -- the extended two-phase commit protocol (Fig. 2).
+
+The figure is the 2PC automaton augmented with timeout and
+undeliverable-message transitions derived from Rule (a) and Rule (b).  The
+experiment (a) derives that augmentation mechanically from the concurrency
+and sender sets and tabulates it, and (b) verifies by exhaustive sweep that
+the extension is resilient for two participating sites -- the Skeen &
+Stonebraker result the paper builds on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.atomicity import summarize_runs
+from repro.core.catalog import two_phase_commit
+from repro.core.fsa import MASTER_ROLE, SLAVE_ROLE
+from repro.core.rules import augment_with_rules
+from repro.experiments.harness import ExperimentReport, sweep_protocol
+
+
+def run_fig2_extended_two_phase() -> ExperimentReport:
+    """Derive the Fig. 2 augmentation and check two-site resilience."""
+    report = ExperimentReport(
+        experiment="FIG2",
+        title="Extended two-phase commit (Rule a/b augmentation, two sites)",
+    )
+
+    augmented = augment_with_rules(two_phase_commit(), 2)
+    for role in (MASTER_ROLE, SLAVE_ROLE):
+        automaton = augmented.spec.automaton(role)
+        for state in sorted(automaton.states):
+            timeout = augmented.timeout_target(role, state)
+            undeliverable = augmented.undeliverable_target(role, state)
+            if timeout is None and undeliverable is None:
+                continue
+            report.table.append(
+                {
+                    "local state": f"{role}:{state}",
+                    "timeout ->": timeout.value if timeout else "-",
+                    "undeliverable ->": undeliverable.value if undeliverable else "-",
+                }
+            )
+
+    two_site = summarize_runs(
+        sweep_protocol(
+            "extended-two-phase-commit",
+            n_sites=2,
+            no_voter_options=(frozenset(), frozenset({2})),
+        )
+    )
+    three_site = summarize_runs(
+        sweep_protocol(
+            "extended-two-phase-commit",
+            n_sites=3,
+            no_voter_options=(frozenset(), frozenset({3})),
+        )
+    )
+    report.details = {
+        "augmentation": augmented,
+        "two_site": two_site,
+        "three_site": three_site,
+    }
+    report.headline = (
+        f"two sites: {two_site.atomicity_violations} violations / {two_site.blocked_runs} blocked "
+        f"in {two_site.total_runs} partition scenarios (resilient, as proved in [7]); "
+        f"three sites: {three_site.atomicity_violations} violations in {three_site.total_runs} "
+        "scenarios (not resilient -- Section 3)."
+    )
+    return report

@@ -1,0 +1,73 @@
+"""Shared machinery for the per-figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.analysis.scenarios import partition_sweep
+from repro.metrics.reporting import format_table
+from repro.protocols.registry import create_protocol
+from repro.protocols.runner import ScenarioSpec, TransactionRunResult, run_scenario
+
+
+@dataclass
+class ExperimentReport:
+    """A titled, tabular experiment result.
+
+    Attributes:
+        experiment: identifier from DESIGN.md's experiment index (e.g.
+            ``"FIG8"``).
+        title: human-readable description.
+        table: list of dict rows (rendered by :meth:`format`).
+        headline: one-sentence conclusion (what the paper claims / what we
+            measured).
+        details: free-form extra facts used by tests and EXPERIMENTS.md.
+    """
+
+    experiment: str
+    title: str
+    table: list[dict[str, Any]] = field(default_factory=list)
+    headline: str = ""
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def rows(self) -> list[dict[str, Any]]:
+        """The tabular data of the experiment."""
+        return self.table
+
+    def format(self) -> str:
+        """Printable report (title, table, headline)."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        if self.table:
+            parts.append(format_table(self.table))
+        if self.headline:
+            parts.append(self.headline)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def sweep_protocol(
+    protocol_name: str,
+    *,
+    n_sites: int = 3,
+    times: Optional[Iterable[float]] = None,
+    heal_after: Optional[float] = None,
+    no_voter_options: Sequence[frozenset[int]] = (frozenset(),),
+    horizon: Optional[float] = None,
+) -> list[TransactionRunResult]:
+    """Run ``protocol_name`` over a grid of simple-partition scenarios."""
+    specs = partition_sweep(
+        n_sites,
+        times=times,
+        heal_after=heal_after,
+        no_voter_options=no_voter_options,
+        horizon=horizon,
+    )
+    return [run_scenario(create_protocol(protocol_name), spec) for spec in specs]
+
+
+def run_once(protocol_name: str, spec: Optional[ScenarioSpec] = None, **overrides: Any) -> TransactionRunResult:
+    """Run a single scenario for ``protocol_name``."""
+    return run_scenario(create_protocol(protocol_name), spec, **overrides)

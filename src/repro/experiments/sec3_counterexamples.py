@@ -1,0 +1,82 @@
+"""SEC3 -- the two counterexamples of Section 3.
+
+Observation 1: the extended two-phase commit protocol is not resilient once
+more than two sites participate.  Observation 2: the three-phase commit
+protocol augmented with Rule (a)/(b) timeouts is not resilient either -- one
+slave times out in ``w`` and aborts while another times out in ``p`` and
+commits.  Both are demonstrated by exhaustive sweeps plus a pinned witness
+scenario.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.atomicity import summarize_runs
+from repro.experiments.harness import ExperimentReport, run_once, sweep_protocol
+from repro.protocols.runner import ScenarioSpec
+from repro.sim.partition import PartitionSchedule
+
+
+def run_sec3_counterexamples(n_sites: int = 3) -> ExperimentReport:
+    """Sweep both broken protocols and pin one witness scenario each."""
+    report = ExperimentReport(
+        experiment="SEC3",
+        title="Section 3 counterexamples (multisite partitions break Rule a/b)",
+    )
+
+    extended = summarize_runs(
+        sweep_protocol(
+            "extended-two-phase-commit",
+            n_sites=n_sites,
+            no_voter_options=(frozenset(), frozenset({n_sites})),
+        )
+    )
+    naive = summarize_runs(
+        sweep_protocol("naive-extended-three-phase-commit", n_sites=n_sites)
+    )
+
+    # The paper's own witness for observation 2: the partition separates the
+    # slave that has not yet received its prepare message; it times out in w
+    # and aborts while a prepared slave times out in p and commits.
+    naive_witness = run_once(
+        "naive-extended-three-phase-commit",
+        ScenarioSpec(n_sites=3, partition=PartitionSchedule.simple(2.25, [1, 2], [3])),
+    )
+    extended_witness = run_once(
+        "extended-two-phase-commit",
+        ScenarioSpec(
+            n_sites=3,
+            partition=PartitionSchedule.simple(2.25, [1, 3], [2]),
+            no_voters=frozenset({3}),
+        ),
+    )
+
+    report.table = [
+        {
+            "protocol": "extended 2PC (Rules a/b)",
+            "sites": n_sites,
+            "scenarios": extended.total_runs,
+            "atomicity violations": extended.atomicity_violations,
+            "blocked runs": extended.blocked_runs,
+            "resilient": "yes" if extended.resilient else "NO",
+        },
+        {
+            "protocol": "3PC + Rules a/b (naive)",
+            "sites": n_sites,
+            "scenarios": naive.total_runs,
+            "atomicity violations": naive.atomicity_violations,
+            "blocked runs": naive.blocked_runs,
+            "resilient": "yes" if naive.resilient else "NO",
+        },
+    ]
+    report.details = {
+        "extended_summary": extended,
+        "naive_summary": naive,
+        "naive_witness": naive_witness,
+        "extended_witness": extended_witness,
+    }
+    report.headline = (
+        "Both timeout/undeliverable-only extensions violate atomicity under multisite "
+        f"simple partitioning (witnesses: {naive_witness.summary()} ; "
+        f"{extended_witness.summary()})."
+    )
+    return report

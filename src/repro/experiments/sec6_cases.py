@@ -1,0 +1,93 @@
+"""SEC6 -- the transient-partitioning case table of Section 6.
+
+Section 6 enumerates the ways a simple partition can interleave with the
+protocol and derives, per case, the longest time a slave that timed out in
+``p`` may wait before it hears an UD(probe), a commit or an abort:
+
+====================  =====
+case                  bound
+====================  =====
+2.1                   T
+2.2.1                 4T
+2.2.2                 5T
+3.1                   T
+3.2.2.1               4T
+3.2.2.2               unbounded (fixed by the 5T commit rule)
+====================  =====
+
+For every case the experiment (a) builds a concrete scenario, (b) verifies
+via the trace that it really is that case, (c) measures the worst wait with
+the Section 5 protocol (no transient rule), and (d) shows that the Section 6
+rule terminates case 3.2.2.2 consistently.  The paper's bounds are derived
+from worst-case timing diagrams for the slaves in ``G2``; our measured
+values also include the slaves in ``G1`` waiting for the master's probe
+window, so individual cases may exceed the paper's entry while staying
+within the protocol's own 5T + window budget -- the qualitative shape
+(every case bounded except 3.2.2.2) is what the tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.cases import build_case_scenario, classify_run
+from repro.analysis.timing import measure_wait_after_timeout_in_p
+from repro.core.transient import PartitionCase, worst_case_wait
+from repro.experiments.harness import ExperimentReport
+from repro.protocols.registry import create_protocol
+from repro.protocols.runner import run_scenario
+
+
+def run_sec6_cases() -> ExperimentReport:
+    """Reproduce the Section 6 case table."""
+    report = ExperimentReport(
+        experiment="SEC6",
+        title="Section 6: transient partitioning case analysis",
+    )
+    details: dict[str, dict] = {}
+    for case in PartitionCase:
+        scenario = build_case_scenario(case)
+        unit = scenario.spec.effective_latency().upper_bound
+
+        plain = run_scenario(
+            create_protocol("terminating-three-phase-commit-no-transient"), scenario.spec
+        )
+        transient = run_scenario(
+            create_protocol("terminating-three-phase-commit"), scenario.spec
+        )
+        classified = classify_run(plain)
+        waits = measure_wait_after_timeout_in_p(plain)
+        finite_waits = [w / unit for w in waits.values() if not math.isinf(w)]
+        has_unbounded = any(math.isinf(w) for w in waits.values())
+        measured = math.inf if has_unbounded else (max(finite_waits) if finite_waits else 0.0)
+        bound = worst_case_wait(case, 1.0)
+
+        details[case.label] = {
+            "scenario": scenario,
+            "classified": classified,
+            "plain": plain,
+            "transient": transient,
+            "measured": measured,
+        }
+        report.table.append(
+            {
+                "case": case.label,
+                "construction": scenario.description,
+                "classified as": classified.label,
+                "paper bound (xT)": "inf" if math.isinf(bound) else f"{bound:.0f}",
+                "measured wait (xT)": "inf" if math.isinf(measured) else f"{measured:.2f}",
+                "Section 5 protocol": "blocks" if plain.blocked else (
+                    "violates" if plain.atomicity_violated else "consistent"
+                ),
+                "with Section 6 rule": "blocks" if transient.blocked else (
+                    "violates" if transient.atomicity_violated else "consistent"
+                ),
+            }
+        )
+    report.details = details
+    report.headline = (
+        "Every case terminates consistently except 3.2.2.2, which blocks the isolated slave "
+        "under the Section 5 protocol and is terminated (with a commit, matching every other "
+        "site) by the Section 6 rule of waiting 5T after the probe."
+    )
+    return report

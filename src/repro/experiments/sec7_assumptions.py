@@ -1,0 +1,99 @@
+"""SEC7 -- why the assumptions of Section 5.1 are necessary.
+
+Section 7 justifies the "no concurrent site failures" assumption with two
+scenarios in which a crash during a partition breaks atomicity:
+
+1. the only slave in ``G2`` that received a prepare message fails before it
+   can relay the commit, so the rest of ``G2`` aborts while ``G1`` commits;
+2. none of the ``G2`` slaves received a prepare, and a ``G1`` slave fails
+   after receiving its prepare but before probing, so the master's
+   ``N - UD = PB`` test misfires and ``G1`` commits while ``G2`` aborts.
+
+The experiment reproduces both and also shows that the pessimistic
+(message-loss) model defeats the protocol, matching the impossibility
+theorem quoted in Section 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentReport, run_once
+from repro.protocols.runner import ScenarioSpec
+from repro.sim.failures import CrashSchedule
+from repro.sim.latency import PerLinkLatency
+from repro.sim.partition import PartitionSchedule
+
+
+def run_sec7_assumptions() -> ExperimentReport:
+    """Reproduce the two Section 7 counterexamples and the loss-model failure."""
+    report = ExperimentReport(
+        experiment="SEC7",
+        title="Section 7: concurrent site failures (or message loss) defeat the protocol",
+    )
+
+    # Scenario 1: the prepared G2 slave (site 3) crashes before relaying.
+    scenario1 = run_once(
+        "terminating-three-phase-commit",
+        ScenarioSpec(
+            n_sites=4,
+            latency=PerLinkLatency(1.0, {(1, 4): 1.5}),
+            partition=PartitionSchedule.simple(3.7, [1, 2], [3, 4]),
+            crashes=CrashSchedule.single(3, at=4.0),
+        ),
+    )
+
+    # Scenario 2: no G2 slave received a prepare; the G1 slave (site 2)
+    # crashes after its prepare arrived but before it can probe, so the
+    # master never hears the probe it is counting on and commits G1.
+    scenario2 = run_once(
+        "terminating-three-phase-commit",
+        ScenarioSpec(
+            n_sites=3,
+            partition=PartitionSchedule.simple(2.5, [1, 2], [3]),
+            crashes=CrashSchedule.single(2, at=4.0),
+        ),
+    )
+
+    # The pessimistic model: messages are lost instead of returned.
+    lost_messages = run_once(
+        "terminating-three-phase-commit",
+        ScenarioSpec(
+            n_sites=3,
+            partition=PartitionSchedule.simple(2.5, [1, 2], [3]),
+            model="pessimistic",
+        ),
+    )
+
+    def verdict(result):
+        if result.atomicity_violated:
+            return "atomicity violated"
+        if result.blocked:
+            return "blocked"
+        return "consistent"
+
+    report.table = [
+        {
+            "scenario": "prepared G2 slave crashes before relaying (Section 7, case 1)",
+            "outcome": scenario1.summary(),
+            "verdict": verdict(scenario1),
+        },
+        {
+            "scenario": "G1 slave crashes before probing (Section 7, case 2)",
+            "outcome": scenario2.summary(),
+            "verdict": verdict(scenario2),
+        },
+        {
+            "scenario": "pessimistic model (messages lost, not returned)",
+            "outcome": lost_messages.summary(),
+            "verdict": verdict(lost_messages),
+        },
+    ]
+    report.details = {
+        "scenario1": scenario1,
+        "scenario2": scenario2,
+        "lost_messages": lost_messages,
+    }
+    report.headline = (
+        "Concurrent site failures (either quoted scenario) or lost messages break atomicity "
+        "or liveness, which is exactly why assumptions 1, 3 and 4 of Section 5.1 are required."
+    )
+    return report

@@ -1,0 +1,14 @@
+"""Metrics collection and text reporting for experiment results."""
+
+from repro.metrics.collectors import MetricSummary, ProtocolComparison, collect, compare_protocols
+from repro.metrics.reporting import format_comparison_table, format_table, format_timing_table
+
+__all__ = [
+    "MetricSummary",
+    "ProtocolComparison",
+    "collect",
+    "compare_protocols",
+    "format_comparison_table",
+    "format_table",
+    "format_timing_table",
+]

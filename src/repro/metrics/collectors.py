@@ -1,0 +1,96 @@
+"""Aggregation of run results into comparable metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.atomicity import AtomicityReport, summarize_runs
+from repro.analysis.blocking import BlockingReport, blocking_report
+from repro.protocols.runner import TransactionRunResult
+
+
+@dataclass
+class MetricSummary:
+    """All aggregate metrics for one protocol over one batch of runs."""
+
+    protocol: str
+    runs: int
+    atomicity: AtomicityReport
+    blocking: BlockingReport
+    mean_messages: float
+    mean_bounces: float
+    commit_rate: float
+    abort_rate: float
+
+    @property
+    def resilient(self) -> bool:
+        """Atomicity preserved and nobody blocked across the batch."""
+        return self.atomicity.resilient
+
+    def row(self) -> dict[str, object]:
+        """A flat dict row for table rendering."""
+        worst = self.blocking.max_decision_latency
+        return {
+            "protocol": self.protocol,
+            "runs": self.runs,
+            "violations": self.atomicity.atomicity_violations,
+            "blocked": self.atomicity.blocked_runs,
+            "blocking rate": f"{self.blocking.blocking_rate:.1%}",
+            "commit rate": f"{self.commit_rate:.1%}",
+            "abort rate": f"{self.abort_rate:.1%}",
+            "msgs/txn": f"{self.mean_messages:.1f}",
+            "bounces/txn": f"{self.mean_bounces:.1f}",
+            "worst latency": f"{worst:.1f}" if worst is not None else "-",
+            "resilient": "yes" if self.resilient else "NO",
+        }
+
+
+def collect(
+    results: Iterable[TransactionRunResult], *, protocol: Optional[str] = None
+) -> MetricSummary:
+    """Aggregate a batch of runs of a single protocol."""
+    results = list(results)
+    name = protocol or (results[0].protocol if results else "unknown")
+    atomicity = summarize_runs(results, protocol=name)
+    blocking = blocking_report(results, protocol=name)
+    total = len(results) or 1
+    return MetricSummary(
+        protocol=name,
+        runs=len(results),
+        atomicity=atomicity,
+        blocking=blocking,
+        mean_messages=sum(r.messages_sent for r in results) / total,
+        mean_bounces=sum(r.messages_bounced for r in results) / total,
+        commit_rate=sum(1 for r in results if r.all_committed) / total,
+        abort_rate=sum(1 for r in results if r.all_aborted) / total,
+    )
+
+
+@dataclass
+class ProtocolComparison:
+    """Side-by-side metric summaries for several protocols on the same scenarios."""
+
+    summaries: list[MetricSummary] = field(default_factory=list)
+
+    def add(self, summary: MetricSummary) -> None:
+        """Append one protocol's summary."""
+        self.summaries.append(summary)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Table rows, one per protocol."""
+        return [summary.row() for summary in self.summaries]
+
+    def resilient_protocols(self) -> list[str]:
+        """Protocols that preserved atomicity and never blocked."""
+        return [s.protocol for s in self.summaries if s.resilient]
+
+
+def compare_protocols(
+    batches: dict[str, Iterable[TransactionRunResult]]
+) -> ProtocolComparison:
+    """Aggregate several protocols' batches into one comparison."""
+    comparison = ProtocolComparison()
+    for protocol, results in batches.items():
+        comparison.add(collect(results, protocol=protocol))
+    return comparison

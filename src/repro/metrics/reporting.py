@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.analysis.timing import TimingMeasurement
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return title or "(no rows)"
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    widths = {key: len(str(key)) for key in keys}
+    for row in rows:
+        for key in keys:
+            widths[key] = max(widths[key], len(str(row.get(key, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(f"{key:<{widths[key]}}" for key in keys)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[key] for key in keys))
+    for row in rows:
+        lines.append(" | ".join(f"{str(row.get(key, '')):<{widths[key]}}" for key in keys))
+    return "\n".join(lines)
+
+
+def format_comparison_table(comparison, *, title: Optional[str] = None) -> str:
+    """Render a :class:`~repro.metrics.collectors.ProtocolComparison`."""
+    return format_table(comparison.rows(), title=title)
+
+
+def format_timing_table(
+    measurements: Iterable[TimingMeasurement], *, title: Optional[str] = None
+) -> str:
+    """Render timing measurements against their paper bounds."""
+    rows = []
+    for measurement in measurements:
+        rows.append(
+            {
+                "quantity": measurement.name,
+                "measured (xT)": f"{measurement.measured_in_t:.2f}",
+                "paper bound (xT)": (
+                    "inf" if measurement.bound_in_t == float("inf") else f"{measurement.bound_in_t:.1f}"
+                ),
+                "within bound": "yes" if measurement.within_bound else "NO",
+            }
+        )
+    return format_table(rows, title=title)

@@ -1,0 +1,57 @@
+"""Executable commit protocols running on the simulator and database substrate.
+
+Each protocol provides a coordinator (master) role and a participant (slave)
+role that the scenario runner attaches to simulated sites:
+
+* :mod:`repro.protocols.two_phase` -- plain 2PC (Fig. 1), blocking;
+* :mod:`repro.protocols.extended_two_phase` -- 2PC augmented with the
+  Rule (a)/(b) timeout and undeliverable-message transitions (Fig. 2);
+* :mod:`repro.protocols.three_phase` -- plain 3PC (Fig. 3), blocking under
+  partitions;
+* :mod:`repro.protocols.three_phase_naive` -- 3PC augmented with Rule (a)/(b)
+  only (the Section 3 negative result);
+* :mod:`repro.protocols.three_phase_terminating` -- the paper's contribution:
+  the modified 3PC (Fig. 8) plus the Section 5.3 termination protocol, with
+  the optional Section 6 transient-partitioning rule;
+* :mod:`repro.protocols.quorum` -- the quorum-commit skeleton, plain and with
+  the Theorem 10 generic termination construction;
+* :mod:`repro.protocols.runner` -- the scenario runner shared by tests,
+  examples and benchmarks;
+* :mod:`repro.protocols.registry` -- name-based protocol lookup.
+"""
+
+from repro.protocols.base import (
+    Decision,
+    ProtocolContext,
+    ProtocolDefinition,
+    ProtocolMessage,
+    RoleBase,
+)
+from repro.protocols.extended_two_phase import ExtendedTwoPhaseCommit
+from repro.protocols.quorum import QuorumCommit, TerminatingQuorumCommit
+from repro.protocols.registry import available_protocols, create_protocol
+from repro.protocols.runner import ScenarioSpec, TransactionRunResult, run_scenario
+from repro.protocols.three_phase import ThreePhaseCommit
+from repro.protocols.three_phase_naive import NaiveExtendedThreePhaseCommit
+from repro.protocols.three_phase_terminating import TerminatingThreePhaseCommit
+from repro.protocols.two_phase import TwoPhaseCommit
+
+__all__ = [
+    "Decision",
+    "ExtendedTwoPhaseCommit",
+    "NaiveExtendedThreePhaseCommit",
+    "ProtocolContext",
+    "ProtocolDefinition",
+    "ProtocolMessage",
+    "QuorumCommit",
+    "RoleBase",
+    "ScenarioSpec",
+    "TerminatingQuorumCommit",
+    "TerminatingThreePhaseCommit",
+    "ThreePhaseCommit",
+    "TransactionRunResult",
+    "TwoPhaseCommit",
+    "available_protocols",
+    "create_protocol",
+    "run_scenario",
+]

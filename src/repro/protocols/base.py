@@ -1,0 +1,271 @@
+"""Shared machinery for the timed commit-protocol roles.
+
+A *role* is the protocol logic attached to one simulated site for one
+transaction.  Roles are built from a :class:`ProtocolContext` (node, database
+site, transaction, timers, scenario knobs) by a :class:`ProtocolDefinition`.
+The :class:`RoleBase` class provides the behaviour every role shares:
+recording state transitions, reaching (at most one) local decision, applying
+it to the database site, and broadcasting decisions when asked to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Protocol as TypingProtocol
+
+from repro.core.termination import TerminationTimers
+from repro.db.site import DatabaseSite
+from repro.db.transactions import Transaction
+from repro.sim.network import Undeliverable
+from repro.sim.node import Node
+
+
+class Decision(enum.Enum):
+    """A site's local termination decision."""
+
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class ProtocolMessage:
+    """A commit-protocol message exchanged between sites.
+
+    Attributes:
+        kind: message kind (see :mod:`repro.core.messages`).
+        transaction_id: the transaction this message belongs to.
+        sender: sending site.
+        payload: optional extra content (the transaction for ``xact``
+            messages, the probing slave's id for ``probe`` messages, ...).
+    """
+
+    kind: str
+    transaction_id: str
+    sender: int
+    payload: Any = None
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.transaction_id})@{self.sender}"
+
+
+@dataclass
+class ProtocolContext:
+    """Everything a role needs about its environment.
+
+    Attributes:
+        node: the simulated site the role runs on.
+        db: the site's database machinery.
+        transaction: the transaction being committed.
+        participants: all participating sites (master included).
+        master: the coordinating site.
+        timers: the timeout structure (multiples of ``T``).
+        no_voters: sites scripted to vote "no" (scenario knob).
+        transient_rule: whether the Section 6 transient-partitioning rule is
+            active for terminating protocols.
+    """
+
+    node: Node
+    db: DatabaseSite
+    transaction: Transaction
+    participants: tuple[int, ...]
+    master: int
+    timers: TerminationTimers
+    no_voters: frozenset[int] = frozenset()
+    transient_rule: bool = True
+
+    @property
+    def site(self) -> int:
+        """The site this context belongs to."""
+        return self.node.node_id
+
+    @property
+    def slaves(self) -> tuple[int, ...]:
+        """Participants other than the master."""
+        return tuple(s for s in self.participants if s != self.master)
+
+    @property
+    def others(self) -> tuple[int, ...]:
+        """Participants other than this site."""
+        return tuple(s for s in self.participants if s != self.site)
+
+    @property
+    def max_delay(self) -> float:
+        """The paper's ``T``."""
+        return self.timers.max_delay
+
+    @property
+    def is_master(self) -> bool:
+        """True when this context belongs to the coordinating site."""
+        return self.site == self.master
+
+
+class RoleBase:
+    """Common behaviour of all coordinator / participant roles."""
+
+    def __init__(self, ctx: ProtocolContext, *, initial_state: str) -> None:
+        self.ctx = ctx
+        self.node = ctx.node
+        self.db = ctx.db
+        self.state = initial_state
+        self.decision: Optional[Decision] = None
+        self.decided_at: Optional[float] = None
+        self.vote: Optional[str] = None
+        self.conflicting_decisions = 0
+        self.node.attach(self)
+
+    # ------------------------------------------------------------------
+    # identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def site(self) -> int:
+        """The site this role runs on."""
+        return self.ctx.site
+
+    @property
+    def transaction(self) -> Transaction:
+        """The transaction being terminated."""
+        return self.ctx.transaction
+
+    @property
+    def transaction_id(self) -> str:
+        """Shortcut for the transaction id."""
+        return self.ctx.transaction.transaction_id
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.node.sim.now
+
+    @property
+    def decided(self) -> bool:
+        """True once this site has reached its local decision."""
+        return self.decision is not None
+
+    # ------------------------------------------------------------------
+    # state transitions and decisions
+    # ------------------------------------------------------------------
+    def transition(self, new_state: str, *, reason: str = "") -> None:
+        """Move to ``new_state`` and record it in the trace."""
+        previous = self.state
+        self.state = new_state
+        self.node.note(
+            "transition",
+            transaction=self.transaction_id,
+            source=previous,
+            target=new_state,
+            reason=reason,
+        )
+
+    def decide(self, decision: Decision, *, reason: str = "") -> None:
+        """Reach the local decision ``decision`` (idempotent, first one wins).
+
+        A second, *different* decision is recorded as a conflicting-decision
+        trace event and otherwise ignored; the atomicity checker works from
+        each site's first decision, and the cross-site inconsistency is what
+        the negative experiments measure.
+        """
+        if self.decision is not None:
+            if self.decision is not decision:
+                self.conflicting_decisions += 1
+                self.node.note(
+                    "conflicting-decision",
+                    transaction=self.transaction_id,
+                    first=self.decision.value,
+                    second=decision.value,
+                    reason=reason,
+                )
+            return
+        self.decision = decision
+        self.decided_at = self.now
+        if decision is Decision.COMMIT:
+            self.db.commit(self.transaction_id, now=self.now)
+        else:
+            self.db.abort(self.transaction_id, now=self.now)
+        self.node.cancel_all_timers()
+        self.node.note(
+            "decision",
+            transaction=self.transaction_id,
+            outcome=decision.value,
+            state=self.state,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # voting
+    # ------------------------------------------------------------------
+    def cast_vote(self) -> str:
+        """Execute the transaction locally and produce this site's vote."""
+        if self.site in self.ctx.no_voters:
+            self.vote = "no"
+            self.node.note("vote", transaction=self.transaction_id, vote="no", forced=True)
+            return "no"
+        self.vote = self.db.execute(self.transaction, now=self.now)
+        self.node.note("vote", transaction=self.transaction_id, vote=self.vote, forced=False)
+        return self.vote
+
+    # ------------------------------------------------------------------
+    # messaging helpers
+    # ------------------------------------------------------------------
+    def send(self, destination: int, kind: str, payload: Any = None) -> None:
+        """Send a protocol message to ``destination``."""
+        message = ProtocolMessage(
+            kind=kind, transaction_id=self.transaction_id, sender=self.site, payload=payload
+        )
+        self.node.send(destination, message)
+
+    def broadcast(self, destinations: Iterable[int], kind: str, payload: Any = None) -> None:
+        """Send the same protocol message to several sites."""
+        for destination in destinations:
+            self.send(destination, kind, payload)
+
+    def broadcast_decision(self, decision: Decision) -> None:
+        """Send the final decision to every other participant."""
+        kind = "commit" if decision is Decision.COMMIT else "abort"
+        self.broadcast(self.ctx.others, kind)
+
+    # ------------------------------------------------------------------
+    # default hooks (overridden by concrete roles)
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:  # pragma: no cover - overridden
+        """Hook invoked when the simulation starts."""
+
+    def on_message(self, payload: Any, envelope: Any) -> None:  # pragma: no cover
+        """Hook invoked for every delivery (including bounces)."""
+
+    def on_timeout(self, timer: Any) -> None:  # pragma: no cover
+        """Hook invoked when one of the site's timers fires."""
+
+    # ------------------------------------------------------------------
+    # payload helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_undeliverable(payload: Any) -> bool:
+        """True when ``payload`` is a bounced message."""
+        return isinstance(payload, Undeliverable)
+
+    def unwrap(self, payload: Any) -> tuple[Optional[ProtocolMessage], bool]:
+        """Return ``(protocol message, was_undeliverable)`` for a delivery.
+
+        Messages belonging to other transactions return ``(None, ...)`` and
+        are ignored by the roles.
+        """
+        undeliverable = isinstance(payload, Undeliverable)
+        inner = payload.payload if undeliverable else payload
+        if not isinstance(inner, ProtocolMessage):
+            return None, undeliverable
+        if inner.transaction_id != self.transaction_id:
+            return None, undeliverable
+        return inner, undeliverable
+
+
+class ProtocolDefinition(TypingProtocol):
+    """Factory interface every protocol module implements."""
+
+    name: str
+
+    def coordinator(self, ctx: ProtocolContext) -> RoleBase:  # pragma: no cover
+        """Build the master role."""
+
+    def participant(self, ctx: ProtocolContext) -> RoleBase:  # pragma: no cover
+        """Build a slave role."""

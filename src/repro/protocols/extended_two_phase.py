@@ -1,0 +1,24 @@
+"""The extended two-phase commit protocol (Fig. 2).
+
+The 2PC automaton augmented with the timeout and undeliverable-message
+transitions produced by Rule (a) and Rule (b).  Skeen & Stonebraker proved
+the construction resilient for *two-site* simple partitioning with return of
+undeliverable messages; Section 3 of the paper (and experiment ``SEC3A``)
+shows it is not resilient once more than two sites participate.
+
+The augmentation is not hard-coded: it is derived mechanically from the
+concurrency and sender sets of the 2PC specification by
+:func:`repro.core.rules.augment_with_rules`, exactly as the rules prescribe.
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import two_phase_commit
+from repro.protocols.fsa_role import FSAProtocolDefinition
+
+
+class ExtendedTwoPhaseCommit(FSAProtocolDefinition):
+    """2PC plus the Rule (a)/(b) timeout and undeliverable transitions."""
+
+    def __init__(self) -> None:
+        super().__init__("extended-two-phase-commit", two_phase_commit, augment=True)

@@ -1,0 +1,267 @@
+"""Generic roles that execute a formal protocol specification.
+
+The baseline protocols (2PC, extended 2PC, 3PC, the naive extended 3PC and
+the quorum skeleton) differ only in their finite-state automata and in the
+timeout / undeliverable-message augmentation applied to them, so they share
+one implementation: a coordinator role and a participant role that *execute*
+a :class:`~repro.core.fsa.CommitProtocolSpec`, optionally consulting an
+:class:`~repro.core.rules.AugmentedProtocol` when a timer fires or a bounced
+message arrives.
+
+The paper's own termination protocol is deliberately *not* expressed this
+way -- it needs probe messages, the UD/PB bookkeeping and slave-to-slave
+commits, which go beyond the augmentation rules; see
+:mod:`repro.protocols.three_phase_terminating`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core import messages as m
+from repro.core.fsa import (
+    ANY_SLAVE,
+    CommitProtocolSpec,
+    EACH_SLAVE,
+    MASTER,
+    MASTER_ROLE,
+    OPERATOR,
+    RoleAutomaton,
+    SLAVE_ROLE,
+    Transition,
+)
+from repro.core.rules import AugmentedProtocol, FinalAction
+from repro.protocols.base import Decision, ProtocolContext, ProtocolMessage, RoleBase
+
+#: Message kinds whose receipt corresponds to journalling the prepared state.
+_PROMOTION_KINDS = frozenset({m.PREPARE, m.PRE_COMMIT})
+
+_STATE_TIMER = "state-timeout"
+
+
+def _final_action_to_decision(action: FinalAction) -> Decision:
+    return Decision.COMMIT if action is FinalAction.COMMIT else Decision.ABORT
+
+
+class FSARole(RoleBase):
+    """Executes one role automaton of a commit protocol specification."""
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        spec: CommitProtocolSpec,
+        role: str,
+        *,
+        augmentation: Optional[AugmentedProtocol] = None,
+    ) -> None:
+        self.spec = spec
+        self.role = role
+        self.automaton: RoleAutomaton = spec.automaton(role)
+        self.augmentation = augmentation
+        self.received: dict[str, set[int]] = {}
+        super().__init__(ctx, initial_state=self.automaton.initial)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        if self.role == MASTER_ROLE:
+            self._start_master()
+        else:
+            self._start_participant()
+
+    def _start_master(self) -> None:
+        vote = self.cast_vote()
+        if vote == "no":
+            # The master aborts unilaterally before involving anyone else.
+            self.decide(Decision.ABORT, reason="master voted no")
+            self.broadcast_decision(Decision.ABORT)
+            return
+        # Consume the external "request": take the operator transition.
+        for transition in self.automaton.transitions_from(self.state):
+            if transition.read.source == OPERATOR:
+                self._fire(transition, reason="request received")
+                return
+
+    def _start_participant(self) -> None:
+        self._arm_state_timer()
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def on_message(self, payload: Any, envelope: Any) -> None:
+        message, undeliverable = self.unwrap(payload)
+        if message is None:
+            return
+        if undeliverable:
+            self._handle_undeliverable(message)
+            return
+        if message.kind == m.XACT and self.role == SLAVE_ROLE:
+            self._handle_xact(message)
+            return
+        self.received.setdefault(message.kind, set()).add(message.sender)
+        self._try_fire()
+
+    def _handle_xact(self, message: ProtocolMessage) -> None:
+        if self.state != self.automaton.initial:
+            return
+        vote = self.cast_vote()
+        wanted = m.YES if vote == "yes" else m.NO
+        for transition in self.automaton.transitions_from(self.state):
+            if transition.read.kind != m.XACT:
+                continue
+            if any(send.kind == wanted for send in transition.sends):
+                self._fire(transition, reason=f"voted {vote}")
+                return
+
+    def _handle_undeliverable(self, message: ProtocolMessage) -> None:
+        self.node.note(
+            "undeliverable-received",
+            transaction=self.transaction_id,
+            kind=message.kind,
+            state=self.state,
+        )
+        if self.augmentation is None or self.decided:
+            return
+        action = self.augmentation.undeliverable_action.get((self.role, self.state))
+        if action is None:
+            return
+        decision = _final_action_to_decision(action)
+        self.decide(decision, reason=f"undeliverable {message.kind} in {self.state}")
+        if self.role == MASTER_ROLE:
+            self.broadcast_decision(decision)
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def _arm_state_timer(self) -> None:
+        if self.augmentation is None or self.decided:
+            return
+        if self.automaton.is_final(self.state):
+            return
+        duration = (
+            self.ctx.timers.master_vote_timeout
+            if self.role == MASTER_ROLE
+            else self.ctx.timers.slave_timeout
+        )
+        self.node.set_timer(_STATE_TIMER, duration)
+
+    def on_timeout(self, timer: Any) -> None:
+        if timer.name != _STATE_TIMER or self.augmentation is None or self.decided:
+            return
+        action = self.augmentation.timeout_action.get((self.role, self.state))
+        if action is None:
+            return
+        decision = _final_action_to_decision(action)
+        self.decide(decision, reason=f"timeout in {self.state}")
+        if self.role == MASTER_ROLE:
+            self.broadcast_decision(decision)
+
+    # ------------------------------------------------------------------
+    # FSA execution
+    # ------------------------------------------------------------------
+    def _try_fire(self) -> None:
+        if self.decided:
+            return
+        progressed = True
+        while progressed and not self.decided:
+            progressed = False
+            for transition in self.automaton.transitions_from(self.state):
+                if self._satisfied(transition):
+                    self._consume(transition)
+                    self._fire(transition, reason=f"received {transition.read.kind}")
+                    progressed = True
+                    break
+
+    def _satisfied(self, transition: Transition) -> bool:
+        read = transition.read
+        senders = self.received.get(read.kind, set())
+        if read.source == MASTER:
+            return self.ctx.master in senders
+        if read.source == ANY_SLAVE:
+            return any(sender != self.ctx.master for sender in senders)
+        if read.source == EACH_SLAVE:
+            expected = {s for s in self.ctx.slaves if s != self.site}
+            return expected.issubset(senders)
+        return False
+
+    def _consume(self, transition: Transition) -> None:
+        read = transition.read
+        senders = self.received.get(read.kind, set())
+        if read.source == MASTER:
+            senders.discard(self.ctx.master)
+        elif read.source == ANY_SLAVE:
+            for sender in sorted(senders):
+                if sender != self.ctx.master:
+                    senders.discard(sender)
+                    break
+        elif read.source == EACH_SLAVE:
+            for slave in self.ctx.slaves:
+                senders.discard(slave)
+
+    def _fire(self, transition: Transition, *, reason: str) -> None:
+        if transition.read.kind in _PROMOTION_KINDS and self.role == SLAVE_ROLE:
+            self.db.prepare(self.transaction_id, now=self.now)
+        self._emit(transition)
+        self.transition(transition.target, reason=reason)
+        if transition.target in self.automaton.commit_states:
+            self.decide(Decision.COMMIT, reason=reason)
+        elif transition.target in self.automaton.abort_states:
+            self.decide(Decision.ABORT, reason=reason)
+        else:
+            self._arm_state_timer()
+
+    def _emit(self, transition: Transition) -> None:
+        for send in transition.sends:
+            payload = self.transaction if send.kind == m.XACT else None
+            if send.target == MASTER:
+                self.send(self.ctx.master, send.kind, payload)
+            elif send.target == OPERATOR:
+                continue
+            else:  # all slaves
+                self.broadcast(
+                    [s for s in self.ctx.slaves if s != self.site], send.kind, payload
+                )
+
+
+class FSAProtocolDefinition:
+    """A protocol definition backed by a formal spec (plus optional rules)."""
+
+    def __init__(
+        self,
+        name: str,
+        spec_factory,
+        *,
+        augment: bool = False,
+    ) -> None:
+        self.name = name
+        self._spec_factory = spec_factory
+        self._augment = augment
+        self._augmentation_cache: dict[int, AugmentedProtocol] = {}
+        self._spec: Optional[CommitProtocolSpec] = None
+
+    @property
+    def spec(self) -> CommitProtocolSpec:
+        """The underlying formal specification."""
+        if self._spec is None:
+            self._spec = self._spec_factory()
+        return self._spec
+
+    def _augmentation_for(self, n_sites: int) -> Optional[AugmentedProtocol]:
+        if not self._augment:
+            return None
+        if n_sites not in self._augmentation_cache:
+            from repro.core.rules import augment_with_rules
+
+            self._augmentation_cache[n_sites] = augment_with_rules(self.spec, n_sites)
+        return self._augmentation_cache[n_sites]
+
+    def coordinator(self, ctx: ProtocolContext) -> FSARole:
+        """Build the master role for ``ctx``."""
+        augmentation = self._augmentation_for(len(ctx.participants))
+        return FSARole(ctx, self.spec, MASTER_ROLE, augmentation=augmentation)
+
+    def participant(self, ctx: ProtocolContext) -> FSARole:
+        """Build a slave role for ``ctx``."""
+        augmentation = self._augmentation_for(len(ctx.participants))
+        return FSARole(ctx, self.spec, SLAVE_ROLE, augmentation=augmentation)

@@ -1,0 +1,42 @@
+"""Name-based lookup of the executable protocols."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.protocols.base import ProtocolDefinition
+from repro.protocols.extended_two_phase import ExtendedTwoPhaseCommit
+from repro.protocols.quorum import QuorumCommit, TerminatingQuorumCommit
+from repro.protocols.three_phase import ThreePhaseCommit
+from repro.protocols.three_phase_naive import NaiveExtendedThreePhaseCommit
+from repro.protocols.three_phase_terminating import TerminatingThreePhaseCommit
+from repro.protocols.two_phase import TwoPhaseCommit
+
+_REGISTRY: dict[str, Callable[[], ProtocolDefinition]] = {
+    "two-phase-commit": TwoPhaseCommit,
+    "extended-two-phase-commit": ExtendedTwoPhaseCommit,
+    "three-phase-commit": ThreePhaseCommit,
+    "naive-extended-three-phase-commit": NaiveExtendedThreePhaseCommit,
+    "terminating-three-phase-commit": TerminatingThreePhaseCommit,
+    "terminating-three-phase-commit-no-transient": lambda: TerminatingThreePhaseCommit(
+        transient_rule=False, name="terminating-three-phase-commit-no-transient"
+    ),
+    "quorum-commit": QuorumCommit,
+    "terminating-quorum-commit": TerminatingQuorumCommit,
+}
+
+
+def available_protocols() -> list[str]:
+    """Names of every registered protocol."""
+    return sorted(_REGISTRY)
+
+
+def create_protocol(name: str) -> ProtocolDefinition:
+    """Instantiate the protocol registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {available_protocols()}"
+        ) from exc
+    return factory()

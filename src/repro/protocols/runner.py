@@ -1,0 +1,255 @@
+"""Scenario runner: one transaction, one protocol, one failure scenario.
+
+The runner wires a protocol's roles onto a simulated cluster with database
+sites, installs the partition / crash schedules, runs the simulation to
+quiescence (or a horizon for blocking protocols) and summarizes the outcome:
+per-site decisions, decision times, votes, blocking, lock retention and
+message counts.  Every experiment, benchmark and example in the repository
+goes through :func:`run_scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.core.termination import TerminationTimers
+from repro.db.site import DatabaseSite
+from repro.db.transactions import Transaction
+from repro.protocols.base import ProtocolContext, ProtocolDefinition, RoleBase
+from repro.sim.cluster import Cluster
+from repro.sim.failures import CrashSchedule
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.network import OPTIMISTIC
+from repro.sim.partition import PartitionSchedule
+from repro.sim.trace import Trace
+
+
+@dataclass
+class ScenarioSpec:
+    """Everything needed to run one transaction through one failure scenario.
+
+    Attributes:
+        n_sites: number of participating sites (site 1 is the master).
+        partition: partition / heal schedule (default: none).
+        crashes: site crash schedule (default: none).
+        no_voters: sites scripted to vote "no".
+        latency: network latency model; its upper bound is the paper's ``T``.
+        model: ``"optimistic"`` (return undeliverable messages, the paper's
+            assumption 1) or ``"pessimistic"`` (lose them).
+        horizon: simulated-time limit.  Blocking protocols never quiesce under
+            partitions, so every run is bounded; the default of ``40 T`` is
+            far beyond every bound in the paper.
+        seed: random seed (only relevant for stochastic latency models).
+        initial_data: initial key/value contents installed at every site.
+        write_key / write_value: the update the transaction installs.
+    """
+
+    n_sites: int = 3
+    partition: Optional[PartitionSchedule] = None
+    crashes: Optional[CrashSchedule] = None
+    no_voters: frozenset[int] = frozenset()
+    latency: Optional[LatencyModel] = None
+    model: str = OPTIMISTIC
+    horizon: Optional[float] = None
+    seed: int = 0
+    initial_data: Optional[Mapping[str, Any]] = None
+    write_key: str = "balance"
+    write_value: Any = 100
+
+    def effective_latency(self) -> LatencyModel:
+        """The latency model, defaulting to a constant delay of 1 (= T)."""
+        return self.latency or ConstantLatency(1.0)
+
+    def effective_horizon(self) -> float:
+        """The run horizon, defaulting to ``40 T``."""
+        if self.horizon is not None:
+            return self.horizon
+        return 40.0 * self.effective_latency().upper_bound
+
+
+@dataclass
+class TransactionRunResult:
+    """Outcome of one scenario run."""
+
+    protocol: str
+    spec: ScenarioSpec
+    transaction: Transaction
+    decisions: dict[int, Optional[str]] = field(default_factory=dict)
+    decision_times: dict[int, Optional[float]] = field(default_factory=dict)
+    votes: dict[int, Optional[str]] = field(default_factory=dict)
+    states: dict[int, str] = field(default_factory=dict)
+    conflicting_decisions: dict[int, int] = field(default_factory=dict)
+    locks_held_at_end: dict[int, bool] = field(default_factory=dict)
+    values_at_end: dict[int, Any] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_bounced: int = 0
+    messages_dropped: int = 0
+    finished_at: float = 0.0
+    trace: Trace = field(default_factory=Trace)
+    db_sites: dict[int, DatabaseSite] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # derived verdicts
+    # ------------------------------------------------------------------
+    @property
+    def participants(self) -> tuple[int, ...]:
+        """The sites that took part in the transaction."""
+        return self.transaction.participants
+
+    @property
+    def committed_sites(self) -> tuple[int, ...]:
+        """Sites whose local decision was commit."""
+        return tuple(s for s, d in sorted(self.decisions.items()) if d == "commit")
+
+    @property
+    def aborted_sites(self) -> tuple[int, ...]:
+        """Sites whose local decision was abort."""
+        return tuple(s for s, d in sorted(self.decisions.items()) if d == "abort")
+
+    @property
+    def undecided_sites(self) -> tuple[int, ...]:
+        """Sites with no decision when the run ended (blocked sites)."""
+        return tuple(s for s, d in sorted(self.decisions.items()) if d is None)
+
+    @property
+    def blocked_sites(self) -> tuple[int, ...]:
+        """Alias for :attr:`undecided_sites` (the paper's notion of blocking)."""
+        return self.undecided_sites
+
+    @property
+    def atomicity_violated(self) -> bool:
+        """True when some site committed while another aborted."""
+        return bool(self.committed_sites) and bool(self.aborted_sites)
+
+    @property
+    def blocked(self) -> bool:
+        """True when at least one site never terminated the transaction."""
+        return bool(self.undecided_sites)
+
+    @property
+    def all_committed(self) -> bool:
+        """True when every participant committed."""
+        return len(self.committed_sites) == len(self.participants)
+
+    @property
+    def all_aborted(self) -> bool:
+        """True when every participant aborted."""
+        return len(self.aborted_sites) == len(self.participants)
+
+    @property
+    def consistent(self) -> bool:
+        """Atomicity holds and nobody is blocked (Theorem 9's property)."""
+        return not self.atomicity_violated and not self.blocked
+
+    @property
+    def stores_agree(self) -> bool:
+        """True when the committed sites all installed the same value."""
+        values = {self.values_at_end[s] for s in self.committed_sites}
+        return len(values) <= 1
+
+    def decision_latency(self, site: int) -> Optional[float]:
+        """Time from submission (t = 0) to the site's decision."""
+        return self.decision_times.get(site)
+
+    def max_decision_latency(self) -> Optional[float]:
+        """Largest decision latency among decided sites (``None`` if nobody decided)."""
+        times = [t for t in self.decision_times.values() if t is not None]
+        return max(times) if times else None
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        verdict = "ATOMICITY VIOLATED" if self.atomicity_violated else (
+            "blocked" if self.blocked else "consistent"
+        )
+        return (
+            f"{self.protocol}: commit={list(self.committed_sites)} "
+            f"abort={list(self.aborted_sites)} undecided={list(self.undecided_sites)} "
+            f"[{verdict}]"
+        )
+
+
+def run_scenario(
+    protocol: ProtocolDefinition,
+    spec: Optional[ScenarioSpec] = None,
+    **overrides: Any,
+) -> TransactionRunResult:
+    """Run one transaction under ``protocol`` in the scenario ``spec``.
+
+    Keyword overrides are applied on top of ``spec`` (or on a default spec),
+    so callers can write ``run_scenario(protocol, n_sites=4, partition=...)``.
+    """
+    if spec is None:
+        spec = ScenarioSpec()
+    if overrides:
+        spec = ScenarioSpec(**{**spec.__dict__, **overrides})
+
+    latency = spec.effective_latency()
+    timers = TerminationTimers(max_delay=latency.upper_bound)
+    cluster = Cluster(spec.n_sites, latency=latency, model=spec.model, seed=spec.seed)
+    participants = tuple(cluster.site_ids())
+    transaction = Transaction.simple_update(
+        1, participants, spec.write_key, spec.write_value
+    )
+    db_sites = {
+        site: DatabaseSite(site, initial_data=spec.initial_data)
+        for site in participants
+    }
+
+    roles: dict[int, RoleBase] = {}
+    for site in participants:
+        ctx = ProtocolContext(
+            node=cluster.node(site),
+            db=db_sites[site],
+            transaction=transaction,
+            participants=participants,
+            master=1,
+            timers=timers,
+            no_voters=frozenset(spec.no_voters),
+        )
+        if site == 1:
+            roles[site] = protocol.coordinator(ctx)
+        else:
+            roles[site] = protocol.participant(ctx)
+
+    if spec.partition is not None:
+        cluster.apply_partition_schedule(spec.partition)
+    if spec.crashes is not None:
+        cluster.apply_crash_schedule(spec.crashes)
+
+    cluster.start_all()
+    cluster.run(until=spec.effective_horizon())
+
+    result = TransactionRunResult(
+        protocol=getattr(protocol, "name", type(protocol).__name__),
+        spec=spec,
+        transaction=transaction,
+        trace=cluster.trace,
+        db_sites=db_sites,
+        messages_sent=cluster.network.messages_sent,
+        messages_delivered=cluster.network.messages_delivered,
+        messages_bounced=cluster.network.messages_bounced,
+        messages_dropped=cluster.network.messages_dropped,
+        finished_at=cluster.sim.now,
+    )
+    for site in participants:
+        role = roles[site]
+        result.decisions[site] = role.decision.value if role.decision else None
+        result.decision_times[site] = role.decided_at
+        result.votes[site] = role.vote
+        result.states[site] = role.state
+        result.conflicting_decisions[site] = role.conflicting_decisions
+        result.locks_held_at_end[site] = db_sites[site].holds_locks(
+            transaction.transaction_id
+        )
+        result.values_at_end[site] = db_sites[site].value(spec.write_key)
+    return result
+
+
+def run_many(
+    protocol_factory,
+    specs: Iterable[ScenarioSpec],
+) -> list[TransactionRunResult]:
+    """Run a batch of scenarios, constructing a fresh protocol per run."""
+    return [run_scenario(protocol_factory(), spec) for spec in specs]

@@ -1,0 +1,19 @@
+"""The three-phase commit protocol (Fig. 3), plain.
+
+Skeen's non-blocking commit protocol: a buffering prepare phase between the
+vote collection and the commit broadcast.  Without a termination protocol it
+still blocks when the network partitions (the sites cannot tell what the
+other side decided), which is the gap the paper fills.
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import three_phase_commit
+from repro.protocols.fsa_role import FSAProtocolDefinition
+
+
+class ThreePhaseCommit(FSAProtocolDefinition):
+    """Plain 3PC (no timeouts, no undeliverable handling)."""
+
+    def __init__(self) -> None:
+        super().__init__("three-phase-commit", three_phase_commit, augment=False)

@@ -1,0 +1,23 @@
+"""3PC augmented with Rule (a)/(b) only -- the Section 3 negative result.
+
+Applying the two rules to the three-phase commit protocol assigns, in
+particular, ``timeout(w_slave) -> abort`` and ``timeout(p_slave) -> commit``.
+Section 3 exhibits a partition under which one slave times out in ``w`` and
+aborts while another times out in ``p`` and commits; Lemma 3 then shows that
+*no* augmentation by timeout and undeliverable-message transitions alone can
+work.  This protocol exists so the experiments can reproduce that failure.
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import three_phase_commit
+from repro.protocols.fsa_role import FSAProtocolDefinition
+
+
+class NaiveExtendedThreePhaseCommit(FSAProtocolDefinition):
+    """3PC plus Rule (a)/(b) transitions (known-broken for multisite partitions)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "naive-extended-three-phase-commit", three_phase_commit, augment=True
+        )

@@ -1,0 +1,20 @@
+"""The two-phase commit protocol (Fig. 1), plain and blocking.
+
+The master forwards the transaction, collects votes and broadcasts the
+decision.  There are no timeout or undeliverable-message transitions: when a
+partition (or master silence) strikes while the slaves are in their wait
+state, they simply block, holding their locks -- the behaviour the paper's
+introduction identifies as the reason to look for non-blocking protocols.
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import two_phase_commit
+from repro.protocols.fsa_role import FSAProtocolDefinition
+
+
+class TwoPhaseCommit(FSAProtocolDefinition):
+    """Plain centralized 2PC (no timeouts, no undeliverable handling)."""
+
+    def __init__(self) -> None:
+        super().__init__("two-phase-commit", two_phase_commit, augment=False)

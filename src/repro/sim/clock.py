@@ -1,0 +1,44 @@
+"""Simulated clock.
+
+The clock is owned by the :class:`~repro.sim.kernel.Simulator` and only ever
+advances; components read it through a shared reference so that traces,
+metrics and protocol roles all agree on "now".
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically non-decreasing simulated clock.
+
+    Time is a ``float`` in arbitrary units.  Throughout this repository the
+    unit is ``T``, the longest end-to-end network propagation delay, so that
+    measured bounds can be compared directly with the paper's ``2T`` / ``3T``
+    / ``5T`` / ``6T`` figures.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Advance the clock to ``when``.
+
+        Raises :class:`ValueError` if ``when`` lies in the past; the simulator
+        never schedules events before the current time, so a violation here
+        indicates a bug in event ordering.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now}, requested={when}"
+            )
+        self._now = float(when)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now})"

@@ -1,0 +1,118 @@
+"""Convenience wiring of a whole simulated system.
+
+A :class:`Cluster` bundles the simulator, network, partition manager, nodes
+and failure injector for ``n`` sites numbered ``1..n`` (site 1 is, by the
+paper's convention, the master of any transaction it coordinates).  The
+protocol harness and all experiments build on this class instead of wiring
+the pieces by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.events import EventKind
+from repro.sim.failures import CrashSchedule, FailureInjector
+from repro.sim.kernel import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.network import Network, OPTIMISTIC
+from repro.sim.node import Node
+from repro.sim.partition import PartitionManager, PartitionSchedule
+from repro.sim.trace import Trace
+
+
+class Cluster:
+    """A complete simulated deployment of ``n`` database sites.
+
+    Args:
+        n_sites: number of participating sites; they are numbered ``1..n``.
+        latency: network latency model (default: constant delay of 1.0, i.e.
+            every message takes exactly ``T``).
+        model: partition model, ``"optimistic"`` (return undeliverable
+            messages) or ``"pessimistic"`` (lose them).
+        seed: seed for the simulator's random number generator.
+    """
+
+    def __init__(
+        self,
+        n_sites: int,
+        *,
+        latency: Optional[LatencyModel] = None,
+        model: str = OPTIMISTIC,
+        seed: int = 0,
+    ) -> None:
+        if n_sites < 1:
+            raise ValueError(f"need at least one site, got {n_sites}")
+        self.n_sites = n_sites
+        self.sim = Simulator(seed=seed)
+        self.trace = Trace()
+        self.partitions = PartitionManager()
+        self.network = Network(
+            self.sim,
+            latency=latency or ConstantLatency(1.0),
+            partitions=self.partitions,
+            model=model,
+            trace=self.trace,
+        )
+        self.nodes: dict[int, Node] = {
+            site: Node(site, self.sim, self.network, trace=self.trace)
+            for site in range(1, n_sites + 1)
+        }
+        self.failures = FailureInjector(self.sim, self.nodes.values())
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def max_delay(self) -> float:
+        """The paper's ``T`` for this cluster's network."""
+        return self.network.max_delay
+
+    def site_ids(self) -> list[int]:
+        """All site ids, ``[1, ..., n]``."""
+        return sorted(self.nodes)
+
+    def node(self, site: int) -> Node:
+        """The node for ``site``."""
+        return self.nodes[site]
+
+    # ------------------------------------------------------------------
+    # schedule installation
+    # ------------------------------------------------------------------
+    def apply_partition_schedule(self, schedule: PartitionSchedule) -> None:
+        """Schedule every partition / heal event in ``schedule``."""
+        for event in schedule:
+            spec = event.spec
+            kind = EventKind.HEAL if event.is_heal else EventKind.PARTITION
+            label = "heal" if event.is_heal else f"partition {spec}"
+            self.sim.schedule_at(
+                event.time,
+                lambda s=spec, t=event.time: self._apply_partition(s, t),
+                kind=kind,
+                label=label,
+            )
+
+    def _apply_partition(self, spec, at: float) -> None:
+        self.trace.record(
+            at,
+            "partition" if spec is not None else "heal",
+            site=None,
+            spec=str(spec) if spec is not None else "healed",
+        )
+        self.partitions.apply(spec, at=at)
+
+    def apply_crash_schedule(self, schedule: CrashSchedule) -> None:
+        """Schedule every crash / recovery in ``schedule``."""
+        self.failures.apply(schedule)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start_all(self) -> None:
+        """Start every node's attached role."""
+        for site in self.site_ids():
+            self.nodes[site].start()
+
+    def run(self, until: Optional[float] = None, *, max_events: int = 1_000_000) -> float:
+        """Run the simulation (see :meth:`repro.sim.kernel.Simulator.run`)."""
+        return self.sim.run(until=until, max_events=max_events)

@@ -1,0 +1,66 @@
+"""Event representation for the discrete-event kernel.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is
+assigned at scheduling time, which makes simultaneous events execute in the
+order they were scheduled -- the whole simulation is therefore a
+deterministic function of its inputs.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventKind(enum.Enum):
+    """Classification of kernel events, mainly for traces and debugging."""
+
+    MESSAGE_DELIVERY = "message-delivery"
+    MESSAGE_BOUNCE = "message-bounce"
+    TIMER = "timer"
+    PARTITION = "partition"
+    HEAL = "heal"
+    CRASH = "crash"
+    RECOVER = "recover"
+    GENERIC = "generic"
+
+
+_sequence = itertools.count()
+
+
+def next_sequence() -> int:
+    """Return the next global scheduling sequence number."""
+    return next(_sequence)
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled occurrence.
+
+    Attributes:
+        time: simulated time at which the event fires.
+        priority: smaller numbers fire first among events at the same time.
+        sequence: insertion order tie-breaker (assigned by the simulator).
+        kind: coarse classification used by traces.
+        action: zero-argument callable executed when the event fires.
+        label: human readable description for traces.
+        cancelled: cancelled events are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    kind: EventKind = field(compare=False, default=EventKind.GENERIC)
+    action: Callable[[], Any] = field(compare=False, default=lambda: None)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be ignored when popped."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Execute the event's action (the kernel calls this)."""
+        return self.action()

@@ -1,0 +1,93 @@
+"""Site failure injection.
+
+The paper assumes (Section 5.1, assumptions 3-4) that site failures never
+coincide with network partitioning and that masters never fail; Section 7
+justifies this by exhibiting two scenarios where a concurrent failure breaks
+atomicity.  The failure injector exists to reproduce exactly those negative
+scenarios (experiment SEC7) and to exercise the recovery path of the database
+substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.sim.events import EventKind
+from repro.sim.kernel import Simulator
+from repro.sim.node import Node
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash ``site`` at ``time``; recover at ``recover_at`` unless ``None``."""
+
+    time: float
+    site: int
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.recover_at is not None and self.recover_at <= self.time:
+            raise ValueError(
+                f"recovery time {self.recover_at} must follow crash time {self.time}"
+            )
+
+
+@dataclass
+class CrashSchedule:
+    """A collection of crash events applied to a run."""
+
+    events: list[CrashEvent] = field(default_factory=list)
+
+    @classmethod
+    def none(cls) -> "CrashSchedule":
+        """No crashes (the paper's default operating assumption)."""
+        return cls([])
+
+    @classmethod
+    def single(cls, site: int, at: float, recover_at: Optional[float] = None) -> "CrashSchedule":
+        """Crash one site at ``at`` (optionally recovering later)."""
+        return cls([CrashEvent(time=at, site=site, recover_at=recover_at)])
+
+    def add(self, event: CrashEvent) -> "CrashSchedule":
+        """Append a crash event."""
+        self.events.append(event)
+        return self
+
+    def sites(self) -> set[int]:
+        """Sites named by any crash event."""
+        return {event.site for event in self.events}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(sorted(self.events, key=lambda e: e.time))
+
+
+class FailureInjector:
+    """Schedules crash / recovery events against registered nodes."""
+
+    def __init__(self, sim: Simulator, nodes: Iterable[Node]) -> None:
+        self.sim = sim
+        self._nodes = {node.node_id: node for node in nodes}
+
+    def apply(self, schedule: CrashSchedule) -> None:
+        """Install every crash (and recovery) in ``schedule``."""
+        for event in schedule:
+            node = self._nodes.get(event.site)
+            if node is None:
+                raise KeyError(f"cannot crash unknown site {event.site}")
+            self.sim.schedule_at(
+                event.time,
+                node.crash,
+                kind=EventKind.CRASH,
+                label=f"crash site {event.site}",
+            )
+            if event.recover_at is not None:
+                self.sim.schedule_at(
+                    event.recover_at,
+                    node.recover,
+                    kind=EventKind.RECOVER,
+                    label=f"recover site {event.site}",
+                )

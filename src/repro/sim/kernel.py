@@ -1,0 +1,176 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is intentionally small: an event heap, a clock, and helpers for
+scheduling.  Determinism is the load-bearing property -- the reproduction of
+Theorem 9 and the Section 6 case table sweeps thousands of partition
+placements and asserts exact worst-case bounds, which is only meaningful if a
+given configuration always produces the same execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventKind, next_sequence
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven in an inconsistent way."""
+
+
+class Simulator:
+    """Event-driven simulator with deterministic tie-breaking.
+
+    Args:
+        seed: seed for the simulator-owned random number generator.  All
+            stochastic components (latency models, workload generators) must
+            draw from :attr:`rng` so that a run is reproducible from
+            ``(configuration, seed)`` alone.
+        start_time: initial clock value.
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = Clock(start_time)
+        self.rng = random.Random(seed)
+        self._heap: list[Event] = []
+        self._stopped = False
+        self._events_executed = 0
+        self._max_events: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_executed
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        *,
+        kind: EventKind = EventKind.GENERIC,
+        label: str = "",
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past: delay={delay}")
+        return self.schedule_at(
+            self.now + delay, action, kind=kind, label=label, priority=priority
+        )
+
+    def schedule_at(
+        self,
+        when: float,
+        action: Callable[[], Any],
+        *,
+        kind: EventKind = EventKind.GENERIC,
+        label: str = "",
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` to run at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule an event in the past: now={self.now}, when={when}"
+            )
+        event = Event(
+            time=when,
+            priority=priority,
+            sequence=next_sequence(),
+            kind=kind,
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request that the run loop stop after the current event."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def step(self) -> Optional[Event]:
+        """Execute the next live event and return it (``None`` if none left)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._events_executed += 1
+            event.fire()
+            return event
+        return None
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the event queue drains, ``until`` is reached, or stopped.
+
+        Args:
+            until: inclusive time horizon.  Events scheduled strictly after
+                ``until`` are left in the queue.
+            max_events: safety valve against runaway protocols; raises
+                :class:`SimulationError` when exceeded.
+
+        Returns:
+            The simulated time at which the run loop stopped.
+        """
+        self._stopped = False
+        executed = 0
+        while self._heap and not self._stopped:
+            # Find the next live event without executing it yet so that we
+            # can honour the `until` horizon exactly.
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            self.clock.advance_to(event.time)
+            self._events_executed += 1
+            executed += 1
+            event.fire()
+            if max_events is not None and executed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a protocol livelock"
+                )
+        if until is not None and self.now < until and not self._stopped:
+            self.clock.advance_to(until)
+        return self.now
+
+    def run_until_quiescent(self, *, max_events: int = 1_000_000) -> float:
+        """Run until no events remain (with a safety cap)."""
+        return self.run(until=None, max_events=max_events)
+
+    def drain(self) -> Iterable[Event]:
+        """Remove and return all still-queued events (used by tests)."""
+        events = [event for event in self._heap if not event.cancelled]
+        self._heap.clear()
+        return events

@@ -1,0 +1,95 @@
+"""Network latency models.
+
+The paper expresses every timeout in units of ``T``, the longest end-to-end
+propagation delay.  A latency model therefore exposes both a per-message
+sample and an :attr:`upper_bound` that plays the role of ``T``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class LatencyModel(ABC):
+    """Samples one-way message delays bounded by ``T``."""
+
+    @property
+    @abstractmethod
+    def upper_bound(self) -> float:
+        """The longest possible end-to-end delay (the paper's ``T``)."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random, source: int, destination: int) -> float:
+        """Delay for one message from ``source`` to ``destination``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(T={self.upper_bound})"
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units.
+
+    Worst-case timing experiments (Figs. 5-7, 9) use this model with
+    ``delay = T`` because the paper's bounds are derived for messages that all
+    take the maximum delay.
+    """
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay <= 0:
+            raise ValueError(f"latency must be positive: {delay}")
+        self._delay = float(delay)
+
+    @property
+    def upper_bound(self) -> float:
+        return self._delay
+
+    def sample(self, rng: random.Random, source: int, destination: int) -> float:
+        return self._delay
+
+
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]`` with ``high`` playing ``T``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low <= 0 or high < low:
+            raise ValueError(f"invalid latency range: [{low}, {high}]")
+        self._low = float(low)
+        self._high = float(high)
+
+    @property
+    def upper_bound(self) -> float:
+        return self._high
+
+    @property
+    def lower_bound(self) -> float:
+        """Smallest possible delay."""
+        return self._low
+
+    def sample(self, rng: random.Random, source: int, destination: int) -> float:
+        return rng.uniform(self._low, self._high)
+
+
+class PerLinkLatency(LatencyModel):
+    """Fixed per-link delays with a default for unlisted links.
+
+    Useful for constructing the *specific* message orderings behind the
+    Section 3 counterexamples and the Section 6 cases, where one prepare
+    message must be slower than another.
+    """
+
+    def __init__(self, default: float, overrides: dict[tuple[int, int], float]) -> None:
+        if default <= 0:
+            raise ValueError(f"latency must be positive: {default}")
+        for link, value in overrides.items():
+            if value <= 0:
+                raise ValueError(f"latency must be positive for link {link}: {value}")
+        self._default = float(default)
+        self._overrides = dict(overrides)
+
+    @property
+    def upper_bound(self) -> float:
+        return max([self._default, *self._overrides.values()])
+
+    def sample(self, rng: random.Random, source: int, destination: int) -> float:
+        return self._overrides.get((source, destination), self._default)

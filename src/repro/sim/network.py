@@ -1,0 +1,356 @@
+"""Message-passing network with partition semantics.
+
+Two partition models are supported, mirroring Skeen & Stonebraker's taxonomy
+quoted in Section 2 of the paper:
+
+* **optimistic** -- no messages are lost when a partition occurs; messages
+  that cannot be delivered (either already in flight across the boundary, or
+  sent across it later) are *returned to the sender* wrapped in
+  :class:`Undeliverable`.  This is the model under which the termination
+  protocol is proved correct.
+* **pessimistic** -- undeliverable messages are silently dropped.  The paper
+  proves no protocol can be resilient in this model; we keep it for the
+  negative experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, TYPE_CHECKING
+
+from repro.sim.events import Event, EventKind
+from repro.sim.kernel import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.partition import PartitionManager, PartitionSpec
+from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.node import Node
+
+OPTIMISTIC = "optimistic"
+PESSIMISTIC = "pessimistic"
+
+_envelope_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in transit from ``source`` to ``destination``."""
+
+    envelope_id: int
+    source: int
+    destination: int
+    payload: Any
+    sent_at: float
+
+    def __str__(self) -> str:
+        return (
+            f"Envelope#{self.envelope_id}({self.source}->{self.destination}: "
+            f"{self.payload})"
+        )
+
+
+@dataclass(frozen=True)
+class Undeliverable:
+    """The paper's ``UD(msg)``: a message returned to its sender.
+
+    Attributes:
+        original: the envelope whose delivery failed.
+    """
+
+    original: Envelope
+
+    @property
+    def payload(self) -> Any:
+        """The payload of the bounced message."""
+        return self.original.payload
+
+    @property
+    def intended_destination(self) -> int:
+        """Site the bounced message was addressed to."""
+        return self.original.destination
+
+    def __str__(self) -> str:
+        return f"UD({self.original.payload} -> site {self.original.destination})"
+
+
+@dataclass
+class DeliveryReceipt:
+    """Bookkeeping for a message the network has accepted but not yet resolved."""
+
+    envelope: Envelope
+    event: Event
+    deliver_at: float
+    resolved: bool = False
+
+
+class Network:
+    """Point-to-point network connecting simulated sites.
+
+    Args:
+        sim: owning simulator.
+        latency: latency model; its upper bound is the paper's ``T``.
+        partitions: partition manager consulted on every send/delivery.
+        model: ``"optimistic"`` or ``"pessimistic"``.
+        trace: shared trace for send/deliver/bounce/drop records.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        latency: Optional[LatencyModel] = None,
+        partitions: Optional[PartitionManager] = None,
+        model: str = OPTIMISTIC,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        if model not in (OPTIMISTIC, PESSIMISTIC):
+            raise ValueError(f"unknown partition model: {model!r}")
+        self.sim = sim
+        self.latency = latency or ConstantLatency(1.0)
+        self.partitions = partitions or PartitionManager()
+        self.model = model
+        self.trace = trace if trace is not None else Trace()
+        self._nodes: Dict[int, "Node"] = {}
+        self._in_flight: Dict[int, DeliveryReceipt] = {}
+        self._sent = 0
+        self._delivered = 0
+        self._bounced = 0
+        self._dropped = 0
+        self.partitions.subscribe(self._on_connectivity_change)
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    @property
+    def max_delay(self) -> float:
+        """The paper's ``T``."""
+        return self.latency.upper_bound
+
+    def register(self, node: "Node") -> None:
+        """Attach a node so the network can deliver to it."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"site {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> "Node":
+        """Look up a registered node."""
+        return self._nodes[node_id]
+
+    def sites(self) -> list[int]:
+        """Registered site ids, sorted."""
+        return sorted(self._nodes)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def messages_sent(self) -> int:
+        """Number of sends accepted."""
+        return self._sent
+
+    @property
+    def messages_delivered(self) -> int:
+        """Number of messages delivered to their destination."""
+        return self._delivered
+
+    @property
+    def messages_bounced(self) -> int:
+        """Number of messages returned to their sender as undeliverable."""
+        return self._bounced
+
+    @property
+    def messages_dropped(self) -> int:
+        """Number of messages silently lost (pessimistic model / crashed sites)."""
+        return self._dropped
+
+    @property
+    def in_flight(self) -> int:
+        """Messages currently in transit."""
+        return len(self._in_flight)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, source: int, destination: int, payload: Any) -> Envelope:
+        """Send ``payload`` from ``source`` to ``destination``.
+
+        The message is accepted unconditionally; whether it is eventually
+        delivered, bounced or dropped depends on the partition state now and
+        while it is in flight.
+        """
+        envelope = Envelope(
+            envelope_id=next(_envelope_ids),
+            source=source,
+            destination=destination,
+            payload=payload,
+            sent_at=self.sim.now,
+        )
+        self._sent += 1
+        self.trace.record(
+            self.sim.now,
+            "send",
+            site=source,
+            destination=destination,
+            payload=describe_payload(payload),
+            envelope_id=envelope.envelope_id,
+        )
+        if self.partitions.separated(source, destination):
+            # The destination is unreachable right now: bounce or drop
+            # immediately (after a propagation delay for the bounce itself).
+            self._fail_delivery(envelope, reason="partitioned-at-send")
+            return envelope
+        delay = self.latency.sample(self.sim.rng, source, destination)
+        deliver_at = self.sim.now + delay
+        event = self.sim.schedule(
+            delay,
+            lambda env=envelope: self._deliver(env),
+            kind=EventKind.MESSAGE_DELIVERY,
+            label=f"deliver {envelope}",
+        )
+        self._in_flight[envelope.envelope_id] = DeliveryReceipt(
+            envelope=envelope, event=event, deliver_at=deliver_at
+        )
+        return envelope
+
+    def multicast(self, source: int, destinations: Iterable[int], payload: Any) -> list[Envelope]:
+        """Send the same payload from ``source`` to every destination."""
+        return [self.send(source, destination, payload) for destination in destinations]
+
+    # ------------------------------------------------------------------
+    # internal delivery machinery
+    # ------------------------------------------------------------------
+    def _deliver(self, envelope: Envelope) -> None:
+        receipt = self._in_flight.pop(envelope.envelope_id, None)
+        if receipt is not None:
+            receipt.resolved = True
+        if self.partitions.separated(envelope.source, envelope.destination):
+            # Partition occurred while the message was in flight and is still
+            # in force at the (attempted) delivery instant.
+            self._fail_delivery(envelope, reason="partitioned-in-flight")
+            return
+        node = self._nodes.get(envelope.destination)
+        if node is None:
+            self._dropped += 1
+            self.trace.record(
+                self.sim.now,
+                "drop",
+                site=envelope.destination,
+                reason="unknown-destination",
+                payload=describe_payload(envelope.payload),
+            )
+            return
+        if node.crashed:
+            self._dropped += 1
+            self.trace.record(
+                self.sim.now,
+                "drop",
+                site=envelope.destination,
+                reason="destination-crashed",
+                payload=describe_payload(envelope.payload),
+            )
+            return
+        self._delivered += 1
+        self.trace.record(
+            self.sim.now,
+            "deliver",
+            site=envelope.destination,
+            source=envelope.source,
+            payload=describe_payload(envelope.payload),
+            envelope_id=envelope.envelope_id,
+            latency=self.sim.now - envelope.sent_at,
+        )
+        node.deliver(envelope)
+
+    def _fail_delivery(self, envelope: Envelope, *, reason: str) -> None:
+        """Handle a message that cannot reach its destination."""
+        if self.model == PESSIMISTIC:
+            self._dropped += 1
+            self.trace.record(
+                self.sim.now,
+                "drop",
+                site=envelope.destination,
+                source=envelope.source,
+                reason=reason,
+                payload=describe_payload(envelope.payload),
+            )
+            return
+        # Optimistic model: return the message to the sender.  The bounce
+        # itself takes a propagation delay back to the source.
+        delay = self.latency.sample(self.sim.rng, envelope.destination, envelope.source)
+        undeliverable = Undeliverable(envelope)
+        self.sim.schedule(
+            delay,
+            lambda ud=undeliverable: self._deliver_bounce(ud),
+            kind=EventKind.MESSAGE_BOUNCE,
+            label=f"bounce {envelope}",
+        )
+        self.trace.record(
+            self.sim.now,
+            "bounce",
+            site=envelope.source,
+            destination=envelope.destination,
+            reason=reason,
+            payload=describe_payload(envelope.payload),
+            envelope_id=envelope.envelope_id,
+        )
+
+    def _deliver_bounce(self, undeliverable: Undeliverable) -> None:
+        envelope = undeliverable.original
+        node = self._nodes.get(envelope.source)
+        self._bounced += 1
+        if node is None or node.crashed:
+            self._dropped += 1
+            self.trace.record(
+                self.sim.now,
+                "drop",
+                site=envelope.source,
+                reason="bounce-target-crashed",
+                payload=describe_payload(envelope.payload),
+            )
+            return
+        self.trace.record(
+            self.sim.now,
+            "deliver-undeliverable",
+            site=envelope.source,
+            payload=describe_payload(envelope.payload),
+            intended=envelope.destination,
+            envelope_id=envelope.envelope_id,
+        )
+        bounce_envelope = Envelope(
+            envelope_id=next(_envelope_ids),
+            source=envelope.destination,
+            destination=envelope.source,
+            payload=undeliverable,
+            sent_at=self.sim.now,
+        )
+        node.deliver(bounce_envelope)
+
+    def _on_connectivity_change(self, spec: Optional[PartitionSpec]) -> None:
+        """Bounce (or drop) in-flight messages that now cross the boundary.
+
+        This implements the paper's assumption 1: "all undeliverable messages
+        due to network partitioning are returned to the sender" -- including
+        the ones that were outstanding at the instant the partition occurred.
+        """
+        if spec is None:
+            return
+        for receipt in list(self._in_flight.values()):
+            envelope = receipt.envelope
+            if not spec.separated(envelope.source, envelope.destination):
+                continue
+            receipt.event.cancel()
+            receipt.resolved = True
+            del self._in_flight[envelope.envelope_id]
+            self._fail_delivery(envelope, reason="partition-cut-in-flight")
+
+
+def describe_payload(payload: Any) -> str:
+    """Short human-readable description of a message payload for traces."""
+    if isinstance(payload, Undeliverable):
+        return f"UD({describe_payload(payload.original.payload)})"
+    kind = getattr(payload, "kind", None)
+    if kind is not None:
+        return str(kind)
+    return type(payload).__name__ if not isinstance(payload, str) else payload

@@ -1,0 +1,236 @@
+"""Simulated sites.
+
+A :class:`Node` is one site of the distributed database: it owns a mailbox
+(fed by the network), a set of named timers, and a crash flag.  Protocol
+logic is supplied by a *role* object attached with :meth:`Node.attach`; the
+node forwards deliveries, timeouts and crash/recovery notifications to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol, runtime_checkable
+
+from repro.sim.events import Event, EventKind
+from repro.sim.kernel import Simulator
+from repro.sim.network import Envelope, Network, Undeliverable, describe_payload
+from repro.sim.trace import Trace
+
+
+@runtime_checkable
+class Role(Protocol):
+    """Protocol logic hosted by a node.
+
+    Roles only need to implement the hooks they care about; the node checks
+    for each method's presence before calling it.
+    """
+
+    def on_start(self) -> None:  # pragma: no cover - protocol definition
+        """Called once when the simulation run begins."""
+
+    def on_message(self, payload: Any, envelope: Envelope) -> None:  # pragma: no cover
+        """Called for every delivered message (including ``Undeliverable``)."""
+
+    def on_timeout(self, timer: "Timer") -> None:  # pragma: no cover
+        """Called when one of the node's timers fires."""
+
+    def on_crash(self) -> None:  # pragma: no cover
+        """Called when the node crashes."""
+
+    def on_recover(self) -> None:  # pragma: no cover
+        """Called when the node recovers from a crash."""
+
+
+@dataclass
+class Timer:
+    """A named timer owned by a node."""
+
+    name: str
+    owner: int
+    deadline: float
+    event: Event
+    payload: Any = None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the timer was cancelled before firing."""
+        return self.event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the timer (no-op if it already fired)."""
+        self.event.cancel()
+
+
+class Node:
+    """One simulated site.
+
+    Args:
+        node_id: site identifier (the paper numbers sites 1..n with site 1
+            the master).
+        sim: owning simulator.
+        network: network used for sends; the node registers itself.
+        trace: shared trace (defaults to the network's trace).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        *,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.trace = trace if trace is not None else network.trace
+        self.crashed = False
+        self.role: Optional[Role] = None
+        self._timers: dict[str, Timer] = {}
+        self._started = False
+        network.register(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(id={self.node_id}, crashed={self.crashed})"
+
+    # ------------------------------------------------------------------
+    # role wiring
+    # ------------------------------------------------------------------
+    def attach(self, role: Role) -> None:
+        """Attach the protocol role driving this node."""
+        self.role = role
+
+    def start(self) -> None:
+        """Schedule the role's ``on_start`` hook at the current time."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(0.0, self._start_role, label=f"start site {self.node_id}")
+
+    def _start_role(self) -> None:
+        if self.crashed or self.role is None:
+            return
+        hook = getattr(self.role, "on_start", None)
+        if hook is not None:
+            hook()
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, destination: int, payload: Any) -> Optional[Envelope]:
+        """Send ``payload`` to ``destination`` (dropped if this node crashed)."""
+        if self.crashed:
+            return None
+        return self.network.send(self.node_id, destination, payload)
+
+    def multicast(self, destinations: list[int], payload: Any) -> list[Envelope]:
+        """Send ``payload`` to every site in ``destinations``."""
+        if self.crashed:
+            return []
+        return self.network.multicast(self.node_id, destinations, payload)
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Called by the network when a message (or bounce) arrives."""
+        if self.crashed or self.role is None:
+            return
+        handler = getattr(self.role, "on_message", None)
+        if handler is not None:
+            handler(envelope.payload, envelope)
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def set_timer(self, name: str, delay: float, payload: Any = None) -> Timer:
+        """(Re)arm the named timer to fire ``delay`` from now.
+
+        Re-arming an existing timer cancels the previous instance, which is
+        how the protocol's "reset timer 5T" steps are expressed.
+        """
+        self.cancel_timer(name)
+        # Timers fire *after* message deliveries scheduled for the same
+        # instant: a timeout of exactly "2T" must not preempt a message that
+        # arrives exactly at the 2T mark (the paper's bounds are inclusive).
+        event = self.sim.schedule(
+            delay,
+            lambda timer_name=name: self._fire_timer(timer_name),
+            kind=EventKind.TIMER,
+            label=f"timer {name}@site{self.node_id}",
+            priority=10,
+        )
+        timer = Timer(
+            name=name,
+            owner=self.node_id,
+            deadline=self.sim.now + delay,
+            event=event,
+            payload=payload,
+        )
+        self._timers[name] = timer
+        return timer
+
+    def cancel_timer(self, name: str) -> None:
+        """Cancel the named timer if it is armed."""
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
+
+    def cancel_all_timers(self) -> None:
+        """Cancel every armed timer."""
+        for name in list(self._timers):
+            self.cancel_timer(name)
+
+    def timer_armed(self, name: str) -> bool:
+        """True when the named timer is armed and has not fired."""
+        timer = self._timers.get(name)
+        return timer is not None and not timer.cancelled
+
+    def _fire_timer(self, name: str) -> None:
+        timer = self._timers.pop(name, None)
+        if timer is None or timer.cancelled or self.crashed or self.role is None:
+            return
+        self.trace.record(self.sim.now, "timeout", site=self.node_id, timer=name)
+        handler = getattr(self.role, "on_timeout", None)
+        if handler is not None:
+            handler(timer)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash the site: cancel timers, drop future messages until recovery."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.cancel_all_timers()
+        self.trace.record(self.sim.now, "crash", site=self.node_id)
+        if self.role is not None:
+            hook = getattr(self.role, "on_crash", None)
+            if hook is not None:
+                hook()
+
+    def recover(self) -> None:
+        """Recover the site and notify the role."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.trace.record(self.sim.now, "recover", site=self.node_id)
+        if self.role is not None:
+            hook = getattr(self.role, "on_recover", None)
+            if hook is not None:
+                hook()
+
+    # ------------------------------------------------------------------
+    # trace helpers used by roles
+    # ------------------------------------------------------------------
+    def note(self, category: str, **detail: Any) -> None:
+        """Record a role-level trace entry attributed to this site."""
+        self.trace.record(self.sim.now, category, site=self.node_id, **detail)
+
+    @staticmethod
+    def describe(payload: Any) -> str:
+        """Human-readable payload description (re-exported for roles)."""
+        return describe_payload(payload)
+
+
+def is_undeliverable(payload: Any) -> bool:
+    """True when ``payload`` is a bounced message (the paper's ``UD(msg)``)."""
+    return isinstance(payload, Undeliverable)

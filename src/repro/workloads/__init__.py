@@ -1,0 +1,24 @@
+"""Workload generation: transactions, partition schedules and sweeps."""
+
+from repro.workloads.partitions import (
+    random_partition_schedule,
+    random_simple_split,
+    random_transient_schedule,
+)
+from repro.workloads.sweeps import ParameterSweep, cartesian
+from repro.workloads.transactions import (
+    TransactionMix,
+    WorkloadConfig,
+    generate_transactions,
+)
+
+__all__ = [
+    "ParameterSweep",
+    "TransactionMix",
+    "WorkloadConfig",
+    "cartesian",
+    "generate_transactions",
+    "random_partition_schedule",
+    "random_simple_split",
+    "random_transient_schedule",
+]

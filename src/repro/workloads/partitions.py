@@ -1,0 +1,52 @@
+"""Random partition-schedule generation for stress sweeps."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim.partition import PartitionSchedule, PartitionSpec
+
+
+def random_simple_split(
+    n_sites: int, rng: random.Random, *, master: int = 1
+) -> PartitionSpec:
+    """A random simple split keeping ``master`` in the first group."""
+    slaves = [site for site in range(1, n_sites + 1) if site != master]
+    size = rng.randint(1, len(slaves))
+    g2 = rng.sample(slaves, size)
+    g1 = [site for site in range(1, n_sites + 1) if site not in g2]
+    return PartitionSpec.simple(g1, g2)
+
+
+def random_partition_schedule(
+    n_sites: int,
+    *,
+    seed: int = 0,
+    earliest: float = 0.25,
+    latest: float = 8.0,
+    master: int = 1,
+) -> PartitionSchedule:
+    """A permanent simple partition at a random onset time and split."""
+    rng = random.Random(seed)
+    at = rng.uniform(earliest, latest)
+    return PartitionSchedule.permanent(at, random_simple_split(n_sites, rng, master=master))
+
+
+def random_transient_schedule(
+    n_sites: int,
+    *,
+    seed: int = 0,
+    earliest: float = 0.25,
+    latest: float = 8.0,
+    min_duration: float = 0.5,
+    max_duration: float = 6.0,
+    master: int = 1,
+) -> PartitionSchedule:
+    """A transient simple partition with random onset, duration and split."""
+    rng = random.Random(seed)
+    at = rng.uniform(earliest, latest)
+    duration = rng.uniform(min_duration, max_duration)
+    spec = random_simple_split(n_sites, rng, master=master)
+    g1, g2 = spec.groups
+    return PartitionSchedule.transient(at, at + duration, g1, g2)

@@ -1,0 +1,39 @@
+"""Parameter-sweep helpers used by the benchmarks."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+
+def cartesian(parameters: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """The cartesian product of named parameter ranges as a list of dicts."""
+    if not parameters:
+        return [{}]
+    names = sorted(parameters)
+    combos = itertools.product(*(parameters[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+@dataclass
+class ParameterSweep:
+    """A named sweep over protocol / scenario parameters.
+
+    Attributes:
+        name: label used in reports.
+        parameters: mapping from parameter name to the values to sweep.
+    """
+
+    name: str
+    parameters: dict[str, Sequence[Any]] = field(default_factory=dict)
+
+    def points(self) -> list[dict[str, Any]]:
+        """All combinations of the sweep's parameters."""
+        return cartesian(self.parameters)
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.points())

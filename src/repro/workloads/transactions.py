@@ -1,0 +1,97 @@
+"""Transaction workload generation.
+
+The paper's motivating setting is a distributed database executing many
+concurrent update transactions; the cost of blocking is that other
+transactions cannot reach the data a blocked transaction holds locked.  The
+generators below build streams of update transactions over a configurable
+keyspace so the availability experiment can measure that cost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.db.transactions import Operation, Transaction
+
+
+@dataclass(frozen=True)
+class TransactionMix:
+    """Shape of generated transactions.
+
+    Attributes:
+        read_fraction: fraction of operations that are reads.
+        operations_per_site: data operations a transaction performs at each
+            participating site.
+    """
+
+    read_fraction: float = 0.2
+    operations_per_site: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read_fraction must be in [0, 1]: {self.read_fraction}")
+        if self.operations_per_site < 1:
+            raise ValueError("operations_per_site must be at least 1")
+
+
+@dataclass
+class WorkloadConfig:
+    """Configuration of a generated transaction stream.
+
+    Attributes:
+        n_sites: sites in the system (site 1 is always a possible master).
+        n_transactions: number of transactions to generate.
+        keys: keyspace to draw keys from.
+        participants_per_transaction: how many sites each transaction touches
+            (``None`` means all of them).
+        mix: read/write shape of each transaction.
+        master: coordinating site for every transaction.
+        seed: RNG seed; generation is deterministic given the config.
+    """
+
+    n_sites: int = 3
+    n_transactions: int = 10
+    keys: Sequence[str] = ("account-1", "account-2", "account-3", "account-4")
+    participants_per_transaction: Optional[int] = None
+    mix: TransactionMix = field(default_factory=TransactionMix)
+    master: int = 1
+    seed: int = 0
+
+
+def generate_transactions(config: WorkloadConfig) -> list[Transaction]:
+    """Generate a deterministic list of transactions for ``config``."""
+    rng = random.Random(config.seed)
+    transactions = []
+    for index in range(config.n_transactions):
+        transactions.append(_one_transaction(config, rng, index))
+    return transactions
+
+
+def _one_transaction(config: WorkloadConfig, rng: random.Random, index: int) -> Transaction:
+    sites = list(range(1, config.n_sites + 1))
+    if config.participants_per_transaction is None or config.participants_per_transaction >= len(sites):
+        participants = sites
+    else:
+        count = max(2, config.participants_per_transaction)
+        others = [site for site in sites if site != config.master]
+        participants = [config.master] + sorted(rng.sample(others, count - 1))
+    operations: list[Operation] = []
+    for site in participants:
+        for _ in range(config.mix.operations_per_site):
+            key = rng.choice(list(config.keys))
+            if rng.random() < config.mix.read_fraction:
+                operations.append(Operation.read(site, key))
+            else:
+                operations.append(Operation.write(site, key, f"value-{index}-{site}"))
+    return Transaction.create(
+        config.master,
+        operations,
+        transaction_id=f"workload-txn-{index + 1}",
+    )
+
+
+def transaction_stream(config: WorkloadConfig) -> Iterator[Transaction]:
+    """Lazily yield the transactions of :func:`generate_transactions`."""
+    yield from generate_transactions(config)

@@ -1,0 +1,115 @@
+"""Tests for the Section 6 case constructions and classification."""
+
+import math
+
+import pytest
+
+from repro.analysis.cases import build_case_scenario, classify_run, section6_cases
+from repro.analysis.timing import measure_wait_after_timeout_in_p
+from repro.core.transient import PartitionCase, worst_case_wait
+from repro.protocols.registry import create_protocol
+from repro.protocols.runner import run_scenario
+
+ALL_CASES = list(PartitionCase)
+
+
+@pytest.fixture(scope="module")
+def executed_cases():
+    """Run every constructed case once under both protocol variants."""
+    outcomes = {}
+    for case in ALL_CASES:
+        scenario = build_case_scenario(case)
+        plain = run_scenario(
+            create_protocol("terminating-three-phase-commit-no-transient"), scenario.spec
+        )
+        transient = run_scenario(
+            create_protocol("terminating-three-phase-commit"), scenario.spec
+        )
+        outcomes[case] = (scenario, plain, transient)
+    return outcomes
+
+
+class TestCaseConstructions:
+    def test_section6_cases_covers_every_case(self):
+        scenarios = section6_cases()
+        assert {s.case for s in scenarios} == set(ALL_CASES)
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            build_case_scenario("not-a-case")  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("case", ALL_CASES, ids=lambda c: c.label)
+    def test_each_construction_realizes_its_case(self, executed_cases, case):
+        scenario, plain, _ = executed_cases[case]
+        assert classify_run(plain) is case, scenario.description
+
+    @pytest.mark.parametrize("case", ALL_CASES, ids=lambda c: c.label)
+    def test_transient_rule_keeps_every_case_consistent(self, executed_cases, case):
+        _, _, transient = executed_cases[case]
+        assert not transient.atomicity_violated
+        assert not transient.blocked
+
+    def test_only_case_3222_blocks_the_section5_protocol(self, executed_cases):
+        blocked_cases = {
+            case for case, (_, plain, _) in executed_cases.items() if plain.blocked
+        }
+        assert blocked_cases == {PartitionCase.ALL_PREPARE_COMMIT_LOST_PROBES_PASS}
+
+    def test_no_case_violates_atomicity(self, executed_cases):
+        for case, (_, plain, transient) in executed_cases.items():
+            assert not plain.atomicity_violated, case.label
+            assert not transient.atomicity_violated, case.label
+
+    def test_case_3222_commit_matches_the_other_sites(self, executed_cases):
+        _, _, transient = executed_cases[PartitionCase.ALL_PREPARE_COMMIT_LOST_PROBES_PASS]
+        assert transient.all_committed
+
+    def test_bounded_cases_terminate_within_five_t_or_window(self, executed_cases):
+        """The correctness-critical fact behind the Section 6 rule: in every
+        case other than 3.2.2.2 the G2 slaves that timed out in p hear
+        something before the 5T fallback would fire."""
+        g2_bound = 5.0
+        for case, (scenario, plain, _) in executed_cases.items():
+            if case is PartitionCase.ALL_PREPARE_COMMIT_LOST_PROBES_PASS:
+                continue
+            unit = scenario.spec.effective_latency().upper_bound
+            g2 = set()
+            schedule = scenario.spec.partition
+            if schedule is not None and len(schedule):
+                first = next(iter(schedule))
+                if first.spec is not None:
+                    g2 = set(first.spec.remote_partition(1))
+            waits = measure_wait_after_timeout_in_p(plain)
+            for site, wait in waits.items():
+                if site in g2:
+                    assert not math.isinf(wait), case.label
+                    assert wait / unit <= g2_bound + 1e-9, (case.label, site, wait)
+
+    def test_paper_bound_table_shape(self):
+        """The ordering of the paper's bounds (T < 4T < 5T < inf) is preserved."""
+        assert worst_case_wait(PartitionCase.SOME_PREPARE_SOME_NOT_ACK_LOST) < worst_case_wait(
+            PartitionCase.SOME_PREPARE_PROBE_LOST
+        )
+        assert worst_case_wait(PartitionCase.SOME_PREPARE_PROBE_LOST) < worst_case_wait(
+            PartitionCase.SOME_PREPARE_PROBES_PASS
+        )
+        assert math.isinf(
+            worst_case_wait(PartitionCase.ALL_PREPARE_COMMIT_LOST_PROBES_PASS)
+        )
+
+
+class TestClassification:
+    def test_failure_free_run_classifies_as_all_commit_case(self):
+        result = run_scenario(
+            create_protocol("terminating-three-phase-commit"),
+            build_case_scenario(PartitionCase.ALL_PREPARE_ALL_COMMIT_PASS).spec,
+        )
+        assert classify_run(result) is PartitionCase.ALL_PREPARE_ALL_COMMIT_PASS
+
+    def test_run_without_partition_classifies_as_all_commit_case(self):
+        from repro.protocols.runner import ScenarioSpec
+
+        result = run_scenario(
+            create_protocol("terminating-three-phase-commit"), ScenarioSpec(n_sites=3)
+        )
+        assert classify_run(result) is PartitionCase.ALL_PREPARE_ALL_COMMIT_PASS

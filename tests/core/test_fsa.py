@@ -1,0 +1,183 @@
+"""Tests for the formal FSA model and the protocol catalogue."""
+
+import pytest
+
+from repro.core import messages as m
+from repro.core.catalog import (
+    CATALOG,
+    by_name,
+    four_phase_commit,
+    modified_three_phase_commit,
+    quorum_commit,
+    three_phase_commit,
+    two_phase_commit,
+)
+from repro.core.fsa import (
+    CommitProtocolSpec,
+    MASTER,
+    MASTER_ROLE,
+    ProtocolSpecError,
+    ReadSpec,
+    RoleAutomaton,
+    SendSpec,
+    SLAVE_ROLE,
+    Transition,
+    role_automaton,
+)
+
+
+class TestSpecValidation:
+    def test_read_spec_rejects_unknown_source(self):
+        with pytest.raises(ProtocolSpecError):
+            ReadSpec("yes", "nobody")
+
+    def test_send_spec_rejects_unknown_target(self):
+        with pytest.raises(ProtocolSpecError):
+            SendSpec("yes", "nobody")
+
+    def test_role_automaton_rejects_unknown_role(self):
+        with pytest.raises(ProtocolSpecError):
+            role_automaton(
+                "observer",
+                initial="q",
+                transitions=[],
+                commit_states=[],
+                abort_states=[],
+                yes_vote_states=[],
+            )
+
+    def test_role_automaton_rejects_commit_abort_overlap(self):
+        with pytest.raises(ProtocolSpecError):
+            RoleAutomaton(
+                role=MASTER_ROLE,
+                initial="q",
+                states=frozenset({"q", "x"}),
+                transitions=(),
+                commit_states=frozenset({"x"}),
+                abort_states=frozenset({"x"}),
+                yes_vote_states=frozenset(),
+            )
+
+    def test_role_automaton_rejects_unknown_named_state(self):
+        with pytest.raises(ProtocolSpecError):
+            RoleAutomaton(
+                role=MASTER_ROLE,
+                initial="q",
+                states=frozenset({"q"}),
+                transitions=(),
+                commit_states=frozenset({"zz"}),
+                abort_states=frozenset(),
+                yes_vote_states=frozenset(),
+            )
+
+    def test_protocol_spec_role_mismatch_rejected(self):
+        master = two_phase_commit().master
+        with pytest.raises(ProtocolSpecError):
+            CommitProtocolSpec(name="bad", master=master, slave=master)
+
+    def test_automaton_lookup_by_role(self):
+        spec = two_phase_commit()
+        assert spec.automaton(MASTER_ROLE) is spec.master
+        assert spec.automaton(SLAVE_ROLE) is spec.slave
+        with pytest.raises(ProtocolSpecError):
+            spec.automaton("bogus")
+
+
+class TestAutomatonQueries:
+    def test_final_states_union(self):
+        slave = three_phase_commit().slave
+        assert slave.final_states == frozenset({m.COMMITTED, m.ABORTED})
+        assert slave.is_final(m.COMMITTED)
+        assert not slave.is_final(m.WAIT)
+
+    def test_transitions_from(self):
+        slave = three_phase_commit().slave
+        sources = {t.target for t in slave.transitions_from(m.WAIT)}
+        assert sources == {m.PREPARED, m.ABORTED}
+
+    def test_transitions_reading_and_sending(self):
+        master = three_phase_commit().master
+        assert len(master.transitions_reading(m.YES)) == 1
+        assert len(master.transitions_sending(m.PREPARE)) == 1
+
+    def test_successors(self):
+        master = two_phase_commit().master
+        assert master.successors(m.WAIT) == frozenset({m.COMMITTED, m.ABORTED})
+
+    def test_adjacent_to_commit(self):
+        master = three_phase_commit().master
+        assert master.adjacent_to_commit() == frozenset({m.PREPARED})
+
+    def test_message_kinds(self):
+        kinds = two_phase_commit().message_kinds()
+        assert kinds == frozenset({m.REQUEST, m.XACT, m.YES, m.NO, m.COMMIT, m.ABORT})
+
+    def test_local_states_cover_both_roles(self):
+        pairs = two_phase_commit().local_states()
+        assert (MASTER_ROLE, m.WAIT) in pairs
+        assert (SLAVE_ROLE, m.WAIT) in pairs
+
+    def test_transition_str_is_readable(self):
+        transition = Transition(
+            source="w",
+            read=ReadSpec(m.COMMIT, MASTER),
+            sends=(),
+            target="c",
+        )
+        text = str(transition)
+        assert "w" in text and "c" in text and m.COMMIT in text
+
+
+class TestCatalog:
+    def test_all_catalogued_protocols_build(self):
+        for name in CATALOG:
+            spec = by_name(name)
+            assert spec.name == name
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            by_name("paxos")
+
+    def test_two_phase_has_no_prepare(self):
+        assert m.PREPARE not in two_phase_commit().message_kinds()
+
+    def test_three_phase_has_prepare_and_ack(self):
+        kinds = three_phase_commit().message_kinds()
+        assert m.PREPARE in kinds
+        assert m.ACK in kinds
+
+    def test_modified_three_phase_adds_w_to_c_transition(self):
+        base = three_phase_commit().slave
+        modified = modified_three_phase_commit().slave
+        def commit_reads_from_w(automaton):
+            return [
+                t
+                for t in automaton.transitions_from(m.WAIT)
+                if t.read.kind == m.COMMIT and t.target == m.COMMITTED
+            ]
+        assert not commit_reads_from_w(base)
+        assert len(commit_reads_from_w(modified)) == 1
+
+    def test_modified_three_phase_master_unchanged(self):
+        assert modified_three_phase_commit().master == three_phase_commit().master
+
+    def test_quorum_uses_pre_commit(self):
+        kinds = quorum_commit().message_kinds()
+        assert m.PRE_COMMIT in kinds
+        assert m.PREPARE not in kinds
+
+    def test_four_phase_has_both_buffering_messages(self):
+        kinds = four_phase_commit().message_kinds()
+        assert m.PRE_COMMIT in kinds
+        assert m.PREPARE in kinds
+
+    def test_slave_initial_state_is_q(self):
+        for name in CATALOG:
+            assert by_name(name).slave.initial == m.INITIAL
+
+    def test_commit_and_abort_states_declared_for_all(self):
+        for name in CATALOG:
+            spec = by_name(name)
+            for automaton in (spec.master, spec.slave):
+                assert automaton.commit_states
+                assert automaton.abort_states

@@ -1,0 +1,99 @@
+"""Tests for Theorem 10's generic termination construction."""
+
+import pytest
+
+from repro.core import messages as m
+from repro.core.catalog import (
+    four_phase_commit,
+    modified_three_phase_commit,
+    quorum_commit,
+    three_phase_commit,
+    two_phase_commit,
+)
+from repro.core.generalize import (
+    GeneralizationError,
+    check_theorem10_conditions,
+    derive_termination_plan,
+)
+
+
+class TestDerivePlan:
+    def test_three_phase_plan_uses_prepare(self):
+        plan = derive_termination_plan(three_phase_commit(), 3)
+        assert plan.promotion_message == m.PREPARE
+        assert plan.acknowledgement == m.ACK
+        assert plan.noncommittable_state == m.WAIT
+        assert plan.committable_state == m.PREPARED
+
+    def test_quorum_plan_uses_pre_commit(self):
+        plan = derive_termination_plan(quorum_commit(), 3)
+        assert plan.promotion_message == m.PRE_COMMIT
+        assert plan.acknowledgement == m.ACK
+        assert plan.committable_state == m.PRE_COMMITTED
+
+    def test_four_phase_plan_picks_first_committable_crossing(self):
+        plan = derive_termination_plan(four_phase_commit(), 3)
+        assert plan.promotion_message == m.PRE_COMMIT
+        assert plan.noncommittable_state == m.WAIT
+
+    def test_two_phase_has_no_plan(self):
+        with pytest.raises(GeneralizationError):
+            derive_termination_plan(two_phase_commit(), 3)
+
+    def test_modified_three_phase_still_finds_prepare(self):
+        """The Fig. 8 w->c transition must not be mistaken for the message m."""
+        plan = derive_termination_plan(modified_three_phase_commit(), 3)
+        assert plan.promotion_message == m.PREPARE
+
+
+class TestTheorem10Conditions:
+    def test_three_phase_applicable(self):
+        report = check_theorem10_conditions(three_phase_commit(), 3)
+        assert report.structural_conditions_hold
+        assert report.environment_conditions_hold
+        assert report.applicable
+        assert report.plan is not None
+
+    def test_quorum_applicable(self):
+        report = check_theorem10_conditions(quorum_commit(), 3)
+        assert report.applicable
+        assert report.plan.promotion_message == m.PRE_COMMIT
+
+    def test_four_phase_applicable(self):
+        assert check_theorem10_conditions(four_phase_commit(), 3).applicable
+
+    def test_two_phase_not_applicable(self):
+        report = check_theorem10_conditions(two_phase_commit(), 3)
+        assert not report.structural_conditions_hold
+        assert not report.applicable
+        assert report.plan is None
+
+    def test_environment_conditions_matter(self):
+        report = check_theorem10_conditions(
+            three_phase_commit(), 3, messages_returned=False
+        )
+        assert report.structural_conditions_hold
+        assert not report.environment_conditions_hold
+        assert not report.applicable
+
+    def test_concurrent_failures_disallowed(self):
+        report = check_theorem10_conditions(
+            three_phase_commit(), 3, no_concurrent_failures=False
+        )
+        assert not report.applicable
+
+    def test_master_failures_disallowed(self):
+        report = check_theorem10_conditions(
+            three_phase_commit(), 3, master_never_fails=False
+        )
+        assert not report.applicable
+
+    def test_commit_adjacency_clean_for_three_phase(self):
+        report = check_theorem10_conditions(three_phase_commit(), 3)
+        assert report.commit_adjacency_violations == []
+
+    def test_modified_three_phase_flags_relay_transition(self):
+        """The w->c relay transition violates the *base-protocol* obligation."""
+        report = check_theorem10_conditions(modified_three_phase_commit(), 3)
+        assert report.commit_adjacency_violations
+        assert not report.applicable

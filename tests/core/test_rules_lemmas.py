@@ -1,0 +1,140 @@
+"""Tests for Rule (a)/(b) augmentation and the Lemma 1/2 checks."""
+
+import pytest
+
+from repro.core import messages as m
+from repro.core.catalog import (
+    four_phase_commit,
+    quorum_commit,
+    three_phase_commit,
+    two_phase_commit,
+)
+from repro.core.concurrency import analyze
+from repro.core.fsa import MASTER_ROLE, SLAVE_ROLE
+from repro.core.lemmas import check_lemma1, check_lemma2, check_nonblocking_conditions
+from repro.core.rules import FinalAction, augment_with_rules
+
+
+class TestRuleA:
+    def test_two_phase_slave_wait_times_out_to_commit(self):
+        """C(w_slave) contains a commit state, so Rule (a) assigns commit."""
+        augmented = augment_with_rules(two_phase_commit(), 3)
+        assert augmented.timeout_target(SLAVE_ROLE, m.WAIT) is FinalAction.COMMIT
+
+    def test_two_phase_master_wait_times_out_to_abort(self):
+        augmented = augment_with_rules(two_phase_commit(), 3)
+        assert augmented.timeout_target(MASTER_ROLE, m.WAIT) is FinalAction.ABORT
+
+    def test_three_phase_slave_wait_times_out_to_abort(self):
+        """Section 3: the timeout transition from w3 should go to the abort state."""
+        augmented = augment_with_rules(three_phase_commit(), 3)
+        assert augmented.timeout_target(SLAVE_ROLE, m.WAIT) is FinalAction.ABORT
+
+    def test_three_phase_slave_prepared_times_out_to_commit(self):
+        """Section 3: the timeout transition from p2 should go to the commit state."""
+        augmented = augment_with_rules(three_phase_commit(), 3)
+        assert augmented.timeout_target(SLAVE_ROLE, m.PREPARED) is FinalAction.COMMIT
+
+    def test_final_states_get_no_timeout_transition(self):
+        augmented = augment_with_rules(three_phase_commit(), 3)
+        assert augmented.timeout_target(SLAVE_ROLE, m.COMMITTED) is None
+        assert augmented.timeout_target(SLAVE_ROLE, m.ABORTED) is None
+        assert augmented.timeout_target(MASTER_ROLE, m.COMMITTED) is None
+
+    def test_initial_states_time_out_to_abort(self):
+        augmented = augment_with_rules(three_phase_commit(), 3)
+        assert augmented.timeout_target(SLAVE_ROLE, m.INITIAL) is FinalAction.ABORT
+        assert augmented.timeout_target(MASTER_ROLE, m.INITIAL) is FinalAction.ABORT
+
+
+class TestRuleB:
+    def test_slave_wait_ud_transition_follows_master_wait_timeout(self):
+        """S(w_slave) = {master:w}; master w times out to abort, so UD -> abort."""
+        augmented = augment_with_rules(two_phase_commit(), 3)
+        assert augmented.undeliverable_target(SLAVE_ROLE, m.WAIT) is FinalAction.ABORT
+
+    def test_master_wait_ud_transition_follows_slave_initial_timeout(self):
+        augmented = augment_with_rules(two_phase_commit(), 3)
+        assert augmented.undeliverable_target(MASTER_ROLE, m.WAIT) is FinalAction.ABORT
+
+    def test_states_that_receive_nothing_get_no_ud_transition(self):
+        augmented = augment_with_rules(two_phase_commit(), 3)
+        # the master's abort state never receives protocol messages
+        assert augmented.undeliverable_target(MASTER_ROLE, m.ABORTED) is None
+
+    def test_three_phase_slave_prepared_ud_follows_master_prepared_timeout(self):
+        augmented = augment_with_rules(three_phase_commit(), 3)
+        master_prepared_timeout = augmented.timeout_target(MASTER_ROLE, m.PREPARED)
+        assert (
+            augmented.undeliverable_target(SLAVE_ROLE, m.PREPARED)
+            is master_prepared_timeout
+        )
+
+    def test_no_ambiguous_states_for_catalogued_protocols(self):
+        for spec in (two_phase_commit(), three_phase_commit(), quorum_commit()):
+            augmented = augment_with_rules(spec, 3)
+            assert augmented.ambiguous == set(), spec.name
+
+    def test_describe_lists_both_kinds_of_transitions(self):
+        augmented = augment_with_rules(two_phase_commit(), 3)
+        text = augmented.describe()
+        assert "timeout -> commit" in text
+        assert "undeliverable -> abort" in text
+
+
+class TestFig2Reproduction:
+    """The full Rule (a)/(b) table for 2PC with two sites (Fig. 2)."""
+
+    @pytest.fixture(scope="class")
+    def augmented(self):
+        return augment_with_rules(two_phase_commit(), 2)
+
+    def test_master_annotations(self, augmented):
+        assert augmented.timeout_target(MASTER_ROLE, m.INITIAL) is FinalAction.ABORT
+        assert augmented.timeout_target(MASTER_ROLE, m.WAIT) is FinalAction.ABORT
+        assert augmented.undeliverable_target(MASTER_ROLE, m.WAIT) is FinalAction.ABORT
+
+    def test_slave_annotations(self, augmented):
+        assert augmented.timeout_target(SLAVE_ROLE, m.INITIAL) is FinalAction.ABORT
+        assert augmented.timeout_target(SLAVE_ROLE, m.WAIT) is FinalAction.COMMIT
+        assert augmented.undeliverable_target(SLAVE_ROLE, m.WAIT) is FinalAction.ABORT
+
+
+class TestLemmas:
+    def test_two_phase_violates_lemma1_at_slave_wait(self):
+        analysis = analyze(two_phase_commit(), 3)
+        assert (SLAVE_ROLE, m.WAIT) in check_lemma1(analysis)
+
+    def test_two_phase_violates_lemma2_at_slave_wait(self):
+        analysis = analyze(two_phase_commit(), 3)
+        assert (SLAVE_ROLE, m.WAIT) in check_lemma2(analysis)
+
+    def test_three_phase_satisfies_both_lemmas(self):
+        report = check_nonblocking_conditions(three_phase_commit(), 3)
+        assert report.satisfies_lemma1
+        assert report.satisfies_lemma2
+        assert report.satisfies_both
+
+    def test_quorum_and_four_phase_satisfy_both_lemmas(self):
+        for spec in (quorum_commit(), four_phase_commit()):
+            report = check_nonblocking_conditions(spec, 3)
+            assert report.satisfies_both, spec.name
+
+    def test_two_phase_report_summary_mentions_violation(self):
+        report = check_nonblocking_conditions(two_phase_commit(), 3)
+        assert not report.satisfies_both
+        assert "violates" in report.summary()
+
+    def test_three_phase_report_summary_mentions_satisfies(self):
+        report = check_nonblocking_conditions(three_phase_commit(), 3)
+        assert "satisfies" in report.summary()
+
+    @pytest.mark.parametrize("n_sites", [2, 3, 4, 5])
+    def test_verdicts_stable_in_number_of_sites(self, n_sites):
+        assert not check_nonblocking_conditions(two_phase_commit(), n_sites).satisfies_both
+        assert check_nonblocking_conditions(three_phase_commit(), n_sites).satisfies_both
+
+    def test_reports_reuse_precomputed_analysis(self):
+        analysis = analyze(three_phase_commit(), 3)
+        report = check_nonblocking_conditions(three_phase_commit(), 3, analysis=analysis)
+        assert report.satisfies_both

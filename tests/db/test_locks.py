@@ -1,0 +1,139 @@
+"""Tests for the lock manager."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.locks import LockConflict, LockManager, LockMode
+
+
+class TestCompatibility:
+    def test_shared_shared_compatible(self):
+        assert LockMode.SHARED.compatible_with(LockMode.SHARED)
+
+    def test_exclusive_conflicts_with_everything(self):
+        assert not LockMode.EXCLUSIVE.compatible_with(LockMode.SHARED)
+        assert not LockMode.SHARED.compatible_with(LockMode.EXCLUSIVE)
+        assert not LockMode.EXCLUSIVE.compatible_with(LockMode.EXCLUSIVE)
+
+
+class TestAcquireRelease:
+    def test_acquire_grants_lock(self):
+        locks = LockManager(site=1)
+        grant = locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert grant.owner == "t1"
+        assert locks.holds("t1", "x")
+
+    def test_two_readers_share(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED)
+        locks.acquire("t2", "x", LockMode.SHARED)
+        assert len(locks.holders("x")) == 2
+
+    def test_writer_blocks_writer(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflict) as excinfo:
+            locks.acquire("t2", "x", LockMode.EXCLUSIVE)
+        assert excinfo.value.key == "x"
+        assert excinfo.value.holder == "t1"
+
+    def test_writer_blocks_reader(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflict):
+            locks.acquire("t2", "x", LockMode.SHARED)
+
+    def test_reader_blocks_writer(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED)
+        with pytest.raises(LockConflict):
+            locks.acquire("t2", "x", LockMode.EXCLUSIVE)
+
+    def test_reacquire_same_mode_is_noop(self):
+        locks = LockManager(site=1)
+        first = locks.acquire("t1", "x", LockMode.SHARED)
+        second = locks.acquire("t1", "x", LockMode.SHARED)
+        assert first is second
+
+    def test_upgrade_allowed_when_sole_holder(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED)
+        grant = locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert grant.mode is LockMode.EXCLUSIVE
+
+    def test_upgrade_denied_with_other_readers(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED)
+        locks.acquire("t2", "x", LockMode.SHARED)
+        with pytest.raises(LockConflict):
+            locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+
+    def test_exclusive_holder_absorbs_shared_request(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        grant = locks.acquire("t1", "x", LockMode.SHARED)
+        assert grant.mode is LockMode.EXCLUSIVE
+
+    def test_try_acquire_returns_none_on_conflict(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert locks.try_acquire("t2", "x", LockMode.SHARED) is None
+        assert locks.try_acquire("t2", "y", LockMode.SHARED) is not None
+
+    def test_release_all_frees_every_key(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        locks.acquire("t1", "y", LockMode.SHARED)
+        released = locks.release_all("t1")
+        assert released == 2
+        assert locks.locked_keys() == []
+        assert "t1" not in locks.owners()
+
+    def test_release_all_leaves_other_owners(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED)
+        locks.acquire("t2", "x", LockMode.SHARED)
+        locks.release_all("t1")
+        assert locks.holds("t2", "x")
+        assert not locks.holds("t1", "x")
+
+    def test_release_unknown_owner_is_noop(self):
+        locks = LockManager(site=1)
+        assert locks.release_all("ghost") == 0
+
+
+class TestQueriesAndStats:
+    def test_is_available(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED)
+        assert locks.is_available("x", LockMode.SHARED)
+        assert not locks.is_available("x", LockMode.EXCLUSIVE)
+        assert locks.is_available("x", LockMode.EXCLUSIVE, owner="t1")
+
+    def test_len_counts_grants(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED)
+        locks.acquire("t2", "x", LockMode.SHARED)
+        locks.acquire("t1", "y", LockMode.EXCLUSIVE)
+        assert len(locks) == 3
+
+    def test_conflict_and_grant_stats(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        locks.try_acquire("t2", "x", LockMode.EXCLUSIVE)
+        assert locks.stats.grants == 1
+        assert locks.stats.conflicts == 1
+
+    def test_hold_time_accumulates_on_release(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE, now=2.0)
+        locks.release_all("t1", now=7.0)
+        assert locks.stats.total_hold_time == 5.0
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=8, unique=True))
+    def test_property_release_returns_number_of_keys_held(self, keys):
+        locks = LockManager(site=1)
+        for key in keys:
+            locks.acquire("t", key, LockMode.EXCLUSIVE)
+        assert locks.release_all("t") == len(keys)
+        assert len(locks) == 0

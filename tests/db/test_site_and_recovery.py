@@ -1,0 +1,227 @@
+"""Tests for the database site and crash recovery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.recovery import RecoveryManager
+from repro.db.site import DatabaseSite, SiteState
+from repro.db.storage import KeyValueStore
+from repro.db.transactions import Operation, Transaction, TransactionStatus
+from repro.db.wal import WriteAheadLog
+
+
+def update_txn(txn_id="t1", value=100):
+    return Transaction.simple_update(1, [1, 2], "balance", value, transaction_id=txn_id)
+
+
+class TestExecuteAndVote:
+    def test_execute_votes_yes_and_acquires_locks(self):
+        site = DatabaseSite(1)
+        vote = site.execute(update_txn(), now=0.0)
+        assert vote == "yes"
+        assert site.holds_locks("t1")
+        assert site.vote("t1") == "yes"
+
+    def test_execute_votes_no_on_lock_conflict(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn("t1"))
+        vote = site.execute(update_txn("t2"))
+        assert vote == "no"
+        assert not site.holds_locks("t2")
+
+    def test_execute_records_begin_and_vote_in_wal(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        kinds = [record.kind.value for record in site.wal]
+        assert kinds == ["begin", "vote"]
+
+    def test_execute_with_reads_takes_shared_locks(self):
+        site = DatabaseSite(2, initial_data={"x": 1})
+        txn = Transaction.create(1, [Operation.read(2, "x")], transaction_id="r1")
+        assert site.execute(txn) == "yes"
+        assert site.holds_locks("r1")
+
+    def test_execute_after_decision_rejected(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        site.commit("t1")
+        with pytest.raises(ValueError):
+            site.execute(update_txn("t1"))
+
+
+class TestCommitAbort:
+    def test_commit_applies_writes_and_releases_locks(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn(value=250))
+        site.commit("t1", now=3.0)
+        assert site.value("balance") == 250
+        assert not site.holds_locks("t1")
+        assert site.decision("t1") == "commit"
+        assert site.status("t1") is TransactionStatus.COMMITTED
+
+    def test_abort_discards_writes_and_releases_locks(self):
+        site = DatabaseSite(1, initial_data={"balance": 10})
+        site.execute(update_txn(value=999))
+        site.abort("t1")
+        assert site.value("balance") == 10
+        assert not site.holds_locks("t1")
+        assert site.decision("t1") == "abort"
+
+    def test_commit_is_idempotent(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        site.commit("t1")
+        site.commit("t1")
+        assert site.decision("t1") == "commit"
+
+    def test_abort_is_idempotent(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        site.abort("t1")
+        site.abort("t1")
+        assert site.decision("t1") == "abort"
+
+    def test_commit_after_abort_raises(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        site.abort("t1")
+        with pytest.raises(ValueError):
+            site.commit("t1")
+
+    def test_abort_after_commit_raises(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        site.commit("t1")
+        with pytest.raises(ValueError):
+            site.abort("t1")
+
+    def test_abort_without_execute_is_recorded(self):
+        """A site may be told to abort a transaction it never voted on."""
+        site = DatabaseSite(1)
+        site.abort("ghost")
+        assert site.decision("ghost") == "abort"
+
+    def test_commit_without_execute_raises(self):
+        site = DatabaseSite(1)
+        with pytest.raises(KeyError):
+            site.commit("ghost")
+
+    def test_mark_blocked(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        site.mark_blocked("t1", now=4.0)
+        assert site.status("t1") is TransactionStatus.BLOCKED
+        # locks are retained while blocked -- the paper's availability cost
+        assert site.holds_locks("t1")
+
+
+class TestPrepare:
+    def test_prepare_journals_writes(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn(value=77))
+        site.prepare("t1", now=1.0)
+        assert site.wal.prepared_writes("t1") == {"balance": 77}
+        assert site.status("t1") is TransactionStatus.PREPARED
+
+    def test_prepare_unknown_transaction_raises(self):
+        site = DatabaseSite(1)
+        with pytest.raises(KeyError):
+            site.prepare("nope")
+
+
+class TestCrashRecovery:
+    def test_crash_loses_volatile_state(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        site.crash()
+        assert site.state is SiteState.CRASHED
+        assert not site.holds_locks("t1")
+        with pytest.raises(RuntimeError):
+            site.execute(update_txn("t2"))
+
+    def test_recover_redoes_committed_transaction(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn(value=500))
+        site.wal.log_commit("t1", {"balance": 500})  # decision durable...
+        site.crash()  # ...but crash before apply
+        report = site.recover()
+        assert "t1" in report.redone
+        assert site.value("balance") == 500
+        assert site.decision("t1") == "commit"
+
+    def test_recover_reports_aborted_transaction(self):
+        site = DatabaseSite(1, initial_data={"balance": 1})
+        site.execute(update_txn(value=2))
+        site.wal.log_abort("t1")
+        site.crash()
+        report = site.recover()
+        assert "t1" in report.aborted
+        assert site.value("balance") == 1
+
+    def test_recover_leaves_undecided_transaction_in_doubt(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        site.prepare("t1")
+        site.crash()
+        report = site.recover()
+        assert report.in_doubt == ["t1"]
+        assert site.decision("t1") is None
+
+    def test_recover_after_full_commit_reports_already_applied(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn(value=5))
+        site.commit("t1")
+        site.crash()
+        report = site.recover()
+        assert report.already_applied == ["t1"]
+        assert site.value("balance") == 5
+
+    def test_redo_is_idempotent_across_repeated_recoveries(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn(value=123))
+        site.wal.log_commit("t1", {"balance": 123})
+        site.crash()
+        site.recover()
+        site.crash()
+        report = site.recover()
+        assert report.already_applied == ["t1"]
+        assert site.value("balance") == 123
+
+    def test_report_total(self):
+        site = DatabaseSite(1)
+        site.execute(update_txn())
+        site.wal.log_commit("t1", {"balance": 100})
+        site.crash()
+        report = site.recover()
+        assert report.total_transactions == 1
+
+
+class TestRecoveryManagerDirect:
+    def test_needs_redo(self):
+        wal = WriteAheadLog(1)
+        store = KeyValueStore()
+        manager = RecoveryManager(1, wal, store)
+        wal.log_commit("t1", {"x": 1})
+        assert manager.needs_redo("t1")
+        store.apply("t1", {"x": 1})
+        assert not manager.needs_redo("t1")
+        assert not manager.needs_redo("unknown")
+
+    def test_in_doubt_transactions(self):
+        wal = WriteAheadLog(1)
+        manager = RecoveryManager(1, wal, KeyValueStore())
+        wal.log_begin("a")
+        wal.log_commit("b", {})
+        assert manager.in_doubt_transactions() == ["a"]
+
+    @given(st.dictionaries(st.sampled_from(["k1", "k2", "k3"]), st.integers(), min_size=1))
+    def test_property_recover_then_recover_is_stable(self, writes):
+        wal = WriteAheadLog(1)
+        store = KeyValueStore()
+        manager = RecoveryManager(1, wal, store)
+        wal.log_prepare("t", writes)
+        wal.log_commit("t", writes)
+        manager.recover()
+        first = store.snapshot()
+        manager.recover()
+        assert store.snapshot() == first

@@ -1,0 +1,120 @@
+"""Tests for the versioned key-value store."""
+
+from hypothesis import given, strategies as st
+
+from repro.db.storage import KeyValueStore
+
+
+class TestBasicOperations:
+    def test_empty_store(self):
+        store = KeyValueStore()
+        assert len(store) == 0
+        assert store.get("x") is None
+        assert store.get("x", 7) == 7
+        assert "x" not in store
+
+    def test_initial_data(self):
+        store = KeyValueStore({"a": 1, "b": 2})
+        assert store.get("a") == 1
+        assert store.get("b") == 2
+        assert store.keys() == ["a", "b"]
+
+    def test_initial_data_not_attributed_to_a_transaction(self):
+        store = KeyValueStore({"a": 1})
+        assert store.applied_transactions == frozenset()
+
+    def test_apply_installs_writes(self):
+        store = KeyValueStore()
+        assert store.apply("t1", {"x": 10, "y": 20})
+        assert store.get("x") == 10
+        assert store.get("y") == 20
+        assert store.applied("t1")
+
+    def test_apply_is_idempotent(self):
+        store = KeyValueStore()
+        store.apply("t1", {"x": 1})
+        store.apply("t2", {"x": 2})
+        # Re-applying t1 (e.g. during recovery redo) must not clobber t2.
+        assert not store.apply("t1", {"x": 1})
+        assert store.get("x") == 2
+
+    def test_snapshot_is_a_copy(self):
+        store = KeyValueStore({"a": 1})
+        snap = store.snapshot()
+        snap["a"] = 99
+        assert store.get("a") == 1
+
+    def test_contains(self):
+        store = KeyValueStore()
+        store.apply("t", {"k": None})
+        assert "k" in store
+
+
+class TestHistory:
+    def test_history_tracks_versions_in_order(self):
+        store = KeyValueStore()
+        store.apply("t1", {"x": 1})
+        store.apply("t2", {"x": 2})
+        history = store.history("x")
+        assert [v.value for v in history] == [1, 2]
+        assert [v.transaction_id for v in history] == ["t1", "t2"]
+
+    def test_history_of_unknown_key_is_empty(self):
+        assert KeyValueStore().history("nope") == ()
+
+    def test_sequence_numbers_increase(self):
+        store = KeyValueStore()
+        store.apply("t1", {"a": 1, "b": 2})
+        sequences = [v.sequence for key in ("a", "b") for v in store.history(key)]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+
+class TestComparison:
+    def test_same_contents_full(self):
+        a = KeyValueStore({"x": 1})
+        b = KeyValueStore({"x": 1})
+        assert a.same_contents(b)
+        b.apply("t", {"x": 2})
+        assert not a.same_contents(b)
+
+    def test_same_contents_on_selected_keys(self):
+        a = KeyValueStore({"x": 1, "y": 5})
+        b = KeyValueStore({"x": 1, "y": 6})
+        assert a.same_contents(b, keys=["x"])
+        assert not a.same_contents(b, keys=["x", "y"])
+
+
+class TestProperties:
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=5), st.integers(), min_size=0, max_size=10
+        )
+    )
+    def test_property_apply_reads_back(self, writes):
+        store = KeyValueStore()
+        store.apply("t", writes)
+        for key, value in writes.items():
+            assert store.get(key) == value
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["t1", "t2", "t3"]),
+                st.dictionaries(st.sampled_from(["a", "b"]), st.integers(), max_size=2),
+            ),
+            max_size=10,
+        )
+    )
+    def test_property_first_apply_per_transaction_wins(self, batches):
+        """Replaying any prefix of already-applied transactions never changes state."""
+        store = KeyValueStore()
+        applied: dict[str, dict] = {}
+        for txn, writes in batches:
+            if txn not in applied:
+                applied[txn] = dict(writes)
+            store.apply(txn, writes)
+        replay = KeyValueStore()
+        for txn, writes in applied.items():
+            replay.apply(txn, writes)
+        assert store.snapshot() == replay.snapshot()

@@ -1,0 +1,71 @@
+"""Tests for transaction descriptors."""
+
+import pytest
+
+from repro.db.transactions import Operation, OpKind, Transaction, TransactionStatus
+
+
+class TestOperation:
+    def test_read_factory(self):
+        op = Operation.read(2, "x")
+        assert op.kind is OpKind.READ
+        assert op.site == 2
+        assert op.value is None
+
+    def test_write_factory(self):
+        op = Operation.write(3, "y", 42)
+        assert op.kind is OpKind.WRITE
+        assert op.value == 42
+
+    def test_read_with_value_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(site=1, kind=OpKind.READ, key="x", value=1)
+
+
+class TestTransaction:
+    def test_create_generates_unique_ids(self):
+        a = Transaction.create(1)
+        b = Transaction.create(1)
+        assert a.transaction_id != b.transaction_id
+
+    def test_explicit_id_respected(self):
+        txn = Transaction.create(1, transaction_id="my-txn")
+        assert txn.transaction_id == "my-txn"
+
+    def test_participants_include_master(self):
+        txn = Transaction.create(1, [Operation.write(2, "x", 1), Operation.write(3, "x", 1)])
+        assert txn.participants == (1, 2, 3)
+        assert txn.slaves == (2, 3)
+
+    def test_simple_update_touches_all_participants(self):
+        txn = Transaction.simple_update(1, [1, 2, 3], "balance", 100)
+        assert txn.participants == (1, 2, 3)
+        for site in (1, 2, 3):
+            assert txn.writes_at(site) == {"balance": 100}
+
+    def test_writes_at_only_returns_writes(self):
+        txn = Transaction.create(
+            1, [Operation.read(2, "a"), Operation.write(2, "b", 5)]
+        )
+        assert txn.writes_at(2) == {"b": 5}
+        assert txn.read_keys_at(2) == ("a",)
+        assert txn.keys_at(2) == ("a", "b")
+
+    def test_operations_at_filters_by_site(self):
+        txn = Transaction.create(
+            1, [Operation.write(2, "x", 1), Operation.write(3, "y", 2)]
+        )
+        assert len(txn.operations_at(2)) == 1
+        assert len(txn.operations_at(3)) == 1
+        assert txn.operations_at(4) == ()
+
+    def test_str_mentions_id_and_master(self):
+        txn = Transaction.create(1, transaction_id="t9")
+        assert "t9" in str(txn)
+        assert "master=1" in str(txn)
+
+
+class TestTransactionStatus:
+    def test_status_values(self):
+        assert TransactionStatus.COMMITTED.value == "committed"
+        assert TransactionStatus.BLOCKED.value == "blocked"

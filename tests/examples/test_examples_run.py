@@ -1,0 +1,43 @@
+"""Every example script must run cleanly end to end."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLE_SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_without_error(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_reports_consistency(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "consistent" in output
+    assert "ATOMICITY VIOLATED" not in output
+
+
+def test_banking_demo_shows_violation_and_fix(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "banking_partition_demo.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "ATOMICITY VIOLATED" in output
+    assert "termination protocol" in output
+
+
+def test_transient_timeline_mentions_both_outcomes(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "transient_partition_timeline.py"), run_name="__main__"
+    )
+    output = capsys.readouterr().out
+    assert "blocked" in output
+    assert "commits at" in output

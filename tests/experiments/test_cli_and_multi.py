@@ -1,0 +1,71 @@
+"""Tests for the CLI entry point and the multiple-partitioning experiment."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.experiments.multiple_partitioning import run_multiple_partitioning, three_way_splits
+
+
+class TestCli:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "FIG1"]) == 0
+        output = capsys.readouterr().out
+        assert "FIG1" in output
+        assert "Two-phase commit" in output
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "lemma12"]) == 0
+        assert "LEMMA12" in capsys.readouterr().out
+
+    def test_run_multiple_ids(self, capsys):
+        assert main(["run", "FIG1", "SEC7"]) == 0
+        output = capsys.readouterr().out
+        assert "FIG1" in output
+        assert "SEC7" in output
+
+    def test_unknown_id_returns_error(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_every_registered_id_has_a_callable(self):
+        for experiment_id, runner in EXPERIMENTS.items():
+            assert callable(runner), experiment_id
+
+
+class TestThreeWaySplits:
+    def test_requires_three_sites(self):
+        with pytest.raises(ValueError):
+            three_way_splits(2)
+
+    def test_splits_are_multiple_partitions(self):
+        for spec in three_way_splits(4):
+            assert spec.is_multiple
+            assert spec.sites == frozenset({1, 2, 3, 4})
+
+    def test_three_sites_fully_isolated_split_present(self):
+        splits = three_way_splits(3)
+        assert any(len(spec.groups) == 3 and all(len(g) == 1 for g in spec.groups) for spec in splits)
+
+
+class TestMultiplePartitioningExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_multiple_partitioning(times=[1.5, 2.5, 3.5])
+
+    def test_impossibility_reproduced(self, report):
+        for summary in report.details.values():
+            assert not summary.resilient
+
+    def test_violations_rather_than_silent_divergence(self, report):
+        summary = report.details["terminating-three-phase-commit"]
+        assert summary.atomicity_violations > 0
+        assert summary.violation_witnesses
+
+    def test_report_has_one_row_per_protocol(self, report):
+        assert len(report.rows()) == len(report.details)

@@ -1,0 +1,77 @@
+"""Tests for metric collection and text reporting."""
+
+from repro.analysis.timing import TimingMeasurement
+from repro.metrics.collectors import collect, compare_protocols
+from repro.metrics.reporting import format_comparison_table, format_table, format_timing_table
+from repro.protocols.registry import create_protocol
+from repro.protocols.runner import ScenarioSpec, run_scenario
+from repro.sim.partition import PartitionSchedule
+
+
+def run(name, **kwargs):
+    return run_scenario(create_protocol(name), ScenarioSpec(**kwargs))
+
+
+class TestCollect:
+    def test_summary_for_clean_runs(self):
+        results = [run("terminating-three-phase-commit") for _ in range(2)]
+        summary = collect(results)
+        assert summary.runs == 2
+        assert summary.resilient
+        assert summary.commit_rate == 1.0
+        assert summary.mean_messages > 0
+        row = summary.row()
+        assert row["resilient"] == "yes"
+        assert row["violations"] == 0
+
+    def test_summary_flags_violations(self):
+        partition = PartitionSchedule.simple(2.25, [1, 2], [3])
+        results = [run("naive-extended-three-phase-commit", partition=partition)]
+        summary = collect(results)
+        assert not summary.resilient
+        assert summary.row()["resilient"] == "NO"
+
+    def test_compare_protocols_orders_rows(self):
+        batches = {
+            "two-phase-commit": [run("two-phase-commit")],
+            "terminating-three-phase-commit": [run("terminating-three-phase-commit")],
+        }
+        comparison = compare_protocols(batches)
+        assert len(comparison.rows()) == 2
+        assert "terminating-three-phase-commit" in comparison.resilient_protocols()
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        rows = [{"a": 1, "bb": "xx"}, {"a": 22, "bb": "y"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert format_table([], title="nothing") == "nothing"
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "b" in text
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_comparison_table(self):
+        comparison = compare_protocols({"two-phase-commit": [run("two-phase-commit")]})
+        text = format_comparison_table(comparison, title="cmp")
+        assert "cmp" in text
+        assert "two-phase-commit" in text
+
+    def test_format_timing_table_marks_exceeded(self):
+        measurements = [
+            TimingMeasurement(name="ok", measured=1.0, bound=2.0, unit=1.0),
+            TimingMeasurement(name="bad", measured=3.0, bound=2.0, unit=1.0),
+        ]
+        text = format_timing_table(measurements, title="timing")
+        assert "timing" in text
+        assert "NO" in text
+        assert "yes" in text

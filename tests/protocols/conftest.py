@@ -1,0 +1,63 @@
+"""Shared helpers for the protocol test suite."""
+
+import itertools
+
+import pytest
+
+from repro.protocols.registry import create_protocol
+from repro.protocols.runner import ScenarioSpec, run_scenario
+from repro.sim.partition import PartitionSchedule
+
+
+def simple_splits(n_sites):
+    """Every way to split sites 1..n into (G1 containing the master, G2)."""
+    slaves = list(range(2, n_sites + 1))
+    splits = []
+    for k in range(1, len(slaves) + 1):
+        for combo in itertools.combinations(slaves, k):
+            g2 = set(combo)
+            g1 = set(range(1, n_sites + 1)) - g2
+            splits.append((tuple(sorted(g1)), tuple(sorted(g2))))
+    return splits
+
+
+def sweep_partitions(
+    protocol_name,
+    *,
+    n_sites=3,
+    times=None,
+    no_voter_options=(frozenset(),),
+    heal_after=None,
+    horizon=None,
+):
+    """Run a protocol across a grid of partition times, splits and vote patterns."""
+    times = times if times is not None else [0.5 * i for i in range(1, 17)]
+    results = []
+    for at in times:
+        for g1, g2 in simple_splits(n_sites):
+            for no_voters in no_voter_options:
+                if heal_after is None:
+                    partition = PartitionSchedule.simple(at, g1, g2)
+                else:
+                    partition = PartitionSchedule.transient(at, at + heal_after, g1, g2)
+                result = run_scenario(
+                    create_protocol(protocol_name),
+                    ScenarioSpec(
+                        n_sites=n_sites,
+                        partition=partition,
+                        no_voters=no_voters,
+                        horizon=horizon,
+                    ),
+                )
+                results.append(result)
+    return results
+
+
+@pytest.fixture
+def run_simple():
+    """Run a protocol by name in a simple configurable scenario."""
+
+    def _run(name, **kwargs):
+        return run_scenario(create_protocol(name), ScenarioSpec(**kwargs))
+
+    return _run

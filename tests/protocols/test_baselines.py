@@ -1,0 +1,153 @@
+"""Tests for the baseline protocols under partitions.
+
+These pin the paper's negative results:
+
+* plain 2PC and plain 3PC block under partitions (and under master silence);
+* the extended 2PC (Fig. 2) is resilient for two sites but violates
+  atomicity for three or more (Section 3, observation 1);
+* 3PC with Rule (a)/(b) only violates atomicity (Section 3, observation 2,
+  which is the premise of Lemma 3).
+"""
+
+import pytest
+
+from repro.protocols.registry import create_protocol
+from repro.protocols.runner import ScenarioSpec, run_scenario
+from repro.sim.failures import CrashSchedule
+from repro.sim.partition import PartitionSchedule
+
+from tests.protocols.conftest import sweep_partitions
+
+
+class TestPlainTwoPhaseBlocks:
+    def test_blocks_when_partition_separates_a_slave_in_wait(self):
+        partition = PartitionSchedule.simple(1.5, [1, 2], [3])
+        result = run_scenario(
+            create_protocol("two-phase-commit"), ScenarioSpec(n_sites=3, partition=partition)
+        )
+        assert 3 in result.blocked_sites
+
+    def test_blocked_slave_keeps_its_locks(self):
+        """The availability cost the paper's introduction describes."""
+        partition = PartitionSchedule.simple(1.5, [1, 2], [3])
+        result = run_scenario(
+            create_protocol("two-phase-commit"), ScenarioSpec(n_sites=3, partition=partition)
+        )
+        assert result.locks_held_at_end[3]
+
+    def test_blocks_when_master_crashes_after_votes(self):
+        crashes = CrashSchedule.single(1, at=1.5)
+        result = run_scenario(
+            create_protocol("two-phase-commit"), ScenarioSpec(n_sites=3, crashes=crashes)
+        )
+        assert set(result.blocked_sites) >= {2, 3}
+
+    def test_never_violates_atomicity_even_though_it_blocks(self):
+        results = sweep_partitions("two-phase-commit", n_sites=3)
+        assert all(not r.atomicity_violated for r in results)
+        assert any(r.blocked for r in results)
+
+
+class TestPlainThreePhaseBlocks:
+    def test_blocks_under_partition_without_termination_protocol(self):
+        partition = PartitionSchedule.simple(2.5, [1, 2], [3])
+        result = run_scenario(
+            create_protocol("three-phase-commit"), ScenarioSpec(n_sites=3, partition=partition)
+        )
+        assert result.blocked
+
+    def test_never_violates_atomicity(self):
+        results = sweep_partitions("three-phase-commit", n_sites=3)
+        assert all(not r.atomicity_violated for r in results)
+
+    def test_blocking_rate_is_substantial(self):
+        results = sweep_partitions("three-phase-commit", n_sites=3)
+        blocked = sum(1 for r in results if r.blocked)
+        assert blocked > len(results) / 4
+
+
+class TestExtendedTwoPhase:
+    def test_resilient_for_two_sites(self):
+        """Skeen & Stonebraker's result: Rules (a)/(b) suffice for two sites."""
+        results = sweep_partitions(
+            "extended-two-phase-commit",
+            n_sites=2,
+            no_voter_options=(frozenset(), frozenset({2})),
+        )
+        assert all(not r.atomicity_violated for r in results)
+        assert all(not r.blocked for r in results)
+
+    def test_not_resilient_for_three_sites(self):
+        """Section 3, observation 1: multisite partitioning breaks it."""
+        results = sweep_partitions(
+            "extended-two-phase-commit",
+            n_sites=3,
+            no_voter_options=(frozenset(), frozenset({3})),
+        )
+        assert any(r.atomicity_violated for r in results)
+
+    def test_specific_violation_scenario(self):
+        """One slave votes no while the other is separated mid-vote."""
+        partition = PartitionSchedule.simple(2.25, [1, 3], [2])
+        result = run_scenario(
+            create_protocol("extended-two-phase-commit"),
+            ScenarioSpec(n_sites=3, partition=partition, no_voters=frozenset({3})),
+        )
+        assert result.atomicity_violated
+
+    def test_nonblocking_in_every_swept_scenario(self):
+        results = sweep_partitions("extended-two-phase-commit", n_sites=3)
+        assert all(not r.blocked for r in results)
+
+
+class TestNaiveExtendedThreePhase:
+    def test_not_resilient_for_three_sites(self):
+        """Section 3, observation 2: Rule (a)/(b) timeouts are not enough."""
+        results = sweep_partitions("naive-extended-three-phase-commit", n_sites=3)
+        assert any(r.atomicity_violated for r in results)
+
+    def test_prepared_slave_commits_while_waiting_slave_aborts(self):
+        """The exact failure mode quoted in the paper: the slave that received
+        a prepare times out and commits, the one that did not aborts."""
+        partition = PartitionSchedule.simple(2.25, [1, 2], [3])
+        result = run_scenario(
+            create_protocol("naive-extended-three-phase-commit"),
+            ScenarioSpec(n_sites=3, partition=partition),
+        )
+        assert result.atomicity_violated
+        assert 2 in result.committed_sites
+        assert 3 in result.aborted_sites
+
+    def test_violations_persist_at_larger_scales(self):
+        results = sweep_partitions(
+            "naive-extended-three-phase-commit",
+            n_sites=4,
+            times=[1.5, 2.25, 2.5, 3.25],
+        )
+        assert any(r.atomicity_violated for r in results)
+
+    def test_resilient_for_two_sites(self):
+        """With a single slave the rules still work (the defect is multisite)."""
+        results = sweep_partitions(
+            "naive-extended-three-phase-commit",
+            n_sites=2,
+            no_voter_options=(frozenset(), frozenset({2})),
+        )
+        assert all(not r.atomicity_violated for r in results)
+
+
+class TestPessimisticModelImpossibility:
+    """With lost (rather than returned) messages no protocol is resilient --
+    the theorem the paper quotes from Skeen & Stonebraker.  We spot-check that
+    even the terminating protocol degrades (blocks or violates) in that model."""
+
+    def test_terminating_protocol_not_resilient_when_messages_are_lost(self):
+        outcomes = []
+        for at in [0.5, 1.5, 2.25, 2.5, 3.25, 4.5]:
+            partition = PartitionSchedule.simple(at, [1, 2], [3])
+            result = run_scenario(
+                create_protocol("terminating-three-phase-commit"),
+                ScenarioSpec(n_sites=3, partition=partition, model="pessimistic"),
+            )
+            outcomes.append(result)
+        assert any(r.atomicity_violated or r.blocked for r in outcomes)

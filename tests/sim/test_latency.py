@@ -1,0 +1,69 @@
+"""Tests for latency models."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.latency import ConstantLatency, PerLinkLatency, UniformLatency
+
+
+class TestConstantLatency:
+    def test_sample_equals_delay(self):
+        model = ConstantLatency(2.5)
+        assert model.sample(random.Random(0), 1, 2) == 2.5
+
+    def test_upper_bound_equals_delay(self):
+        assert ConstantLatency(3.0).upper_bound == 3.0
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(0.0)
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_default_is_unit_delay(self):
+        assert ConstantLatency().upper_bound == 1.0
+
+
+class TestUniformLatency:
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)
+
+    def test_bounds_exposed(self):
+        model = UniformLatency(0.5, 2.0)
+        assert model.lower_bound == 0.5
+        assert model.upper_bound == 2.0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_samples_within_bounds(self, seed):
+        model = UniformLatency(0.25, 1.0)
+        rng = random.Random(seed)
+        sample = model.sample(rng, 1, 2)
+        assert 0.25 <= sample <= 1.0
+
+    def test_deterministic_given_rng_state(self):
+        model = UniformLatency(0.1, 1.0)
+        assert model.sample(random.Random(7), 1, 2) == model.sample(random.Random(7), 1, 2)
+
+
+class TestPerLinkLatency:
+    def test_override_applies_to_named_link_only(self):
+        model = PerLinkLatency(1.0, {(1, 3): 0.2})
+        rng = random.Random(0)
+        assert model.sample(rng, 1, 3) == 0.2
+        assert model.sample(rng, 3, 1) == 1.0
+        assert model.sample(rng, 1, 2) == 1.0
+
+    def test_upper_bound_is_max_of_default_and_overrides(self):
+        model = PerLinkLatency(1.0, {(1, 2): 3.0})
+        assert model.upper_bound == 3.0
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            PerLinkLatency(0.0, {})
+        with pytest.raises(ValueError):
+            PerLinkLatency(1.0, {(1, 2): -0.5})

@@ -1,0 +1,181 @@
+"""Tests for partition specifications, schedules and the manager."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.partition import (
+    PartitionError,
+    PartitionEvent,
+    PartitionManager,
+    PartitionSchedule,
+    PartitionSpec,
+)
+
+
+class TestPartitionSpec:
+    def test_simple_partition_has_two_groups(self):
+        spec = PartitionSpec.simple([1, 2], [3])
+        assert spec.is_simple
+        assert not spec.is_multiple
+
+    def test_three_groups_is_multiple(self):
+        spec = PartitionSpec.of([1], [2], [3])
+        assert spec.is_multiple
+        assert not spec.is_simple
+
+    def test_simple_constructor_rejects_more_groups(self):
+        with pytest.raises(PartitionError):
+            PartitionSpec.simple([1], [])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionSpec.of([1, 2], [])
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionSpec.of([1, 2], [2, 3])
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionSpec(())
+
+    def test_separated_across_groups(self):
+        spec = PartitionSpec.simple([1, 2], [3, 4])
+        assert spec.separated(1, 3)
+        assert spec.separated(4, 2)
+
+    def test_not_separated_within_group(self):
+        spec = PartitionSpec.simple([1, 2], [3, 4])
+        assert not spec.separated(1, 2)
+        assert not spec.separated(3, 4)
+
+    def test_group_of(self):
+        spec = PartitionSpec.simple([1, 2], [3])
+        assert spec.group_of(1) == frozenset({1, 2})
+        assert spec.group_of(3) == frozenset({3})
+        assert spec.group_of(99) is None
+
+    def test_master_and_remote_partition(self):
+        spec = PartitionSpec.simple([1, 2], [3, 4])
+        assert spec.master_partition(1) == frozenset({1, 2})
+        assert spec.remote_partition(1) == frozenset({3, 4})
+
+    def test_master_partition_unknown_master(self):
+        spec = PartitionSpec.simple([1, 2], [3])
+        with pytest.raises(PartitionError):
+            spec.master_partition(9)
+
+    def test_sites_union(self):
+        spec = PartitionSpec.of([1, 2], [3], [4, 5])
+        assert spec.sites == frozenset({1, 2, 3, 4, 5})
+
+    def test_str_is_readable(self):
+        spec = PartitionSpec.simple([2, 1], [3])
+        assert "1,2" in str(spec)
+        assert "3" in str(spec)
+
+    @given(
+        st.sets(st.integers(min_value=1, max_value=20), min_size=1, max_size=8),
+        st.sets(st.integers(min_value=21, max_value=40), min_size=1, max_size=8),
+    )
+    def test_property_separation_is_symmetric(self, group_a, group_b):
+        spec = PartitionSpec.simple(group_a, group_b)
+        for a in group_a:
+            for b in group_b:
+                assert spec.separated(a, b)
+                assert spec.separated(b, a)
+
+    @given(
+        st.sets(st.integers(min_value=1, max_value=30), min_size=2, max_size=10),
+    )
+    def test_property_same_group_never_separated(self, group):
+        other = {100}
+        spec = PartitionSpec.simple(group, other)
+        members = sorted(group)
+        for a in members:
+            for b in members:
+                assert not spec.separated(a, b)
+
+    @given(
+        st.sets(st.integers(min_value=1, max_value=10), min_size=1, max_size=5),
+        st.sets(st.integers(min_value=11, max_value=20), min_size=1, max_size=5),
+    )
+    def test_property_g1_g2_cover_all_sites(self, group_a, group_b):
+        spec = PartitionSpec.simple(group_a, group_b)
+        master = min(group_a)
+        g1 = spec.master_partition(master)
+        g2 = spec.remote_partition(master)
+        assert g1 | g2 == spec.sites
+        assert not (g1 & g2)
+
+
+class TestPartitionSchedule:
+    def test_none_schedule_is_empty(self):
+        assert len(PartitionSchedule.none()) == 0
+
+    def test_permanent_schedule_has_one_event(self):
+        schedule = PartitionSchedule.simple(2.0, [1, 2], [3])
+        events = list(schedule)
+        assert len(events) == 1
+        assert events[0].time == 2.0
+        assert not events[0].is_heal
+
+    def test_transient_schedule_has_partition_then_heal(self):
+        schedule = PartitionSchedule.transient(2.0, 9.0, [1], [2, 3])
+        events = list(schedule)
+        assert [event.time for event in events] == [2.0, 9.0]
+        assert not events[0].is_heal
+        assert events[1].is_heal
+
+    def test_transient_rejects_heal_before_partition(self):
+        with pytest.raises(PartitionError):
+            PartitionSchedule.transient(5.0, 3.0, [1], [2])
+
+    def test_add_keeps_events_sorted(self):
+        schedule = PartitionSchedule.none()
+        schedule.add(PartitionEvent(5.0, None))
+        schedule.add(PartitionEvent(1.0, PartitionSpec.simple([1], [2])))
+        assert [event.time for event in schedule] == [1.0, 5.0]
+
+
+class TestPartitionManager:
+    def test_initially_connected(self):
+        manager = PartitionManager()
+        assert not manager.partitioned
+        assert not manager.separated(1, 2)
+
+    def test_apply_partition_separates_sites(self):
+        manager = PartitionManager()
+        manager.apply(PartitionSpec.simple([1, 2], [3]))
+        assert manager.partitioned
+        assert manager.separated(1, 3)
+        assert not manager.separated(1, 2)
+
+    def test_heal_restores_connectivity(self):
+        manager = PartitionManager()
+        manager.apply(PartitionSpec.simple([1], [2]))
+        manager.heal()
+        assert not manager.partitioned
+        assert not manager.separated(1, 2)
+
+    def test_site_never_separated_from_itself(self):
+        manager = PartitionManager()
+        manager.apply(PartitionSpec.simple([1], [2]))
+        assert not manager.separated(1, 1)
+        assert not manager.separated(2, 2)
+
+    def test_listeners_invoked_on_change(self):
+        manager = PartitionManager()
+        seen = []
+        manager.subscribe(seen.append)
+        spec = PartitionSpec.simple([1], [2])
+        manager.apply(spec)
+        manager.heal()
+        assert seen == [spec, None]
+
+    def test_history_records_transitions(self):
+        manager = PartitionManager()
+        spec = PartitionSpec.simple([1], [2])
+        manager.apply(spec, at=3.0)
+        manager.heal(at=8.0)
+        assert manager.history == ((3.0, spec), (8.0, None))

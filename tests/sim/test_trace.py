@@ -1,0 +1,83 @@
+"""Tests for the trace container."""
+
+from repro.sim.trace import Trace
+
+
+def build_trace():
+    trace = Trace()
+    trace.record(0.0, "send", site=1, destination=2, payload="xact")
+    trace.record(1.0, "deliver", site=2, source=1, payload="xact")
+    trace.record(1.0, "transition", site=2, state="w")
+    trace.record(2.0, "timeout", site=2, timer="vote")
+    trace.record(3.0, "decision", site=2, outcome="abort")
+    return trace
+
+
+class TestTrace:
+    def test_len_counts_records(self):
+        assert len(build_trace()) == 5
+
+    def test_filter_by_category(self):
+        trace = build_trace()
+        assert len(trace.filter("send")) == 1
+        assert len(trace.filter("deliver")) == 1
+
+    def test_filter_by_site(self):
+        trace = build_trace()
+        assert len(trace.filter(site=2)) == 4
+
+    def test_filter_with_predicate(self):
+        trace = build_trace()
+        late = trace.filter(predicate=lambda r: r.time >= 2.0)
+        assert [r.category for r in late] == ["timeout", "decision"]
+
+    def test_first_and_last(self):
+        trace = build_trace()
+        assert trace.first("transition").get("state") == "w"
+        assert trace.last("decision").get("outcome") == "abort"
+        assert trace.first("nonexistent") is None
+        assert trace.last("nonexistent") is None
+
+    def test_count_with_detail_match(self):
+        trace = build_trace()
+        assert trace.count("decision", outcome="abort") == 1
+        assert trace.count("decision", outcome="commit") == 0
+
+    def test_categories(self):
+        assert build_trace().categories() == {
+            "send",
+            "deliver",
+            "transition",
+            "timeout",
+            "decision",
+        }
+
+    def test_record_returns_entry(self):
+        trace = Trace()
+        entry = trace.record(1.5, "send", site=3, payload="yes")
+        assert entry.time == 1.5
+        assert entry.site == 3
+        assert entry.get("payload") == "yes"
+        assert entry.get("missing", "default") == "default"
+
+    def test_iteration_preserves_order(self):
+        trace = build_trace()
+        times = [record.time for record in trace]
+        assert times == sorted(times)
+
+    def test_merge_combines_and_sorts(self):
+        a = Trace()
+        a.record(2.0, "send", site=1)
+        b = Trace()
+        b.record(1.0, "deliver", site=2)
+        merged = a.merge([b])
+        assert [record.time for record in merged] == [1.0, 2.0]
+        # originals untouched
+        assert len(a) == 1
+        assert len(b) == 1
+
+    def test_records_returns_tuple_snapshot(self):
+        trace = build_trace()
+        snapshot = trace.records()
+        assert isinstance(snapshot, tuple)
+        assert len(snapshot) == 5

@@ -1,0 +1,166 @@
+"""Cross-layer property-based tests.
+
+These tie the layers together: determinism of whole runs, agreement between
+the database state and the protocol decisions, and the headline safety
+property under randomly drawn partition scenarios (including transient ones
+and stochastic latencies).
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.protocols.registry import create_protocol
+from repro.protocols.runner import ScenarioSpec, run_scenario
+from repro.sim.latency import UniformLatency
+from repro.sim.partition import PartitionSchedule
+from repro.workloads.partitions import random_partition_schedule, random_transient_schedule
+
+SLOW = settings(deadline=None, max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+
+
+def run(name, **kwargs):
+    return run_scenario(create_protocol(name), ScenarioSpec(**kwargs))
+
+
+class TestDeterminism:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_same_configuration_same_outcome(self, seed):
+        spec = dict(
+            n_sites=4,
+            partition=random_partition_schedule(4, seed=seed),
+            latency=UniformLatency(0.25, 1.0),
+            seed=seed,
+        )
+        first = run("terminating-three-phase-commit", **spec)
+        second = run("terminating-three-phase-commit", **spec)
+        assert first.decisions == second.decisions
+        assert first.decision_times == second.decision_times
+        assert first.messages_sent == second.messages_sent
+        assert len(first.trace) == len(second.trace)
+
+    def test_different_seeds_can_change_timing_but_not_safety(self):
+        partition = PartitionSchedule.simple(2.3, [1, 2], [3, 4])
+        for seed in range(5):
+            result = run(
+                "terminating-three-phase-commit",
+                n_sites=4,
+                partition=partition,
+                latency=UniformLatency(0.25, 1.0),
+                seed=seed,
+            )
+            assert not result.atomicity_violated
+            assert not result.blocked
+
+
+class TestDatabaseAgreement:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_property_decisions_match_database_state(self, seed):
+        result = run(
+            "terminating-three-phase-commit",
+            n_sites=4,
+            partition=random_partition_schedule(4, seed=seed),
+            seed=seed,
+        )
+        for site, decision in result.decisions.items():
+            db = result.db_sites[site]
+            assert db.decision(result.transaction.transaction_id) == decision
+            if decision == "commit":
+                assert result.values_at_end[site] == result.spec.write_value
+            elif decision == "abort":
+                assert result.values_at_end[site] != result.spec.write_value
+            # terminated sites hold no locks
+            if decision is not None:
+                assert not db.holds_locks(result.transaction.transaction_id)
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_property_wal_contains_durable_decisions(self, seed):
+        result = run(
+            "terminating-three-phase-commit",
+            n_sites=3,
+            partition=random_partition_schedule(3, seed=seed),
+            seed=seed,
+        )
+        for site, decision in result.decisions.items():
+            if decision is None:
+                continue
+            assert result.db_sites[site].wal.decision(result.transaction.transaction_id) == decision
+
+
+class TestTheorem9Randomized:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_property_random_permanent_partitions_are_safe(self, seed):
+        result = run(
+            "terminating-three-phase-commit",
+            n_sites=5,
+            partition=random_partition_schedule(5, seed=seed),
+            seed=seed,
+        )
+        assert not result.atomicity_violated
+        assert not result.blocked
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_property_random_transient_partitions_are_safe(self, seed):
+        result = run(
+            "terminating-three-phase-commit",
+            n_sites=4,
+            partition=random_transient_schedule(4, seed=seed),
+            horizon=80.0,
+            seed=seed,
+        )
+        assert not result.atomicity_violated
+        assert not result.blocked
+
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        no_voter=st.sampled_from([2, 3]),
+    )
+    def test_property_no_voter_forces_global_abort_or_consistency(self, seed, no_voter):
+        result = run(
+            "terminating-three-phase-commit",
+            n_sites=4,
+            partition=random_partition_schedule(4, seed=seed),
+            no_voters=frozenset({no_voter}),
+            seed=seed,
+        )
+        assert not result.atomicity_violated
+        assert not result.blocked
+        # a dissenting vote can never lead to a commit anywhere
+        assert not result.committed_sites
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_property_quorum_construction_matches_three_phase_guarantee(self, seed):
+        partition = random_partition_schedule(4, seed=seed)
+        three_phase = run(
+            "terminating-three-phase-commit", n_sites=4, partition=partition, seed=seed
+        )
+        quorum = run("terminating-quorum-commit", n_sites=4, partition=partition, seed=seed)
+        assert not quorum.atomicity_violated
+        assert not quorum.blocked
+        # both constructions face the same scenario; their *global* verdicts agree
+        assert (len(three_phase.committed_sites) > 0) == (len(quorum.committed_sites) > 0)
+
+
+class TestBaselinesNeverSilentlyDiverge:
+    """Even the broken protocols must fail loudly (mixed decisions), never by
+    installing different values under the same 'commit' decision."""
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    def test_property_committed_stores_always_agree(self, seed):
+        for protocol in ("extended-two-phase-commit", "naive-extended-three-phase-commit"):
+            result = run(
+                protocol,
+                n_sites=3,
+                partition=random_partition_schedule(3, seed=seed),
+                seed=seed,
+            )
+            assert result.stores_agree

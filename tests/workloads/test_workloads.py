@@ -1,0 +1,129 @@
+"""Tests for workload generation and sweep helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.partitions import (
+    random_partition_schedule,
+    random_simple_split,
+    random_transient_schedule,
+)
+from repro.workloads.sweeps import ParameterSweep, cartesian
+from repro.workloads.transactions import (
+    TransactionMix,
+    WorkloadConfig,
+    generate_transactions,
+    transaction_stream,
+)
+
+import random
+
+
+class TestTransactionMix:
+    def test_defaults(self):
+        mix = TransactionMix()
+        assert 0.0 <= mix.read_fraction <= 1.0
+        assert mix.operations_per_site >= 1
+
+    def test_rejects_bad_read_fraction(self):
+        with pytest.raises(ValueError):
+            TransactionMix(read_fraction=1.5)
+
+    def test_rejects_zero_operations(self):
+        with pytest.raises(ValueError):
+            TransactionMix(operations_per_site=0)
+
+
+class TestGenerateTransactions:
+    def test_count_matches_config(self):
+        config = WorkloadConfig(n_transactions=7)
+        assert len(generate_transactions(config)) == 7
+
+    def test_deterministic_given_seed(self):
+        config = WorkloadConfig(n_transactions=5, seed=11)
+        a = generate_transactions(config)
+        b = generate_transactions(config)
+        assert [t.transaction_id for t in a] == [t.transaction_id for t in b]
+        assert [t.participants for t in a] == [t.participants for t in b]
+
+    def test_different_seeds_differ(self):
+        base = WorkloadConfig(
+            n_transactions=20, participants_per_transaction=2, n_sites=5
+        )
+        a = generate_transactions(WorkloadConfig(**{**base.__dict__, "seed": 1}))
+        b = generate_transactions(WorkloadConfig(**{**base.__dict__, "seed": 2}))
+        assert [t.participants for t in a] != [t.participants for t in b]
+
+    def test_all_sites_participate_by_default(self):
+        config = WorkloadConfig(n_sites=4, n_transactions=3)
+        for transaction in generate_transactions(config):
+            assert transaction.participants == (1, 2, 3, 4)
+
+    def test_partial_participation_respects_master(self):
+        config = WorkloadConfig(
+            n_sites=6, n_transactions=10, participants_per_transaction=3, seed=4
+        )
+        for transaction in generate_transactions(config):
+            assert transaction.master == 1
+            assert 1 in transaction.participants
+            assert len(transaction.participants) == 3
+
+    def test_keys_drawn_from_configured_keyspace(self):
+        config = WorkloadConfig(keys=("k1", "k2"), n_transactions=5)
+        for transaction in generate_transactions(config):
+            for operation in transaction.operations:
+                assert operation.key in ("k1", "k2")
+
+    def test_read_fraction_zero_generates_only_writes(self):
+        config = WorkloadConfig(
+            mix=TransactionMix(read_fraction=0.0), n_transactions=5
+        )
+        for transaction in generate_transactions(config):
+            assert all(op.kind.value == "write" for op in transaction.operations)
+
+    def test_stream_matches_list(self):
+        config = WorkloadConfig(n_transactions=4)
+        assert [t.transaction_id for t in transaction_stream(config)] == [
+            t.transaction_id for t in generate_transactions(config)
+        ]
+
+
+class TestRandomPartitions:
+    def test_random_split_keeps_master_in_g1(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            spec = random_simple_split(5, rng)
+            assert spec.group_of(1) is not None
+            assert spec.is_simple
+
+    def test_random_schedule_deterministic_by_seed(self):
+        a = random_partition_schedule(4, seed=9)
+        b = random_partition_schedule(4, seed=9)
+        assert [e.time for e in a] == [e.time for e in b]
+
+    def test_transient_schedule_has_heal(self):
+        schedule = random_transient_schedule(4, seed=2)
+        events = list(schedule)
+        assert len(events) == 2
+        assert events[1].is_heal
+        assert events[1].time > events[0].time
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_property_onset_within_configured_range(self, seed):
+        schedule = random_partition_schedule(3, seed=seed, earliest=1.0, latest=2.0)
+        onset = next(iter(schedule)).time
+        assert 1.0 <= onset <= 2.0
+
+
+class TestSweeps:
+    def test_cartesian_product(self):
+        points = cartesian({"a": [1, 2], "b": ["x"]})
+        assert points == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_cartesian_empty(self):
+        assert cartesian({}) == [{}]
+
+    def test_parameter_sweep_len_and_iter(self):
+        sweep = ParameterSweep("s", {"n_sites": [3, 4], "seed": [0, 1, 2]})
+        assert len(sweep) == 6
+        assert all("n_sites" in point for point in sweep)
