@@ -1,13 +1,20 @@
 """Micro-benchmarks of the substrates themselves.
 
 Not a paper figure: these time the building blocks (a failure-free commit, a
-partitioned termination run, a reachability exploration) so regressions in
-the simulator or the formal-model layer show up independently of the
-experiment sweeps.
+partitioned termination run, a reachability exploration, a full engine
+sweep) so regressions in the simulator, the formal-model layer or the sweep
+engine show up independently of the experiment sweeps.
 """
+
+import os
+import pathlib
+import time
+
+import pytest
 
 from repro.core.catalog import three_phase_commit
 from repro.core.concurrency import analyze
+from repro.engine import ScenarioGrid, SweepEngine
 from repro.protocols.registry import create_protocol
 from repro.protocols.runner import ScenarioSpec, run_scenario
 from repro.sim.partition import PartitionSchedule
@@ -42,3 +49,71 @@ def test_bench_reachability_analysis(benchmark):
 
     analysis = benchmark(run)
     assert analysis.global_state_count > 0
+
+
+def _sweep_tasks(n_scenarios: int = 200):
+    """A deterministic grid of exactly ``n_scenarios`` partitioned runs."""
+    grid = ScenarioGrid.from_partition_sweep(
+        "terminating-three-phase-commit",
+        4,
+        times=[round(0.25 * i, 2) for i in range(1, 13)],
+        no_voter_options=(frozenset(), frozenset({2}), frozenset({4})),
+    )
+    tasks = list(grid.tasks())
+    assert len(tasks) >= n_scenarios, f"grid too small: {len(tasks)}"
+    return tasks[:n_scenarios]
+
+
+def test_bench_sweep_engine_serial_throughput(benchmark):
+    """Baseline scenarios/second of the engine's in-process path."""
+    tasks = _sweep_tasks()
+
+    def run():
+        return SweepEngine(workers=1).run(tasks)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.total == len(tasks)
+    assert all(s.consistent for s in result)
+
+
+def test_bench_sweep_parallel_speedup():
+    """A 200-scenario sweep must gain >= 2x at ``workers=4`` vs ``workers=1``.
+
+    Timed with ``perf_counter`` rather than pytest-benchmark because one test
+    compares two engine configurations.  The result is persisted under
+    ``benchmarks/results/sweep-speedup.txt``.  Four workers can only double
+    serial throughput with at least 4 usable cores (on 2-3 cores pool
+    overhead eats the sub-2x theoretical ceiling), so the assertion is
+    skipped below that; the sweep itself still runs both ways and the
+    summaries must match exactly.
+    """
+    tasks = _sweep_tasks()
+
+    started = time.perf_counter()
+    serial = SweepEngine(workers=1).run(tasks)
+    serial_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = SweepEngine(workers=4).run(tasks)
+    parallel_elapsed = time.perf_counter() - started
+
+    assert serial.summaries == parallel.summaries
+    speedup = serial_elapsed / parallel_elapsed if parallel_elapsed > 0 else float("inf")
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    text = (
+        f"sweep speedup: {len(tasks)} scenarios, {cpus} usable cpu(s)\n"
+        f"workers=1: {serial_elapsed:.2f}s ({len(tasks) / serial_elapsed:.0f} runs/s)\n"
+        f"workers=4: {parallel_elapsed:.2f}s ({len(tasks) / parallel_elapsed:.0f} runs/s)\n"
+        f"speedup: {speedup:.2f}x\n"
+    )
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "sweep-speedup.txt").write_text(text, encoding="utf-8")
+    print()
+    print(text, end="")
+
+    if cpus < 4:
+        pytest.skip(f"only {cpus} usable cpu(s): a 2x speedup at workers=4 needs >= 4")
+    assert speedup >= 2.0, f"expected >= 2x speedup at workers=4, got {speedup:.2f}x"

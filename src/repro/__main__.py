@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any of the paper's experiments.
+"""Command-line entry point: regenerate experiments, or run custom sweeps.
 
 Usage::
 
@@ -6,6 +6,9 @@ Usage::
     python -m repro run FIG8
     python -m repro run SEC6 FIG5 AVAIL
     python -m repro all
+    python -m repro sweep --workers 4 --sites 4 --protocol all
+    python -m repro sweep --protocol terminating-three-phase-commit \\
+        --times 0.5 1.5 2.5 --heal-after 2.0 --cache .sweep-cache
 """
 
 from __future__ import annotations
@@ -37,6 +40,17 @@ EXPERIMENTS: dict[str, Callable[[], "ex.ExperimentReport"]] = {
 }
 
 
+def _parse_no_voters(values: list[str]) -> tuple[frozenset[int], ...]:
+    """Each occurrence is a comma-separated site list; 'none' = all vote yes."""
+    options: list[frozenset[int]] = []
+    for value in values:
+        if value.strip().lower() in ("", "none"):
+            options.append(frozenset())
+        else:
+            options.append(frozenset(int(site) for site in value.split(",")))
+    return tuple(options) if options else (frozenset(),)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -47,7 +61,149 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one or more experiments by id")
     run.add_argument("ids", nargs="+", metavar="ID", help="experiment ids (see 'list')")
     sub.add_parser("all", help="run every experiment")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a partition sweep on the parallel engine",
+        description=(
+            "Sweep partition onset times x simple splits x vote patterns for "
+            "one or more protocols, executing scenarios across worker "
+            "processes and summarizing atomicity / blocking per protocol."
+        ),
+    )
+    sweep.add_argument(
+        "--protocol",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="protocol registry name (repeatable); 'all' sweeps every protocol",
+    )
+    sweep.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1, in-process)"
+    )
+    sweep.add_argument(
+        "--times",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="T",
+        help="partition onset times (default: the standard 0.25T grid)",
+    )
+    sweep.add_argument(
+        "--heal-after",
+        type=float,
+        default=None,
+        metavar="DT",
+        help="heal every partition DT after onset (transient partitioning)",
+    )
+    sweep.add_argument(
+        "--no-voters",
+        action="append",
+        default=None,
+        metavar="SITES",
+        help="comma-separated no-voting sites; repeatable, 'none' = all yes",
+    )
+    sweep.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (re-sweeps become incremental)",
+    )
+    sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenarios per worker submission (default: auto)",
+    )
     return parser
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.atomicity import summarize_runs
+    from repro.engine import ScenarioGrid, SweepEngine
+    from repro.metrics.reporting import format_table
+    from repro.protocols.registry import available_protocols
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(f"--chunk-size must be >= 1, got {args.chunk_size}", file=sys.stderr)
+        return 2
+    try:
+        no_voter_options = _parse_no_voters(args.no_voters or [])
+    except ValueError:
+        print(
+            f"--no-voters expects comma-separated site numbers (or 'none'), "
+            f"got {args.no_voters}",
+            file=sys.stderr,
+        )
+        return 2
+    out_of_range = sorted(
+        site
+        for option in no_voter_options
+        for site in option
+        if not 1 <= site <= args.sites
+    )
+    if out_of_range:
+        print(
+            f"--no-voters names site(s) {out_of_range} outside 1..{args.sites}",
+            file=sys.stderr,
+        )
+        return 2
+
+    protocols = args.protocol or ["terminating-three-phase-commit"]
+    if any(p == "all" for p in protocols):
+        protocols = available_protocols()
+    unknown = [p for p in protocols if p not in available_protocols()]
+    if unknown:
+        print(f"unknown protocol(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(available_protocols())}", file=sys.stderr)
+        return 2
+
+    engine = SweepEngine(
+        workers=args.workers, cache=args.cache, chunk_size=args.chunk_size
+    )
+    # One task list (and thus one worker pool) across all protocols; the
+    # per-protocol tables are sliced back out of the ordered summaries.
+    tasks = []
+    spans: list[tuple[str, int, int]] = []
+    for protocol in protocols:
+        grid = ScenarioGrid.from_partition_sweep(
+            protocol,
+            args.sites,
+            times=args.times,
+            heal_after=args.heal_after,
+            no_voter_options=no_voter_options,
+        )
+        protocol_tasks = list(grid.tasks())
+        spans.append((protocol, len(tasks), len(tasks) + len(protocol_tasks)))
+        tasks.extend(protocol_tasks)
+
+    result = engine.run(tasks)
+    rows = []
+    for protocol, start, end in spans:
+        summary = summarize_runs(result.summaries[start:end], protocol=protocol)
+        rows.append(
+            {
+                "protocol": protocol,
+                "scenarios": summary.total_runs,
+                "violations": summary.atomicity_violations,
+                "blocked": summary.blocked_runs,
+                "committed": summary.committed_runs,
+                "aborted": summary.aborted_runs,
+                "resilient": "yes" if summary.resilient else "NO",
+            }
+        )
+    print(format_table(rows))
+    print(
+        f"{result.total} scenarios in {result.elapsed:.2f}s "
+        f"({args.workers} worker(s), {result.throughput:.0f} runs/s, "
+        f"{result.executed} executed, {result.cache_hits} from cache)"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,6 +213,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.command == "sweep":
+        return _run_sweep(args)
     ids = list(EXPERIMENTS) if args.command == "all" else [i.upper() for i in args.ids]
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:

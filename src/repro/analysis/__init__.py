@@ -15,7 +15,12 @@
 from repro.analysis.atomicity import AtomicityReport, check_atomicity, summarize_runs
 from repro.analysis.blocking import BlockingReport, blocking_report
 from repro.analysis.cases import CaseScenario, build_case_scenario, classify_run, section6_cases
-from repro.analysis.scenarios import ScenarioGrid, partition_sweep, split_choices
+from repro.analysis.scenarios import (
+    ScenarioGrid,
+    partition_sweep,
+    simple_partition_schedules,
+    split_choices,
+)
 from repro.analysis.timing import (
     TimingMeasurement,
     measure_master_probe_window,
@@ -40,6 +45,7 @@ __all__ = [
     "measure_wait_after_timeout_in_w",
     "partition_sweep",
     "section6_cases",
+    "simple_partition_schedules",
     "split_choices",
     "summarize_runs",
 ]

@@ -67,15 +67,19 @@ class BlockingReport:
         )
 
 
-def _total_lock_hold_time(result: TransactionRunResult) -> float:
+def total_lock_hold_time(result) -> float:
     """Total lock-hold time across sites for one run.
 
     Locks still held when the run ends (blocked sites) are charged up to the
     run horizon, which is exactly the unavailability a blocked protocol
-    inflicts on other transactions.
+    inflicts on other transactions.  Engine summaries carry the value
+    precomputed (their database sites never leave the worker process).
     """
+    db_sites = getattr(result, "db_sites", None)
+    if db_sites is None:
+        return result.lock_hold_time
     total = 0.0
-    for site, db in result.db_sites.items():
+    for site, db in db_sites.items():
         total += db.locks.stats.total_hold_time
         for (_, _), since in db.locks.stats.held_since.items():
             total += max(0.0, result.finished_at - since)
@@ -87,7 +91,11 @@ def blocking_report(
     *,
     protocol: Optional[str] = None,
 ) -> BlockingReport:
-    """Fold a batch of runs into a :class:`BlockingReport`."""
+    """Fold a batch of runs into a :class:`BlockingReport`.
+
+    Accepts full :class:`TransactionRunResult` objects or the engine's
+    :class:`~repro.engine.summary.RunSummary` records interchangeably.
+    """
     results = list(results)
     name = protocol or (results[0].protocol if results else "unknown")
     report = BlockingReport(protocol=name, total_runs=len(results))
@@ -97,7 +105,7 @@ def blocking_report(
         report.blocked_site_count += len(result.blocked_sites)
         if any(result.locks_held_at_end.values()):
             report.runs_with_locks_held_at_end += 1
-        report.lock_hold_times.append(_total_lock_hold_time(result))
+        report.lock_hold_times.append(total_lock_hold_time(result))
         latency = result.max_decision_latency()
         if latency is not None and not result.blocked:
             report.decision_latencies.append(latency)

@@ -44,9 +44,43 @@ def default_partition_times(max_delay: float = 1.0, *, resolution: float = 0.25,
     return [round((i + 1) * resolution * max_delay, 6) for i in range(steps)]
 
 
+def simple_partition_schedules(
+    n_sites: int,
+    *,
+    times: Optional[Sequence[float]] = None,
+    heal_after: Optional[float] = None,
+    max_delay: float = 1.0,
+) -> list[PartitionSchedule]:
+    """Every (onset time x simple split) partition schedule for ``n_sites``.
+
+    This is the single owner of the Theorem 9 sweep axis: the grid below and
+    the engine's :func:`repro.engine.grid.simple_partition_axis` both
+    enumerate through it (onset time outermost, split innermost).  With
+    ``heal_after`` set the partitions are transient (Section 6); otherwise
+    they are permanent (Section 5's assumption 5).
+    """
+    onset_times = (
+        list(times) if times is not None else default_partition_times(max_delay)
+    )
+    schedules = []
+    for at in onset_times:
+        for g1, g2 in split_choices(n_sites):
+            if heal_after is None:
+                schedules.append(PartitionSchedule.simple(at, g1, g2))
+            else:
+                schedules.append(
+                    PartitionSchedule.transient(at, at + heal_after, g1, g2)
+                )
+    return schedules
+
+
 @dataclass
 class ScenarioGrid:
     """A cartesian grid of partition scenarios for one configuration.
+
+    This is the spec-level grid (partition dimensions only); the engine's
+    :class:`repro.engine.grid.ScenarioGrid` generalizes it with protocol,
+    crash, latency, model and seed axes.
 
     Attributes:
         n_sites: number of participating sites.
@@ -64,37 +98,30 @@ class ScenarioGrid:
     horizon: Optional[float] = None
     base_spec: ScenarioSpec = field(default_factory=ScenarioSpec)
 
+    def _schedules(self) -> list[PartitionSchedule]:
+        return simple_partition_schedules(
+            self.n_sites,
+            times=self.partition_times,
+            heal_after=self.heal_after,
+            max_delay=self.base_spec.effective_latency().upper_bound,
+        )
+
     def specs(self) -> Iterator[ScenarioSpec]:
         """Yield one :class:`ScenarioSpec` per grid point."""
-        times = (
-            list(self.partition_times)
-            if self.partition_times is not None
-            else default_partition_times(self.base_spec.effective_latency().upper_bound)
-        )
-        for at in times:
-            for g1, g2 in split_choices(self.n_sites):
-                for no_voters in self.no_voter_options:
-                    if self.heal_after is None:
-                        partition = PartitionSchedule.simple(at, g1, g2)
-                    else:
-                        partition = PartitionSchedule.transient(at, at + self.heal_after, g1, g2)
-                    yield ScenarioSpec(
-                        **{
-                            **self.base_spec.__dict__,
-                            "n_sites": self.n_sites,
-                            "partition": partition,
-                            "no_voters": no_voters,
-                            "horizon": self.horizon or self.base_spec.horizon,
-                        }
-                    )
+        for partition in self._schedules():
+            for no_voters in self.no_voter_options:
+                yield ScenarioSpec(
+                    **{
+                        **self.base_spec.__dict__,
+                        "n_sites": self.n_sites,
+                        "partition": partition,
+                        "no_voters": no_voters,
+                        "horizon": self.horizon or self.base_spec.horizon,
+                    }
+                )
 
     def __len__(self) -> int:
-        times = (
-            list(self.partition_times)
-            if self.partition_times is not None
-            else default_partition_times(self.base_spec.effective_latency().upper_bound)
-        )
-        return len(times) * len(split_choices(self.n_sites)) * len(list(self.no_voter_options))
+        return len(self._schedules()) * len(list(self.no_voter_options))
 
 
 def partition_sweep(

@@ -1,0 +1,34 @@
+"""Parallel sweep engine.
+
+The engine is the scaling substrate of the repository: it takes a
+:class:`~repro.engine.grid.ScenarioGrid` (a declarative cartesian product of
+protocol x partition schedule x crash schedule x latency model x no-voter
+set), partitions the grid into chunks and executes them across a
+``concurrent.futures.ProcessPoolExecutor`` (or a deterministic in-process
+loop for ``workers=1``), streaming back compact, picklable
+:class:`~repro.engine.summary.RunSummary` records.  An on-disk result cache
+keyed by ``(spec-hash, seed)`` makes re-sweeps incremental.
+
+Every experiment sweep, benchmark and the ``repro sweep`` CLI subcommand run
+on top of this package.
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.engine import SweepEngine, SweepResult
+from repro.engine.grid import ScenarioGrid, SweepTask, tasks_from_specs
+from repro.engine.hashing import spec_hash
+from repro.engine.measures import MEASURES, register_measure
+from repro.engine.summary import RunSummary
+
+__all__ = [
+    "MEASURES",
+    "ResultCache",
+    "RunSummary",
+    "ScenarioGrid",
+    "SweepEngine",
+    "SweepResult",
+    "SweepTask",
+    "register_measure",
+    "spec_hash",
+    "tasks_from_specs",
+]

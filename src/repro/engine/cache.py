@@ -1,0 +1,72 @@
+"""On-disk result cache for incremental re-sweeps.
+
+Every completed run is stored as canonical JSON under
+``<root>/<hash[:2]>/<hash>-<seed>.json``, keyed by the task's stable spec
+hash plus its seed.  Re-running a sweep with a warm cache returns
+byte-identical summaries without executing a single scenario; changing any
+scenario field (or the protocol) changes the hash and re-executes only the
+affected points.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from typing import Optional, Union
+
+from repro.engine.summary import RunSummary
+
+
+class ResultCache:
+    """A directory of canonical-JSON :class:`RunSummary` records."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, spec_hash: str, seed: int) -> pathlib.Path:
+        """Cache file location for one ``(spec-hash, seed)`` key."""
+        return self.root / spec_hash[:2] / f"{spec_hash}-{seed}.json"
+
+    def get_bytes(self, spec_hash: str, seed: int) -> Optional[bytes]:
+        """Raw cached bytes, or ``None`` on a miss (counters updated)."""
+        path = self.path(spec_hash, seed)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def get(self, spec_hash: str, seed: int) -> Optional[RunSummary]:
+        """The cached summary, or ``None`` on a miss."""
+        data = self.get_bytes(spec_hash, seed)
+        if data is None:
+            return None
+        return RunSummary.from_json_bytes(data)
+
+    def put(self, summary: RunSummary) -> pathlib.Path:
+        """Store ``summary`` (atomic write; last writer wins)."""
+        path = self.path(summary.spec_hash, summary.seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = summary.to_json_bytes()
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

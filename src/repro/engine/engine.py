@@ -1,0 +1,248 @@
+"""The parallel sweep engine.
+
+:class:`SweepEngine` executes a batch of sweep tasks -- a
+:class:`~repro.engine.grid.ScenarioGrid`, an explicit task list, or raw
+``(protocol, spec)`` pairs -- and streams back
+:class:`~repro.engine.summary.RunSummary` records.
+
+Execution strategy:
+
+* ``workers=1`` -- a deterministic in-process loop (no subprocess cost, easy
+  to debug, bit-for-bit reproducible);
+* ``workers>1`` -- the task list is partitioned into chunks and executed on
+  a ``concurrent.futures.ProcessPoolExecutor``; chunks amortize the
+  per-submission pickling cost over many scenarios.
+
+Either way the result order equals the task order: runs are independent, so
+summaries are reassembled by task index regardless of which worker finished
+first.  With a :class:`~repro.engine.cache.ResultCache` attached, previously
+executed ``(spec-hash, seed)`` points are served from disk and only the new
+points are dispatched.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
+
+from repro.engine.cache import ResultCache
+from repro.engine.grid import ScenarioGrid, SweepTask
+from repro.engine.measures import apply_measures, resolve_measures
+from repro.engine.summary import RunSummary
+from repro.protocols.registry import create_protocol
+from repro.protocols.runner import ScenarioSpec, run_scenario
+
+TaskBatch = Union[ScenarioGrid, Iterable[SweepTask], Iterable[tuple[str, ScenarioSpec]]]
+
+# One chunk ships as (measure names, [(index, protocol, spec, spec_hash), ...]).
+_ChunkPayload = tuple[tuple[str, ...], list[tuple[int, str, ScenarioSpec, str]]]
+
+
+def execute_task(
+    protocol: str, spec: ScenarioSpec, *, spec_hash: str, measures: Sequence[str] = ()
+) -> RunSummary:
+    """Run one scenario and reduce it to a summary (used by the workers)."""
+    result = run_scenario(create_protocol(protocol), spec)
+    metrics = apply_measures(result, measures)
+    return RunSummary.from_result(result, spec_hash=spec_hash, metrics=metrics)
+
+
+def _execute_chunk(payload: _ChunkPayload) -> list[tuple[int, RunSummary]]:
+    """Top-level (picklable) chunk executor run inside pool workers."""
+    measures, items = payload
+    return [
+        (index, execute_task(protocol, spec, spec_hash=spec_hash, measures=measures))
+        for index, protocol, spec, spec_hash in items
+    ]
+
+
+@dataclass
+class SweepResult:
+    """The summaries of one engine run, in task order, plus run statistics."""
+
+    summaries: list[RunSummary] = field(default_factory=list)
+    executed: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    chunk_count: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def total(self) -> int:
+        """Number of scenarios covered (executed + served from cache)."""
+        return len(self.summaries)
+
+    @property
+    def throughput(self) -> float:
+        """Scenarios per wall-clock second (0 when elapsed is unmeasured)."""
+        return self.total / self.elapsed if self.elapsed > 0 else 0.0
+
+    def __iter__(self) -> Iterator[RunSummary]:
+        return iter(self.summaries)
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    def __getitem__(self, index: int) -> RunSummary:
+        return self.summaries[index]
+
+
+class SweepEngine:
+    """Executes scenario grids across worker processes with result caching.
+
+    Args:
+        workers: process count; ``1`` means a deterministic in-process loop.
+        cache: a :class:`ResultCache`, a directory path for one, or ``None``
+            to disable caching.
+        chunk_size: scenarios per worker submission (default: enough chunks
+            for ~4 submissions per worker, a balance between load-balancing
+            and pickling overhead).
+        mp_context: multiprocessing start-method name or context; defaults
+            to ``fork`` where available (fastest) and the platform default
+            elsewhere.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        cache: Union[ResultCache, str, os.PathLike, None] = None,
+        chunk_size: Optional[int] = None,
+        mp_context: Union[str, Any, None] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        if isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        elif mp_context is None and "fork" in multiprocessing.get_all_start_methods():
+            mp_context = multiprocessing.get_context("fork")
+        self._mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, tasks: TaskBatch, *, measures: Sequence[str] = ()) -> SweepResult:
+        """Execute every task and return ordered summaries plus statistics."""
+        task_list = self._materialize(tasks)
+        started = time.perf_counter()
+        result = SweepResult(
+            summaries=[None] * len(task_list), workers=self.workers  # type: ignore[list-item]
+        )
+        for index, summary, from_cache in self._stream(task_list, measures, result):
+            result.summaries[index] = summary
+            if from_cache:
+                result.cache_hits += 1
+            else:
+                result.executed += 1
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    def iter_summaries(
+        self, tasks: TaskBatch, *, measures: Sequence[str] = ()
+    ) -> Iterator[tuple[int, RunSummary]]:
+        """Stream ``(task index, summary)`` pairs as they complete."""
+        task_list = self._materialize(tasks)
+        stats = SweepResult(workers=self.workers)
+        for index, summary, _ in self._stream(task_list, measures, stats):
+            yield index, summary
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _materialize(tasks: TaskBatch) -> list[SweepTask]:
+        if isinstance(tasks, ScenarioGrid):
+            return list(tasks.tasks())
+        out = []
+        for task in tasks:
+            if isinstance(task, SweepTask):
+                out.append(task)
+            else:
+                protocol, spec = task
+                out.append(SweepTask(protocol=protocol, spec=spec))
+        return out
+
+    def _stream(
+        self,
+        tasks: list[SweepTask],
+        measures: Sequence[str],
+        stats: SweepResult,
+    ) -> Iterator[tuple[int, RunSummary, bool]]:
+        measure_names = resolve_measures(measures)
+        pending: list[tuple[int, SweepTask, str]] = []
+        # Entries cached without some requested measure re-execute, then merge
+        # the old metrics back in so cache entries only ever gain measures.
+        partial: dict[int, RunSummary] = {}
+        for index, task in enumerate(tasks):
+            key = task.spec_hash
+            cached = self.cache.get(key, task.spec.seed) if self.cache is not None else None
+            if cached is not None and all(m in cached.metrics for m in measure_names):
+                yield index, cached, True
+            else:
+                if cached is not None:
+                    partial[index] = cached
+                pending.append((index, task, key))
+
+        if not pending:
+            return
+
+        def finish(index: int, summary: RunSummary) -> RunSummary:
+            stale = partial.get(index)
+            if stale is not None:
+                summary.metrics = {**stale.metrics, **summary.metrics}
+            if self.cache is not None:
+                self.cache.put(summary)
+            return summary
+
+        if self.workers == 1 or len(pending) == 1:
+            stats.chunk_count = len(pending)
+            for index, task, key in pending:
+                summary = execute_task(
+                    task.protocol, task.spec, spec_hash=key, measures=measure_names
+                )
+                yield index, finish(index, summary), False
+            return
+
+        chunks = self._chunk(pending, measure_names)
+        stats.chunk_count = len(chunks)
+        max_workers = min(self.workers, len(chunks))
+        with ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=self._mp_context
+        ) as pool:
+            futures = {pool.submit(_execute_chunk, chunk) for chunk in chunks}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for index, summary in future.result():
+                        yield index, finish(index, summary), False
+
+    def _chunk(
+        self,
+        pending: list[tuple[int, SweepTask, str]],
+        measure_names: tuple[str, ...],
+    ) -> list[_ChunkPayload]:
+        size = self.chunk_size
+        if size is None:
+            # ~4 chunks per worker keeps the pool busy without shipping one
+            # scenario at a time.
+            size = max(1, len(pending) // (self.workers * 4))
+        chunks: list[_ChunkPayload] = []
+        for start in range(0, len(pending), size):
+            items = [
+                (index, task.protocol, task.spec, key)
+                for index, task, key in pending[start : start + size]
+            ]
+            chunks.append((measure_names, items))
+        return chunks

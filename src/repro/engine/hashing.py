@@ -1,0 +1,61 @@
+"""Stable content hashing of sweep tasks.
+
+The result cache and the incremental re-sweep logic key every run by
+``(spec-hash, seed)``, so the hash must be *stable*: independent of process,
+``PYTHONHASHSEED``, dict insertion order and worker count.  The canonical
+form below therefore never calls ``hash()``, sorts every unordered
+collection, and spells out dataclasses field by field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Mapping
+
+from repro.protocols.runner import ScenarioSpec
+
+
+def canonical(value: Any) -> str:
+    """A deterministic string form of ``value`` for hashing.
+
+    Supports the vocabulary of :class:`~repro.protocols.runner.ScenarioSpec`:
+    primitives, sets/frozensets (sorted), mappings (sorted by key),
+    sequences, dataclasses (by field) and plain objects such as the latency
+    models (by class name + sorted ``__dict__``).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        # Integral floats collapse to their int form so numerically equal
+        # specs (horizon=8 vs horizon=8.0) share one cache key; repr()
+        # round-trips every other float exactly.
+        if value.is_integer():
+            return repr(int(value))
+        return repr(value)
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(canonical(v) for v in value)) + "}"
+    if isinstance(value, Mapping):
+        items = sorted((canonical(k), canonical(v)) for k, v in value.items())
+        return "m{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(canonical(v) for v in value) + "]"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    # Plain objects (latency models): class name plus public-ish state.
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        items = sorted((k, canonical(v)) for k, v in state.items())
+        body = ",".join(f"{k}={v}" for k, v in items)
+        return f"{type(value).__name__}({body})"
+    raise TypeError(f"cannot canonicalize {value!r} for hashing")
+
+
+def spec_hash(protocol: str, spec: ScenarioSpec) -> str:
+    """The stable hash of one (protocol, scenario) sweep point."""
+    text = f"protocol={protocol};{canonical(spec)}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -29,6 +29,7 @@ def run_availability_comparison(
     *,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     times: Optional[Iterable[float]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Compare blocking / lock retention across protocols on the same sweep."""
     report = ExperimentReport(
@@ -38,7 +39,7 @@ def run_availability_comparison(
     details = {}
     times = list(times) if times is not None else None
     for protocol in protocols:
-        results = sweep_protocol(protocol, n_sites=n_sites, times=times)
+        results = sweep_protocol(protocol, n_sites=n_sites, times=times, workers=workers)
         blocking = blocking_report(results, protocol=protocol)
         atomicity = summarize_runs(results, protocol=protocol)
         details[protocol] = {"blocking": blocking, "atomicity": atomicity}

@@ -11,16 +11,16 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.analysis.scenarios import partition_sweep
-from repro.analysis.timing import TimingMeasurement, measure_master_probe_window
+from repro.analysis.timing import TimingMeasurement
 from repro.core.termination import TerminationTimers
-from repro.experiments.harness import ExperimentReport
-from repro.protocols.registry import create_protocol
-from repro.protocols.runner import run_scenario
+from repro.experiments.harness import ExperimentReport, sweep_protocol
 
 
 def run_fig6_probe_window(
-    n_sites: int = 4, *, times: Optional[Iterable[float]] = None
+    n_sites: int = 4,
+    *,
+    times: Optional[Iterable[float]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Measure the worst observed UD(prepare) -> last probe gap."""
     report = ExperimentReport(
@@ -28,15 +28,21 @@ def run_fig6_probe_window(
         title="Master probe-collection window after an undeliverable prepare (bound 5T)",
     )
     timers = TerminationTimers(max_delay=1.0)
-    specs = partition_sweep(n_sites, times=times)
+    summaries = sweep_protocol(
+        "terminating-three-phase-commit",
+        n_sites=n_sites,
+        times=list(times) if times is not None else None,
+        workers=workers,
+        measures=("probe_window",),
+    )
     worst = 0.0
     windows = 0
     probes_seen = 0
-    for spec in specs:
-        result = run_scenario(create_protocol("terminating-three-phase-commit"), spec)
-        gap = measure_master_probe_window(result)
-        if result.trace.first("probe-window-open") is not None:
+    for summary in summaries:
+        probe = summary.metrics["probe_window"]
+        if probe["window_open"]:
             windows += 1
+        gap = probe["gap"]
         if gap is None:
             continue
         probes_seen += 1

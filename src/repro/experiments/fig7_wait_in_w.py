@@ -14,16 +14,18 @@ import math
 from typing import Iterable, Optional
 
 from repro.analysis.scenarios import partition_sweep
-from repro.analysis.timing import TimingMeasurement, measure_wait_after_timeout_in_w
+from repro.analysis.timing import TimingMeasurement
 from repro.core.termination import TerminationTimers
-from repro.experiments.harness import ExperimentReport
-from repro.protocols.registry import create_protocol
-from repro.protocols.runner import run_scenario
+from repro.engine import tasks_from_specs
+from repro.experiments.harness import ExperimentReport, get_engine
 from repro.sim.latency import PerLinkLatency
 
 
 def run_fig7_wait_in_w(
-    n_sites: int = 4, *, times: Optional[Iterable[float]] = None
+    n_sites: int = 4,
+    *,
+    times: Optional[Iterable[float]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Measure the worst wait between a timeout in ``w`` and the decision."""
     report = ExperimentReport(
@@ -38,13 +40,14 @@ def run_fig7_wait_in_w(
     for spec in skewed:
         spec.latency = PerLinkLatency(1.0, {(1, n_sites): 1.5})
         specs.append(spec)
+    tasks = tasks_from_specs("terminating-three-phase-commit", specs)
+    sweep = get_engine(workers).run(tasks, measures=("wait_in_w",))
     worst = 0.0
     samples = 0
     timed_out_without_decision = 0
-    for spec in specs:
-        result = run_scenario(create_protocol("terminating-three-phase-commit"), spec)
-        unit = spec.effective_latency().upper_bound
-        for site, wait in measure_wait_after_timeout_in_w(result).items():
+    for summary in sweep:
+        unit = summary.max_delay
+        for wait in summary.metrics["wait_in_w"].values():
             if math.isinf(wait):
                 timed_out_without_decision += 1
                 continue

@@ -12,16 +12,16 @@ from __future__ import annotations
 import math
 from typing import Iterable, Optional
 
-from repro.analysis.scenarios import partition_sweep
-from repro.analysis.timing import TimingMeasurement, measure_wait_after_timeout_in_p
+from repro.analysis.timing import TimingMeasurement
 from repro.core.termination import TerminationTimers
-from repro.experiments.harness import ExperimentReport
-from repro.protocols.registry import create_protocol
-from repro.protocols.runner import run_scenario
+from repro.experiments.harness import ExperimentReport, sweep_protocol
 
 
 def run_fig9_wait_in_p(
-    n_sites: int = 4, *, times: Optional[Iterable[float]] = None
+    n_sites: int = 4,
+    *,
+    times: Optional[Iterable[float]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Measure the worst wait between a timeout in ``p`` and the decision."""
     report = ExperimentReport(
@@ -29,18 +29,22 @@ def run_fig9_wait_in_p(
         title="Slave wait after timing out in p (bound 5T for permanent partitions)",
     )
     timers = TerminationTimers(max_delay=1.0)
-    specs = partition_sweep(n_sites, times=times)
     worst = 0.0
     samples = 0
     blocked = 0
     # The non-transient protocol isolates the Fig. 9 bound itself: the 5T
     # fallback timer of Section 6 must never be what terminates a slave under
     # a *permanent* partition.
-    protocol_name = "terminating-three-phase-commit-no-transient"
-    for spec in specs:
-        result = run_scenario(create_protocol(protocol_name), spec)
-        unit = spec.effective_latency().upper_bound
-        for site, wait in measure_wait_after_timeout_in_p(result).items():
+    summaries = sweep_protocol(
+        "terminating-three-phase-commit-no-transient",
+        n_sites=n_sites,
+        times=list(times) if times is not None else None,
+        workers=workers,
+        measures=("wait_in_p",),
+    )
+    for summary in summaries:
+        unit = summary.max_delay
+        for wait in summary.metrics["wait_in_p"].values():
             if math.isinf(wait):
                 blocked += 1
                 continue

@@ -1,11 +1,21 @@
-"""Shared machinery for the per-figure experiments."""
+"""Shared machinery for the per-figure experiments.
+
+All sweep traffic funnels through :func:`sweep_protocol`, which builds a
+:class:`~repro.engine.grid.ScenarioGrid` and executes it on the
+:class:`~repro.engine.SweepEngine` -- serially by default, across worker
+processes when ``workers > 1`` (or when ``REPRO_SWEEP_WORKERS`` is set).
+Sweeps therefore return compact :class:`~repro.engine.summary.RunSummary`
+records; single diagnostic runs (:func:`run_once`) still return the full
+:class:`~repro.protocols.runner.TransactionRunResult` with its trace.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
-from repro.analysis.scenarios import partition_sweep
+from repro.engine import RunSummary, ScenarioGrid, SweepEngine
 from repro.metrics.reporting import format_table
 from repro.protocols.registry import create_protocol
 from repro.protocols.runner import ScenarioSpec, TransactionRunResult, run_scenario
@@ -48,6 +58,27 @@ class ExperimentReport:
         return self.format()
 
 
+def default_workers() -> int:
+    """Worker count used when a sweep does not specify one.
+
+    Controlled by the ``REPRO_SWEEP_WORKERS`` environment variable
+    (default 1, i.e. the deterministic in-process path).
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_SWEEP_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def get_engine(
+    workers: Optional[int] = None, *, engine: Optional[SweepEngine] = None
+) -> SweepEngine:
+    """Resolve the engine for a sweep: explicit > worker count > env default."""
+    if engine is not None:
+        return engine
+    return SweepEngine(workers=workers if workers is not None else default_workers())
+
+
 def sweep_protocol(
     protocol_name: str,
     *,
@@ -56,18 +87,22 @@ def sweep_protocol(
     heal_after: Optional[float] = None,
     no_voter_options: Sequence[frozenset[int]] = (frozenset(),),
     horizon: Optional[float] = None,
-) -> list[TransactionRunResult]:
+    workers: Optional[int] = None,
+    engine: Optional[SweepEngine] = None,
+    measures: Sequence[str] = (),
+) -> list[RunSummary]:
     """Run ``protocol_name`` over a grid of simple-partition scenarios."""
-    specs = partition_sweep(
+    grid = ScenarioGrid.from_partition_sweep(
+        protocol_name,
         n_sites,
-        times=times,
+        times=list(times) if times is not None else None,
         heal_after=heal_after,
         no_voter_options=no_voter_options,
         horizon=horizon,
     )
-    return [run_scenario(create_protocol(protocol_name), spec) for spec in specs]
+    return get_engine(workers, engine=engine).run(grid, measures=measures).summaries
 
 
 def run_once(protocol_name: str, spec: Optional[ScenarioSpec] = None, **overrides: Any) -> TransactionRunResult:
-    """Run a single scenario for ``protocol_name``."""
+    """Run a single scenario for ``protocol_name`` (full result, with trace)."""
     return run_scenario(create_protocol(protocol_name), spec, **overrides)

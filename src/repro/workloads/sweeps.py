@@ -8,10 +8,15 @@ from typing import Any, Iterator, Mapping, Sequence
 
 
 def cartesian(parameters: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
-    """The cartesian product of named parameter ranges as a list of dicts."""
+    """The cartesian product of named parameter ranges as a list of dicts.
+
+    Parameters enumerate in *declaration order* (first-declared varies
+    slowest), so report columns and engine spec-hashes follow the order the
+    caller wrote, not an alphabetical resort.
+    """
     if not parameters:
         return [{}]
-    names = sorted(parameters)
+    names = list(parameters)
     combos = itertools.product(*(parameters[name] for name in names))
     return [dict(zip(names, combo)) for combo in combos]
 

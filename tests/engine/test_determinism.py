@@ -1,0 +1,105 @@
+"""Engine determinism: worker count must not change results, and a warm
+cache must serve byte-identical summaries without re-executing anything."""
+
+import pathlib
+
+import pytest
+
+from repro.engine import ResultCache, ScenarioGrid, SweepEngine
+from repro.sim.latency import UniformLatency
+from repro.sim.partition import PartitionSchedule
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """A small but diverse grid: two protocols, permanent + transient
+    partitions, constant + stochastic latencies, two vote patterns."""
+    return ScenarioGrid(
+        protocols=("terminating-three-phase-commit", "two-phase-commit"),
+        n_sites=3,
+        partitions=(
+            None,
+            PartitionSchedule.simple(1.5, [1, 2], [3]),
+            PartitionSchedule.simple(2.5, [1], [2, 3]),
+            PartitionSchedule.transient(1.5, 4.0, [1, 3], [2]),
+        ),
+        latencies=(None, UniformLatency(0.25, 1.0)),
+        no_voter_options=(frozenset(), frozenset({3})),
+        seeds=(0, 1),
+    )
+
+
+MEASURES = ("wait_in_w", "wait_in_p", "probe_window")
+
+
+class TestWorkerCountDeterminism:
+    def test_workers_1_and_4_yield_identical_summary_sequences(self, grid):
+        serial = SweepEngine(workers=1).run(grid, measures=MEASURES)
+        parallel = SweepEngine(workers=4).run(grid, measures=MEASURES)
+        assert serial.total == parallel.total == len(grid)
+        # Results are reassembled in task order, so the sequences (not just
+        # the multisets) must match element-for-element.
+        assert serial.summaries == parallel.summaries
+
+    def test_chunk_size_does_not_change_results(self, grid):
+        small_chunks = SweepEngine(workers=4, chunk_size=1).run(grid)
+        big_chunks = SweepEngine(workers=4, chunk_size=50).run(grid)
+        assert small_chunks.summaries == big_chunks.summaries
+
+
+class TestCacheDeterminism:
+    def test_warm_cache_is_byte_identical_and_executes_nothing(self, grid, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = SweepEngine(workers=1, cache=ResultCache(cache_dir))
+
+        cold = engine.run(grid, measures=MEASURES)
+        assert (cold.executed, cold.cache_hits) == (len(grid), 0)
+        cold_files = {
+            path.relative_to(cache_dir): path.read_bytes()
+            for path in sorted(pathlib.Path(cache_dir).glob("*/*.json"))
+        }
+        assert len(cold_files) == len(grid)
+
+        warm = engine.run(grid, measures=MEASURES)
+        assert (warm.executed, warm.cache_hits) == (0, len(grid))
+        assert warm.summaries == cold.summaries
+        warm_files = {
+            path.relative_to(cache_dir): path.read_bytes()
+            for path in sorted(pathlib.Path(cache_dir).glob("*/*.json"))
+        }
+        assert warm_files == cold_files
+
+    def test_cache_written_serially_is_hit_by_parallel_engine(self, grid, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = SweepEngine(workers=1, cache=cache_dir).run(grid)
+        warm = SweepEngine(workers=4, cache=cache_dir).run(grid)
+        assert (warm.executed, warm.cache_hits) == (0, len(grid))
+        assert warm.summaries == cold.summaries
+
+    def test_cache_entry_without_requested_measures_is_a_miss(self, grid, tmp_path):
+        # A cache populated without measures must not serve summaries with
+        # empty metrics to a caller that asked for measures; re-execution
+        # merges so entries only ever gain measures.
+        engine = SweepEngine(workers=1, cache=tmp_path / "cache")
+        engine.run(grid)  # no measures
+        with_measures = engine.run(grid, measures=MEASURES)
+        assert with_measures.cache_hits == 0
+        for summary in with_measures:
+            assert set(MEASURES) <= set(summary.metrics)
+        # Now both the measured and the measure-free callers hit the cache.
+        assert engine.run(grid, measures=MEASURES).cache_hits == len(grid)
+        assert engine.run(grid).cache_hits == len(grid)
+        # And a subset of measures is served without re-execution too.
+        assert engine.run(grid, measures=("wait_in_w",)).cache_hits == len(grid)
+
+    def test_changing_one_axis_invalidates_only_that_point(self, grid, tmp_path):
+        engine = SweepEngine(workers=1, cache=tmp_path / "cache")
+        engine.run(grid)
+        # A grid differing in one axis value re-executes only the new points.
+        tasks = list(grid.tasks())
+        changed = tasks[0].spec.__class__(**{**tasks[0].spec.__dict__, "seed": 99})
+        partial = engine.run(
+            [(tasks[0].protocol, changed)] + [(t.protocol, t.spec) for t in tasks[1:]]
+        )
+        assert partial.executed == 1
+        assert partial.cache_hits == len(grid) - 1

@@ -1,0 +1,244 @@
+"""Unit tests for the sweep-engine building blocks (grid, hashing, cache)."""
+
+import math
+
+import pytest
+
+from repro.analysis.scenarios import partition_sweep
+from repro.engine import (
+    ResultCache,
+    RunSummary,
+    ScenarioGrid,
+    SweepEngine,
+    SweepTask,
+    spec_hash,
+    tasks_from_specs,
+)
+from repro.protocols.runner import ScenarioSpec
+from repro.sim.failures import CrashSchedule
+from repro.sim.latency import ConstantLatency, UniformLatency
+from repro.sim.partition import PartitionSchedule
+from repro.workloads.sweeps import ParameterSweep
+
+
+class TestScenarioGrid:
+    def test_cardinality_is_product_of_axes(self):
+        grid = ScenarioGrid(
+            protocols=("two-phase-commit", "three-phase-commit"),
+            partitions=(None, PartitionSchedule.simple(1.0, [1, 2], [3])),
+            crashes=(None, CrashSchedule.single(2, at=1.0)),
+            latencies=(None, UniformLatency(0.5, 1.0)),
+            no_voter_options=(frozenset(), frozenset({2})),
+            models=("optimistic", "pessimistic"),
+            seeds=(0, 1, 2),
+        )
+        assert len(grid) == 2 * 2 * 2 * 2 * 2 * 2 * 3
+        assert len(list(grid.tasks())) == len(grid)
+
+    def test_axis_order_protocol_outermost_seed_innermost(self):
+        grid = ScenarioGrid(
+            protocols=("two-phase-commit", "three-phase-commit"),
+            seeds=(0, 1),
+        )
+        tasks = list(grid.tasks())
+        assert [(t.protocol, t.spec.seed) for t in tasks] == [
+            ("two-phase-commit", 0),
+            ("two-phase-commit", 1),
+            ("three-phase-commit", 0),
+            ("three-phase-commit", 1),
+        ]
+
+    def test_from_partition_sweep_matches_legacy_generator(self):
+        legacy = partition_sweep(
+            3, times=[1.0, 2.5], no_voter_options=(frozenset(), frozenset({2}))
+        )
+        grid = ScenarioGrid.from_partition_sweep(
+            "terminating-three-phase-commit",
+            3,
+            times=[1.0, 2.5],
+            no_voter_options=(frozenset(), frozenset({2})),
+        )
+        assert len(grid) == len(legacy)
+        for task, spec in zip(grid.tasks(), legacy):
+            assert task.spec.no_voters == spec.no_voters
+            assert [e.time for e in task.spec.partition] == [
+                e.time for e in spec.partition
+            ]
+            assert task.spec.partition.events[0].spec == spec.partition.events[0].spec
+
+    def test_from_parameter_sweep_lifts_spec_fields(self):
+        sweep = ParameterSweep("s", {"n_sites": [3, 4], "seed": [0, 7]})
+        tasks = ScenarioGrid.from_parameter_sweep(sweep, protocol="two-phase-commit")
+        assert [(t.spec.n_sites, t.spec.seed) for t in tasks] == [
+            (3, 0),
+            (3, 7),
+            (4, 0),
+            (4, 7),
+        ]
+
+    def test_from_parameter_sweep_rejects_unknown_fields(self):
+        sweep = ParameterSweep("bad", {"not_a_field": [1]})
+        with pytest.raises(KeyError, match="not_a_field"):
+            ScenarioGrid.from_parameter_sweep(sweep, protocol="two-phase-commit")
+
+    def test_multiple_partition_axis_builds_three_group_schedules(self):
+        from repro.engine.grid import multiple_partition_axis
+
+        schedules = multiple_partition_axis(5, times=[1.0, 2.0], n_groups=3)
+        assert len(schedules) == 2
+        for schedule, at in zip(schedules, [1.0, 2.0]):
+            (event,) = list(schedule)
+            assert event.time == at
+            assert event.spec.is_multiple
+            assert event.spec.sites == frozenset({1, 2, 3, 4, 5})
+
+    def test_multiple_partition_axis_rejects_bad_group_counts(self):
+        from repro.engine.grid import multiple_partition_axis
+
+        with pytest.raises(ValueError):
+            multiple_partition_axis(3, times=[1.0], n_groups=2)
+        with pytest.raises(ValueError):
+            multiple_partition_axis(3, times=[1.0], n_groups=4)
+
+    def test_tasks_from_specs_wraps_protocol(self):
+        tasks = tasks_from_specs("quorum-commit", [ScenarioSpec(), ScenarioSpec(n_sites=4)])
+        assert [t.protocol for t in tasks] == ["quorum-commit"] * 2
+        assert tasks[1].spec.n_sites == 4
+
+
+class TestSpecHash:
+    def test_stable_for_equal_specs(self):
+        a = ScenarioSpec(partition=PartitionSchedule.simple(1.0, [1], [2, 3]))
+        b = ScenarioSpec(partition=PartitionSchedule.simple(1.0, [1], [2, 3]))
+        assert spec_hash("two-phase-commit", a) == spec_hash("two-phase-commit", b)
+
+    def test_sensitive_to_protocol_and_every_axis(self):
+        base = ScenarioSpec()
+        baseline = spec_hash("two-phase-commit", base)
+        variants = [
+            spec_hash("three-phase-commit", base),
+            spec_hash("two-phase-commit", ScenarioSpec(n_sites=4)),
+            spec_hash("two-phase-commit", ScenarioSpec(seed=1)),
+            spec_hash("two-phase-commit", ScenarioSpec(model="pessimistic")),
+            spec_hash("two-phase-commit", ScenarioSpec(no_voters=frozenset({2}))),
+            spec_hash(
+                "two-phase-commit",
+                ScenarioSpec(partition=PartitionSchedule.simple(1.0, [1], [2, 3])),
+            ),
+            spec_hash(
+                "two-phase-commit",
+                ScenarioSpec(crashes=CrashSchedule.single(2, at=1.0)),
+            ),
+            spec_hash("two-phase-commit", ScenarioSpec(latency=ConstantLatency(2.0))),
+            spec_hash("two-phase-commit", ScenarioSpec(latency=UniformLatency(0.5, 1.0))),
+        ]
+        assert len({baseline, *variants}) == len(variants) + 1
+
+    def test_integral_floats_hash_like_ints(self):
+        assert spec_hash("two-phase-commit", ScenarioSpec(horizon=8)) == spec_hash(
+            "two-phase-commit", ScenarioSpec(horizon=8.0)
+        )
+        assert spec_hash("two-phase-commit", ScenarioSpec(horizon=8.0)) != spec_hash(
+            "two-phase-commit", ScenarioSpec(horizon=8.5)
+        )
+
+    def test_no_voter_enumeration_order_is_irrelevant(self):
+        a = ScenarioSpec(no_voters=frozenset({4, 2, 3}))
+        b = ScenarioSpec(no_voters=frozenset({3, 4, 2}))
+        assert spec_hash("two-phase-commit", a) == spec_hash("two-phase-commit", b)
+
+
+class TestRunSummaryJson:
+    def test_round_trip_equality(self):
+        engine = SweepEngine(workers=1)
+        result = engine.run(
+            [("terminating-three-phase-commit", ScenarioSpec(n_sites=3))],
+            measures=("timeouts",),
+        )
+        summary = result[0]
+        clone = RunSummary.from_json_bytes(summary.to_json_bytes())
+        assert clone == summary
+
+    def test_round_trip_preserves_infinite_waits(self):
+        # Case 3.2.2.2 is the paper's unbounded wait: without the Section 6
+        # rule the isolated slave times out in p and never decides.
+        from repro.analysis.cases import build_case_scenario
+        from repro.core.transient import PartitionCase
+
+        scenario = build_case_scenario(PartitionCase.ALL_PREPARE_COMMIT_LOST_PROBES_PASS)
+        result = SweepEngine(workers=1).run(
+            [("terminating-three-phase-commit-no-transient", scenario.spec)],
+            measures=("wait_in_w", "wait_in_p"),
+        )
+        summary = result[0]
+        assert summary.blocked
+        clone = RunSummary.from_json_bytes(summary.to_json_bytes())
+        assert clone == summary
+        waits = {**clone.metrics["wait_in_w"], **clone.metrics["wait_in_p"]}
+        assert any(math.isinf(w) for w in waits.values())
+
+
+class TestResultCache:
+    def test_get_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" * 32, 0) is None
+        summary = SweepEngine(workers=1).run(
+            [("two-phase-commit", ScenarioSpec())]
+        )[0]
+        cache.put(summary)
+        assert cache.get(summary.spec_hash, summary.seed) == summary
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_distinct_seeds_cache_separately(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(workers=1, cache=cache)
+        spec_a = ScenarioSpec(latency=UniformLatency(0.25, 1.0), seed=0)
+        spec_b = ScenarioSpec(latency=UniformLatency(0.25, 1.0), seed=1)
+        engine.run([("two-phase-commit", spec_a), ("two-phase-commit", spec_b)])
+        assert len(cache) == 2
+
+
+class TestSweepEngine:
+    def test_accepts_raw_protocol_spec_pairs(self):
+        result = SweepEngine(workers=1).run(
+            [("two-phase-commit", ScenarioSpec()), ("three-phase-commit", ScenarioSpec())]
+        )
+        assert [s.protocol for s in result] == [
+            "two-phase-commit",
+            "three-phase-commit",
+        ]
+        assert all(s.all_committed for s in result)
+
+    def test_rejects_bad_worker_and_chunk_counts(self):
+        with pytest.raises(ValueError):
+            SweepEngine(workers=0)
+        with pytest.raises(ValueError):
+            SweepEngine(workers=1, chunk_size=0)
+
+    def test_rejects_unknown_measures_before_running(self):
+        with pytest.raises(KeyError, match="no_such_measure"):
+            SweepEngine(workers=1).run(
+                [("two-phase-commit", ScenarioSpec())], measures=("no_such_measure",)
+            )
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            SweepEngine(workers=1).run([("not-a-protocol", ScenarioSpec())])
+
+    def test_iter_summaries_streams_indexed_results(self):
+        tasks = tasks_from_specs(
+            "two-phase-commit", [ScenarioSpec(seed=s) for s in range(4)]
+        )
+        seen = dict(SweepEngine(workers=1).iter_summaries(tasks))
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert all(s.all_committed for s in seen.values())
+
+    def test_result_stats_and_throughput(self):
+        result = SweepEngine(workers=1).run(
+            tasks_from_specs("two-phase-commit", [ScenarioSpec(seed=s) for s in range(3)])
+        )
+        assert (result.total, result.executed, result.cache_hits) == (3, 3, 0)
+        assert result.throughput > 0
+        assert len(result) == 3
+        assert result[0].protocol == "two-phase-commit"

@@ -1,0 +1,58 @@
+"""Golden-table regression tests for the figure experiments.
+
+``golden_tables.json`` was captured from the pre-engine (sequential)
+implementation of every figure experiment; these tests pin the reproduced
+numbers -- every table row and every headline -- so rewiring the harness
+onto the parallel sweep engine provably changed no reproduced result.
+
+If an experiment's *numbers* legitimately change (e.g. a protocol fix), the
+goldens must be regenerated deliberately::
+
+    PYTHONPATH=src python tests/experiments/regen_golden_tables.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import experiments as ex
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_tables.json"
+
+QUICK_TIMES = [0.5, 1.5, 2.25, 2.5, 3.25, 3.75, 4.5]
+
+# The exact invocations the goldens were captured with (reduced sweep sizes,
+# same as the integration tests, so the suite stays fast).
+RUNS = {
+    "FIG1": lambda: ex.run_fig1_two_phase(),
+    "FIG2": lambda: ex.run_fig2_extended_two_phase(),
+    "FIG3": lambda: ex.run_fig3_three_phase(),
+    "FIG5": lambda: ex.run_fig5_timeouts(site_counts=(3, 4)),
+    "FIG6": lambda: ex.run_fig6_probe_window(times=QUICK_TIMES),
+    "FIG7": lambda: ex.run_fig7_wait_in_w(times=QUICK_TIMES),
+    "FIG8": lambda: ex.run_fig8_termination(site_counts=(3,)),
+    "FIG9": lambda: ex.run_fig9_wait_in_p(times=QUICK_TIMES),
+}
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("figure", sorted(RUNS))
+def test_figure_matches_golden(figure, goldens):
+    golden = goldens[figure]
+    report = RUNS[figure]()
+    assert report.experiment == golden["experiment"]
+    assert report.title == golden["title"]
+    assert report.headline == golden["headline"]
+    assert report.table == golden["table"]
+
+
+def test_goldens_cover_fig1_through_fig9(goldens):
+    assert sorted(goldens) == sorted(RUNS)
+    for figure, golden in goldens.items():
+        assert golden["table"], f"{figure} golden has an empty table"
+        assert golden["headline"], f"{figure} golden has an empty headline"

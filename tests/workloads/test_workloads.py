@@ -123,6 +123,18 @@ class TestSweeps:
     def test_cartesian_empty(self):
         assert cartesian({}) == [{}]
 
+    def test_cartesian_preserves_declaration_order(self):
+        # "zeta" is declared first, so it varies slowest and leads every
+        # point's key order -- no alphabetical resort.
+        points = cartesian({"zeta": [1, 2], "alpha": ["x", "y"]})
+        assert [list(p) for p in points] == [["zeta", "alpha"]] * 4
+        assert points == [
+            {"zeta": 1, "alpha": "x"},
+            {"zeta": 1, "alpha": "y"},
+            {"zeta": 2, "alpha": "x"},
+            {"zeta": 2, "alpha": "y"},
+        ]
+
     def test_parameter_sweep_len_and_iter(self):
         sweep = ParameterSweep("s", {"n_sites": [3, 4], "seed": [0, 1, 2]})
         assert len(sweep) == 6
