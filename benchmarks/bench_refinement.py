@@ -1,0 +1,69 @@
+"""Adaptive refinement vs the uniform grid it replaces.
+
+The acceptance bar for the refinement driver: on the FIG8 commit-point
+boundary it must (a) agree with a brute-force uniform 0.01 T grid about
+where the verdict flips, and (b) evaluate fewer than 25% of the uniform
+grid's scenarios.  Measured over the full classic onset window [0.25 T,
+8 T], where the advantage is largest (one flip, 776 uniform points).
+"""
+
+import pytest
+
+from repro.engine import OnsetLine, RefinementDriver, SweepEngine, verdict_class
+
+LINE = OnsetLine(
+    protocol="terminating-three-phase-commit", n_sites=3, g1=(1, 2), g2=(3,)
+)
+LO, HI, RESOLUTION = 0.25, 8.0, 0.01
+
+
+def refine():
+    driver = RefinementDriver(resolution=RESOLUTION)
+    return driver.refine(LINE, lo=LO, hi=HI, coarse_step=0.25)
+
+
+def uniform():
+    engine = SweepEngine(workers=1)
+    steps = int(round((HI - LO) / RESOLUTION))
+    times = [round(LO + i * RESOLUTION, 6) for i in range(steps + 1)]
+    sweep = engine.run([LINE.task_at(t) for t in times])
+    classes = {t: verdict_class(s) for t, s in zip(times, sweep.summaries)}
+    flips = [
+        (t1, t2)
+        for t1, t2 in zip(times, times[1:])
+        if classes[t1] != classes[t2]
+    ]
+    return times, flips
+
+
+def test_bench_adaptive_refinement(run_once_benchmark):
+    result = run_once_benchmark(refine)
+    assert len(result.boundaries) == 1
+    assert result.boundaries[0].width <= RESOLUTION
+    assert result.scenarios_run < 0.25 * result.uniform_equivalent()
+
+
+def test_refinement_matches_uniform_grid_at_a_fraction_of_the_cost():
+    result = refine()
+    times, flips = uniform()
+    assert len(flips) == len(result.boundaries) == 1
+    uniform_lo, uniform_hi = flips[0]
+    boundary = result.boundaries[0]
+    # Same flip, bracketed to the same resolution.
+    assert abs(boundary.midpoint - (uniform_lo + uniform_hi) / 2) <= RESOLUTION
+    # <25% of the uniform cost is the acceptance bar; in practice ~5%.
+    ratio = result.scenarios_run / len(times)
+    print(
+        f"\nrefinement: {result.scenarios_run} scenarios vs uniform {len(times)} "
+        f"({ratio:.1%}), boundary at {boundary.midpoint:g} +- {boundary.width / 2:g} T"
+    )
+    assert ratio < 0.25
+
+
+@pytest.mark.parametrize("workers", [1])
+def test_warm_cache_refinement_executes_nothing(tmp_path, workers):
+    engine = SweepEngine(workers=workers, cache=tmp_path)
+    driver = RefinementDriver(engine, resolution=RESOLUTION)
+    driver.refine(LINE, lo=LO, hi=HI)
+    warm = driver.refine(LINE, lo=LO, hi=HI)
+    assert warm.executed == 0

@@ -9,13 +9,25 @@ Usage::
     python -m repro sweep --workers 4 --sites 4 --protocol all
     python -m repro sweep --protocol terminating-three-phase-commit \\
         --times 0.5 1.5 2.5 --heal-after 2.0 --cache .sweep-cache
+    python -m repro sweep --protocol all --stream --jsonl sweep.jsonl
+    python -m repro sweep --protocol terminating-three-phase-commit --refine \\
+        --resolution 0.01 --cache .sweep-cache
+    python -m repro boundaries --protocol terminating-three-phase-commit \\
+        --sites 3 --lo 0.25 --hi 8.0 --resolution 0.01
+
+``sweep --stream`` executes through the constant-memory streaming path
+(summaries are folded into aggregation sinks in task order, never
+materialized); ``sweep --refine`` and the ``boundaries`` subcommand locate
+the onset times where the verdict class flips by adaptive bisection instead
+of a uniform grid.  Every mode reports cache hit/miss counts and
+scenarios/sec at completion.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from typing import Callable, Optional
 
 from repro import experiments as ex
 
@@ -117,21 +129,119 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="scenarios per worker submission (default: auto)",
     )
+    sweep.add_argument(
+        "--stream",
+        action="store_true",
+        help="constant-memory streaming execution (aggregate via sinks)",
+    )
+    sweep.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="with --stream: spill every summary to PATH as JSON lines",
+    )
+    sweep.add_argument(
+        "--refine",
+        action="store_true",
+        help=(
+            "adaptively refine verdict boundaries instead of a uniform sweep "
+            "(--times then only bounds the interval: [min, max])"
+        ),
+    )
+    sweep.add_argument(
+        "--resolution",
+        type=float,
+        default=0.01,
+        metavar="DT",
+        help="with --refine: boundary bracketing floor (default 0.01 T)",
+    )
+
+    boundaries = sub.add_parser(
+        "boundaries",
+        help="locate verdict boundaries along the partition-onset axis",
+        description=(
+            "Run a coarse onset grid per (protocol x simple split x vote "
+            "pattern), then recursively bisect only the intervals where the "
+            "verdict class flips, bracketing each boundary to --resolution "
+            "with a fraction of the scenarios of a uniform grid."
+        ),
+    )
+    boundaries.add_argument(
+        "--protocol",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="protocol registry name (repeatable); 'all' refines every protocol",
+    )
+    boundaries.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
+    boundaries.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1, in-process)"
+    )
+    boundaries.add_argument(
+        "--lo", type=float, default=0.25, metavar="T", help="interval start (default 0.25)"
+    )
+    boundaries.add_argument(
+        "--hi", type=float, default=8.0, metavar="T", help="interval end (default 8.0)"
+    )
+    boundaries.add_argument(
+        "--coarse-step",
+        type=float,
+        default=0.25,
+        metavar="DT",
+        help="coarse scan spacing (default 0.25, the classic grid)",
+    )
+    boundaries.add_argument(
+        "--resolution",
+        type=float,
+        default=0.01,
+        metavar="DT",
+        help="boundary bracketing floor (default 0.01 T)",
+    )
+    boundaries.add_argument(
+        "--heal-after",
+        type=float,
+        default=None,
+        metavar="DT",
+        help="heal every partition DT after onset (transient partitioning)",
+    )
+    boundaries.add_argument(
+        "--no-voters",
+        action="append",
+        default=None,
+        metavar="SITES",
+        help="comma-separated no-voting sites; repeatable, 'none' = all yes",
+    )
+    boundaries.add_argument(
+        "--decision-bounds",
+        action="store_true",
+        help="also split classes by the whole-T decision bound (2T/3T/5T/6T flips)",
+    )
+    boundaries.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (refinement rounds become incremental)",
+    )
     return parser
 
 
-def _run_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis.atomicity import summarize_runs
-    from repro.engine import ScenarioGrid, SweepEngine
-    from repro.metrics.reporting import format_table
+def _resolve_protocols(args: argparse.Namespace) -> Optional[list[str]]:
+    """Validated protocol list, or ``None`` after printing the error."""
     from repro.protocols.registry import available_protocols
 
-    if args.workers < 1:
-        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
-        return 2
-    if args.chunk_size is not None and args.chunk_size < 1:
-        print(f"--chunk-size must be >= 1, got {args.chunk_size}", file=sys.stderr)
-        return 2
+    protocols = args.protocol or ["terminating-three-phase-commit"]
+    if any(p == "all" for p in protocols):
+        protocols = available_protocols()
+    unknown = [p for p in protocols if p not in available_protocols()]
+    if unknown:
+        print(f"unknown protocol(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(available_protocols())}", file=sys.stderr)
+        return None
+    return list(protocols)
+
+
+def _resolve_no_voters(args: argparse.Namespace) -> Optional[tuple[frozenset[int], ...]]:
+    """Validated vote-pattern options, or ``None`` after printing the error."""
     try:
         no_voter_options = _parse_no_voters(args.no_voters or [])
     except ValueError:
@@ -140,7 +250,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             f"got {args.no_voters}",
             file=sys.stderr,
         )
-        return 2
+        return None
     out_of_range = sorted(
         site
         for option in no_voter_options
@@ -152,20 +262,86 @@ def _run_sweep(args: argparse.Namespace) -> int:
             f"--no-voters names site(s) {out_of_range} outside 1..{args.sites}",
             file=sys.stderr,
         )
-        return 2
+        return None
+    return no_voter_options
 
-    protocols = args.protocol or ["terminating-three-phase-commit"]
-    if any(p == "all" for p in protocols):
-        protocols = available_protocols()
-    unknown = [p for p in protocols if p not in available_protocols()]
-    if unknown:
-        print(f"unknown protocol(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(available_protocols())}", file=sys.stderr)
+
+def _cache_text(cache, hits: int, total: int) -> str:
+    """The cache-effectiveness fragment shared by every completion line."""
+    if cache is None:
+        return "cache disabled"
+    return f"cache: {hits} hit(s) / {total - hits} miss(es)"
+
+
+def _print_stats(stats, workers: int, cache) -> None:
+    """The completion line: throughput plus cache effectiveness."""
+    print(
+        f"{stats.total} scenarios in {stats.elapsed:.2f}s "
+        f"({workers} worker(s), {stats.throughput:.0f} scenarios/s, "
+        f"{stats.executed} executed, "
+        f"{_cache_text(cache, stats.cache_hits, stats.total)})"
+    )
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.atomicity import summarize_runs
+    from repro.engine import (
+        JsonlSink,
+        ScenarioGrid,
+        SweepEngine,
+        VerdictCounterSink,
+    )
+    from repro.metrics.reporting import format_table
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(f"--chunk-size must be >= 1, got {args.chunk_size}", file=sys.stderr)
+        return 2
+    if args.jsonl is not None and not args.stream:
+        print("--jsonl requires --stream", file=sys.stderr)
+        return 2
+    if args.refine and (args.stream or args.jsonl):
+        print("--refine cannot be combined with --stream/--jsonl", file=sys.stderr)
+        return 2
+    no_voter_options = _resolve_no_voters(args)
+    if no_voter_options is None:
+        return 2
+    protocols = _resolve_protocols(args)
+    if protocols is None:
         return 2
 
     engine = SweepEngine(
         workers=args.workers, cache=args.cache, chunk_size=args.chunk_size
     )
+
+    if args.refine:
+        # With --refine, --times only delimits the interval: refinement
+        # places its own (coarse + bisected) points inside [min, max].
+        lo = min(args.times) if args.times else 0.25
+        hi = max(args.times) if args.times else 8.0
+        if hi <= lo:
+            print(
+                "--refine needs an onset interval: give two distinct --times "
+                "(their min/max become the bounds) or use "
+                "'repro boundaries --lo ... --hi ...'",
+                file=sys.stderr,
+            )
+            return 2
+        return _refine_and_report(
+            engine,
+            protocols,
+            n_sites=args.sites,
+            no_voter_options=no_voter_options,
+            heal_after=args.heal_after,
+            resolution=args.resolution,
+            lo=lo,
+            hi=hi,
+            coarse_step=0.25,
+            classify_bounds=False,
+        )
+
     # One task list (and thus one worker pool) across all protocols; the
     # per-protocol tables are sliced back out of the ordered summaries.
     tasks = []
@@ -181,6 +357,19 @@ def _run_sweep(args: argparse.Namespace) -> int:
         protocol_tasks = list(grid.tasks())
         spans.append((protocol, len(tasks), len(tasks) + len(protocol_tasks)))
         tasks.extend(protocol_tasks)
+
+    if args.stream:
+        # Constant-memory path: summaries flow through sinks in task order
+        # and are never materialized.
+        sinks = [VerdictCounterSink()]
+        if args.jsonl is not None:
+            sinks.append(JsonlSink(args.jsonl))
+        stats = engine.run_streaming(tasks, sinks=sinks)
+        print(format_table(sinks[0].rows()))
+        if args.jsonl is not None:
+            print(f"spilled {sinks[1].count} summaries to {args.jsonl}")
+        _print_stats(stats, args.workers, engine.cache)
+        return 0
 
     result = engine.run(tasks)
     rows = []
@@ -198,12 +387,111 @@ def _run_sweep(args: argparse.Namespace) -> int:
             }
         )
     print(format_table(rows))
+    _print_stats(result, args.workers, engine.cache)
+    return 0
+
+
+def _refine_and_report(
+    engine,
+    protocols: list[str],
+    *,
+    n_sites: int,
+    no_voter_options: tuple[frozenset[int], ...],
+    heal_after: Optional[float],
+    resolution: float,
+    lo: float,
+    hi: float,
+    coarse_step: float,
+    classify_bounds: bool,
+) -> int:
+    """Shared implementation of ``sweep --refine`` and ``boundaries``."""
+    from repro.engine import RefinementDriver, verdict_class, verdict_class_with_bound
+    from repro.metrics.reporting import format_table
+
+    if resolution <= 0:
+        print(f"--resolution must be > 0, got {resolution}", file=sys.stderr)
+        return 2
+    if hi <= lo:
+        print(f"need --lo < --hi, got [{lo}, {hi}]", file=sys.stderr)
+        return 2
+    if coarse_step <= 0:
+        print(f"--coarse-step must be > 0, got {coarse_step}", file=sys.stderr)
+        return 2
+    driver = RefinementDriver(
+        engine,
+        resolution=resolution,
+        classify=verdict_class_with_bound if classify_bounds else verdict_class,
+    )
+    rows = []
+    scenarios_run = 0
+    executed = 0
+    cache_hits = 0
+    uniform = 0
+    for protocol in protocols:
+        results = driver.refine_partition_boundaries(
+            protocol,
+            n_sites,
+            no_voter_options=no_voter_options,
+            heal_after=heal_after,
+            lo=lo,
+            hi=hi,
+            coarse_step=coarse_step,
+        )
+        for result in results:
+            rows.extend(result.rows())
+            scenarios_run += result.scenarios_run
+            executed += result.executed
+            cache_hits += result.cache_hits
+            uniform += result.uniform_equivalent()
+    if uniform == 0:
+        # No refinement lines at all (e.g. a single site has no simple splits).
+        print(f"no partition lines to refine for {args_desc(protocols, n_sites)}")
+        return 0
+    if rows:
+        print(
+            format_table(rows, title=f"verdict boundaries bracketed to {resolution:g} T")
+        )
+    else:
+        print(f"no verdict flips in [{lo:g}, {hi:g}] (every onset classifies alike)")
     print(
-        f"{result.total} scenarios in {result.elapsed:.2f}s "
-        f"({args.workers} worker(s), {result.throughput:.0f} runs/s, "
-        f"{result.executed} executed, {result.cache_hits} from cache)"
+        f"{scenarios_run} scenarios evaluated ({executed} executed, "
+        f"{_cache_text(engine.cache, cache_hits, scenarios_run)}) "
+        f"vs {uniform} for the uniform {resolution:g} T grid "
+        f"({scenarios_run / uniform:.1%} of uniform cost)"
     )
     return 0
+
+
+def args_desc(protocols: list[str], n_sites: int) -> str:
+    """Short description of a refinement request, for empty-result messages."""
+    return f"{', '.join(protocols)} at {n_sites} site(s)"
+
+
+def _run_boundaries(args: argparse.Namespace) -> int:
+    from repro.engine import SweepEngine
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    no_voter_options = _resolve_no_voters(args)
+    if no_voter_options is None:
+        return 2
+    protocols = _resolve_protocols(args)
+    if protocols is None:
+        return 2
+    engine = SweepEngine(workers=args.workers, cache=args.cache)
+    return _refine_and_report(
+        engine,
+        protocols,
+        n_sites=args.sites,
+        no_voter_options=no_voter_options,
+        heal_after=args.heal_after,
+        resolution=args.resolution,
+        lo=args.lo,
+        hi=args.hi,
+        coarse_step=args.coarse_step,
+        classify_bounds=args.decision_bounds,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -215,6 +503,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "boundaries":
+        return _run_boundaries(args)
     ids = list(EXPERIMENTS) if args.command == "all" else [i.upper() for i in args.ids]
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:

@@ -58,6 +58,33 @@ class AtomicityReport:
             f"{self.blocked_runs} blocked runs -> {verdict}"
         )
 
+    def observe(self, result, *, max_witnesses: int = 5) -> None:
+        """Fold one run (a full result or an engine summary) into the report.
+
+        This is the single-pass reduction behind :func:`summarize_runs`; the
+        engine's :class:`~repro.engine.sink.AtomicitySink` calls it once per
+        streamed summary, so a million-scenario sweep aggregates in O(1)
+        memory.  A report constructed with the ``"unknown"`` placeholder
+        protocol takes its name from the first observed run.
+        """
+        if self.total_runs == 0 and self.protocol == "unknown":
+            self.protocol = result.protocol
+        self.total_runs += 1
+        if result.atomicity_violated:
+            self.atomicity_violations += 1
+            if len(self.violation_witnesses) < max_witnesses:
+                self.violation_witnesses.append(result.summary())
+        if result.blocked:
+            self.blocked_runs += 1
+            if len(self.blocking_witnesses) < max_witnesses:
+                self.blocking_witnesses.append(result.summary())
+        if result.all_committed:
+            self.committed_runs += 1
+        if result.all_aborted:
+            self.aborted_runs += 1
+        if not result.stores_agree:
+            self.store_divergences += 1
+
 
 def check_atomicity(result: TransactionRunResult) -> bool:
     """True when the single run preserved atomicity (no commit/abort mix)."""
@@ -71,22 +98,7 @@ def summarize_runs(
     max_witnesses: int = 5,
 ) -> AtomicityReport:
     """Fold a batch of runs into an :class:`AtomicityReport`."""
-    results = list(results)
-    name = protocol or (results[0].protocol if results else "unknown")
-    report = AtomicityReport(protocol=name, total_runs=len(results))
+    report = AtomicityReport(protocol=protocol or "unknown")
     for result in results:
-        if result.atomicity_violated:
-            report.atomicity_violations += 1
-            if len(report.violation_witnesses) < max_witnesses:
-                report.violation_witnesses.append(result.summary())
-        if result.blocked:
-            report.blocked_runs += 1
-            if len(report.blocking_witnesses) < max_witnesses:
-                report.blocking_witnesses.append(result.summary())
-        if result.all_committed:
-            report.committed_runs += 1
-        if result.all_aborted:
-            report.aborted_runs += 1
-        if not result.stores_agree:
-            report.store_divergences += 1
+        report.observe(result, max_witnesses=max_witnesses)
     return report

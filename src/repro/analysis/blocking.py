@@ -9,7 +9,7 @@ what the AVAIL experiment compares across protocols.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.protocols.runner import TransactionRunResult
@@ -17,15 +17,24 @@ from repro.protocols.runner import TransactionRunResult
 
 @dataclass
 class BlockingReport:
-    """Blocking statistics over a batch of runs of one protocol."""
+    """Blocking statistics over a batch of runs of one protocol.
+
+    The report keeps running aggregates (counts, sums, maxima), never the
+    per-run values themselves, so it folds a streamed million-scenario sweep
+    in constant memory -- it is the reduction behind the engine's
+    :class:`~repro.engine.sink.BlockingSink`.
+    """
 
     protocol: str
     total_runs: int = 0
     blocked_runs: int = 0
     blocked_site_count: int = 0
     runs_with_locks_held_at_end: int = 0
-    lock_hold_times: list[float] = field(default_factory=list)
-    decision_latencies: list[float] = field(default_factory=list)
+    lock_hold_time_sum: float = 0.0
+    lock_hold_samples: int = 0
+    decision_latency_sum: float = 0.0
+    decision_latency_max: Optional[float] = None
+    decision_latency_samples: int = 0
 
     @property
     def blocking_rate(self) -> float:
@@ -40,21 +49,44 @@ class BlockingReport:
     @property
     def mean_decision_latency(self) -> Optional[float]:
         """Mean time to the slowest decision, over runs where everyone decided."""
-        if not self.decision_latencies:
+        if not self.decision_latency_samples:
             return None
-        return sum(self.decision_latencies) / len(self.decision_latencies)
+        return self.decision_latency_sum / self.decision_latency_samples
 
     @property
     def max_decision_latency(self) -> Optional[float]:
         """Worst time to the slowest decision over the batch."""
-        return max(self.decision_latencies) if self.decision_latencies else None
+        return self.decision_latency_max
 
     @property
     def mean_lock_hold_time(self) -> Optional[float]:
         """Mean total lock-hold time per run (simulated time units)."""
-        if not self.lock_hold_times:
+        if not self.lock_hold_samples:
             return None
-        return sum(self.lock_hold_times) / len(self.lock_hold_times)
+        return self.lock_hold_time_sum / self.lock_hold_samples
+
+    def observe(self, result) -> None:
+        """Fold one run (a full result or an engine summary) into the report.
+
+        A report constructed with the ``"unknown"`` placeholder protocol
+        takes its name from the first observed run.
+        """
+        if self.total_runs == 0 and self.protocol == "unknown":
+            self.protocol = result.protocol
+        self.total_runs += 1
+        if result.blocked:
+            self.blocked_runs += 1
+        self.blocked_site_count += len(result.blocked_sites)
+        if any(result.locks_held_at_end.values()):
+            self.runs_with_locks_held_at_end += 1
+        self.lock_hold_time_sum += total_lock_hold_time(result)
+        self.lock_hold_samples += 1
+        latency = result.max_decision_latency()
+        if latency is not None and not result.blocked:
+            self.decision_latency_sum += latency
+            self.decision_latency_samples += 1
+            if self.decision_latency_max is None or latency > self.decision_latency_max:
+                self.decision_latency_max = latency
 
     def summary(self) -> str:
         """One-line report used by the availability bench."""
@@ -96,17 +128,7 @@ def blocking_report(
     Accepts full :class:`TransactionRunResult` objects or the engine's
     :class:`~repro.engine.summary.RunSummary` records interchangeably.
     """
-    results = list(results)
-    name = protocol or (results[0].protocol if results else "unknown")
-    report = BlockingReport(protocol=name, total_runs=len(results))
+    report = BlockingReport(protocol=protocol or "unknown")
     for result in results:
-        if result.blocked:
-            report.blocked_runs += 1
-        report.blocked_site_count += len(result.blocked_sites)
-        if any(result.locks_held_at_end.values()):
-            report.runs_with_locks_held_at_end += 1
-        report.lock_hold_times.append(total_lock_hold_time(result))
-        latency = result.max_decision_latency()
-        if latency is not None and not result.blocked:
-            report.decision_latencies.append(latency)
+        report.observe(result)
     return report

@@ -9,26 +9,72 @@ loop for ``workers=1``), streaming back compact, picklable
 :class:`~repro.engine.summary.RunSummary` records.  An on-disk result cache
 keyed by ``(spec-hash, seed)`` makes re-sweeps incremental.
 
-Every experiment sweep, benchmark and the ``repro sweep`` CLI subcommand run
-on top of this package.
+Summaries either materialize into a list (:meth:`SweepEngine.run
+<repro.engine.engine.SweepEngine.run>`) or stream in task order through
+composable :mod:`~repro.engine.sink` aggregators
+(:meth:`SweepEngine.run_streaming
+<repro.engine.engine.SweepEngine.run_streaming>`) so arbitrarily large
+sweeps run in O(sinks) memory.  :mod:`~repro.engine.refine` adds adaptive
+onset-boundary refinement on top: coarse scan, then bisection of only the
+intervals where the verdict class flips.
+
+Every experiment sweep, benchmark and the ``repro sweep`` / ``repro
+boundaries`` CLI subcommands run on top of this package.
 """
 
 from repro.engine.cache import ResultCache
-from repro.engine.engine import SweepEngine, SweepResult
+from repro.engine.engine import StreamStats, SweepEngine, SweepResult
 from repro.engine.grid import ScenarioGrid, SweepTask, tasks_from_specs
 from repro.engine.hashing import spec_hash
 from repro.engine.measures import MEASURES, register_measure
+from repro.engine.refine import (
+    Boundary,
+    OnsetLine,
+    RefinementDriver,
+    RefinementResult,
+    verdict_class,
+    verdict_class_with_bound,
+)
+from repro.engine.sink import (
+    AtomicitySink,
+    BlockingSink,
+    CallbackSink,
+    DecisionTimeHistogramSink,
+    JsonlSink,
+    ListSink,
+    SummarySink,
+    VerdictCounterSink,
+    ViolationCollectorSink,
+    read_jsonl,
+)
 from repro.engine.summary import RunSummary
 
 __all__ = [
     "MEASURES",
+    "AtomicitySink",
+    "BlockingSink",
+    "Boundary",
+    "CallbackSink",
+    "DecisionTimeHistogramSink",
+    "JsonlSink",
+    "ListSink",
+    "OnsetLine",
+    "RefinementDriver",
+    "RefinementResult",
     "ResultCache",
     "RunSummary",
     "ScenarioGrid",
+    "StreamStats",
+    "SummarySink",
     "SweepEngine",
     "SweepResult",
     "SweepTask",
+    "VerdictCounterSink",
+    "ViolationCollectorSink",
+    "read_jsonl",
     "register_measure",
     "spec_hash",
     "tasks_from_specs",
+    "verdict_class",
+    "verdict_class_with_bound",
 ]

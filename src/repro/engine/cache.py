@@ -30,20 +30,44 @@ class ResultCache:
         """Cache file location for one ``(spec-hash, seed)`` key."""
         return self.root / spec_hash[:2] / f"{spec_hash}-{seed}.json"
 
-    def get_bytes(self, spec_hash: str, seed: int) -> Optional[bytes]:
-        """Raw cached bytes, or ``None`` on a miss (counters updated)."""
+    def probe(self, spec_hash: str, seed: int) -> bool:
+        """Existence check counted like a lookup, without reading the entry.
+
+        The engine's streaming scan uses this to learn *whether* a point is
+        cached (the full entry is read lazily at delivery time), so a warm
+        sweep reads and parses each entry exactly once.
+        """
+        if self.path(spec_hash, seed).is_file():
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def get_bytes(
+        self, spec_hash: str, seed: int, *, record: bool = True
+    ) -> Optional[bytes]:
+        """Raw cached bytes, or ``None`` on a miss.
+
+        ``record=False`` leaves the hit/miss counters untouched -- for
+        internal re-reads of entries already counted by :meth:`probe` or an
+        earlier :meth:`get`.
+        """
         path = self.path(spec_hash, seed)
         try:
             data = path.read_bytes()
         except FileNotFoundError:
-            self.misses += 1
+            if record:
+                self.misses += 1
             return None
-        self.hits += 1
+        if record:
+            self.hits += 1
         return data
 
-    def get(self, spec_hash: str, seed: int) -> Optional[RunSummary]:
+    def get(
+        self, spec_hash: str, seed: int, *, record: bool = True
+    ) -> Optional[RunSummary]:
         """The cached summary, or ``None`` on a miss."""
-        data = self.get_bytes(spec_hash, seed)
+        data = self.get_bytes(spec_hash, seed, record=record)
         if data is None:
             return None
         return RunSummary.from_json_bytes(data)

@@ -18,6 +18,19 @@ summaries are reassembled by task index regardless of which worker finished
 first.  With a :class:`~repro.engine.cache.ResultCache` attached, previously
 executed ``(spec-hash, seed)`` points are served from disk and only the new
 points are dispatched.
+
+Two execution surfaces share that machinery:
+
+* :meth:`SweepEngine.run` materializes every summary into a
+  :class:`SweepResult` list -- right for the figure-sized sweeps;
+* :meth:`SweepEngine.run_streaming` / :meth:`SweepEngine.stream` deliver
+  each summary exactly once, *in task order*, to composable
+  :class:`~repro.engine.sink.SummarySink` aggregators and then drop it, so
+  a million-scenario sweep holds O(sinks) memory plus a reorder buffer
+  bounded by the number of in-flight chunk results (never the whole sweep).
+  In-order delivery makes every sink aggregate -- and a
+  :class:`~repro.engine.sink.JsonlSink` spill file byte-for-byte --
+  identical across worker counts.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from typing import Any, Iterable, Iterator, Optional, Sequence, Union
 from repro.engine.cache import ResultCache
 from repro.engine.grid import ScenarioGrid, SweepTask
 from repro.engine.measures import apply_measures, resolve_measures
+from repro.engine.sink import SummarySink
 from repro.engine.summary import RunSummary
 from repro.protocols.registry import create_protocol
 from repro.protocols.runner import ScenarioSpec, run_scenario
@@ -91,6 +105,30 @@ class SweepResult:
         return self.summaries[index]
 
 
+@dataclass
+class StreamStats:
+    """Run statistics of a streaming sweep (the summaries live in the sinks).
+
+    ``max_buffered`` is the peak size of the in-order reorder buffer -- the
+    proof that the sweep streamed: for a materializing run it would equal the
+    sweep size, for a streaming run it stays bounded by the in-flight chunk
+    results (and is 0 when every point came from the cache).
+    """
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    chunk_count: int = 0
+    elapsed: float = 0.0
+    max_buffered: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Scenarios per wall-clock second (0 when elapsed is unmeasured)."""
+        return self.total / self.elapsed if self.elapsed > 0 else 0.0
+
+
 class SweepEngine:
     """Executes scenario grids across worker processes with result caching.
 
@@ -137,26 +175,95 @@ class SweepEngine:
         """Execute every task and return ordered summaries plus statistics."""
         task_list = self._materialize(tasks)
         started = time.perf_counter()
-        result = SweepResult(
-            summaries=[None] * len(task_list), workers=self.workers  # type: ignore[list-item]
+        stats = StreamStats(workers=self.workers)
+        summaries = [
+            summary for _, summary in self._stream_ordered(task_list, measures, stats)
+        ]
+        return SweepResult(
+            summaries=summaries,
+            executed=stats.executed,
+            cache_hits=stats.cache_hits,
+            workers=self.workers,
+            chunk_count=stats.chunk_count,
+            elapsed=time.perf_counter() - started,
         )
-        for index, summary, from_cache in self._stream(task_list, measures, result):
-            result.summaries[index] = summary
-            if from_cache:
-                result.cache_hits += 1
-            else:
-                result.executed += 1
-        result.elapsed = time.perf_counter() - started
-        return result
 
     def iter_summaries(
         self, tasks: TaskBatch, *, measures: Sequence[str] = ()
     ) -> Iterator[tuple[int, RunSummary]]:
-        """Stream ``(task index, summary)`` pairs as they complete."""
+        """Stream ``(task index, summary)`` pairs, in task order."""
         task_list = self._materialize(tasks)
-        stats = SweepResult(workers=self.workers)
-        for index, summary, _ in self._stream(task_list, measures, stats):
-            yield index, summary
+        stats = StreamStats(workers=self.workers)
+        yield from self._stream_ordered(task_list, measures, stats)
+
+    def run_streaming(
+        self,
+        tasks: TaskBatch,
+        *,
+        sinks: Union[SummarySink, Sequence[SummarySink]],
+        measures: Sequence[str] = (),
+    ) -> StreamStats:
+        """Execute every task, feeding each summary to the sinks in task order.
+
+        No summary list is materialized: each summary is handed to every
+        sink exactly once and then dropped, so memory stays O(sinks) plus a
+        reorder buffer bounded by in-flight chunk results
+        (:attr:`StreamStats.max_buffered`).  Because delivery order equals
+        task order, ``workers=1`` and ``workers=N`` leave every sink with
+        identical final aggregates.  Sinks are closed (even on an empty
+        sweep) before the stats are returned.
+        """
+        sink_list = [sinks] if isinstance(sinks, SummarySink) else list(sinks)
+        stats = StreamStats(workers=self.workers)
+        started = time.perf_counter()
+        body_raised = False
+        try:
+            for index, summary in self._stream_ordered(
+                self._materialize(tasks), measures, stats
+            ):
+                for sink in sink_list:
+                    sink.accept(index, summary)
+        except BaseException:
+            body_raised = True
+            raise
+        finally:
+            # Close even on worker/sink failure so buffered sink output (e.g.
+            # a partial JSONL spill) is flushed rather than lost; one sink's
+            # close() failure must not leave the remaining sinks unflushed.
+            close_error: Optional[BaseException] = None
+            for sink in sink_list:
+                try:
+                    sink.close()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if close_error is None:
+                        close_error = exc
+            # A close failure surfaces unless an execution error is already
+            # propagating (that one stays the primary exception).
+            if close_error is not None and not body_raised:
+                raise close_error
+        stats.elapsed = time.perf_counter() - started
+        return stats
+
+    def stream(
+        self,
+        tasks: TaskBatch,
+        *,
+        measures: Sequence[str] = (),
+        stats: Optional[StreamStats] = None,
+    ) -> Iterator[RunSummary]:
+        """Yield summaries one at a time, in task order, without a list.
+
+        The generator analogue of :meth:`run_streaming`, for callers (the
+        per-figure experiments) that fold the stream themselves.  Pass a
+        :class:`StreamStats` to collect run statistics; its ``elapsed`` field
+        is only final once the generator is exhausted.
+        """
+        if stats is None:
+            stats = StreamStats(workers=self.workers)
+        started = time.perf_counter()
+        for _, summary in self._stream_ordered(self._materialize(tasks), measures, stats):
+            yield summary
+        stats.elapsed = time.perf_counter() - started
 
     # ------------------------------------------------------------------
     # internals
@@ -174,45 +281,97 @@ class SweepEngine:
                 out.append(SweepTask(protocol=protocol, spec=spec))
         return out
 
-    def _stream(
+    def _stream_ordered(
         self,
         tasks: list[SweepTask],
         measures: Sequence[str],
-        stats: SweepResult,
-    ) -> Iterator[tuple[int, RunSummary, bool]]:
+        stats: StreamStats,
+    ) -> Iterator[tuple[int, RunSummary]]:
+        """Yield ``(index, summary)`` strictly in task order, bounded memory.
+
+        Cache hits are *not* held across the scan: the scan records only the
+        key of a usable hit and re-reads it from disk at delivery time, so
+        the parent never retains more summaries than the reorder buffer of
+        out-of-order chunk results (``stats.max_buffered``).
+        """
         measure_names = resolve_measures(measures)
+        stats.total = len(tasks)
         pending: list[tuple[int, SweepTask, str]] = []
-        # Entries cached without some requested measure re-execute, then merge
-        # the old metrics back in so cache entries only ever gain measures.
+        cached: dict[int, tuple[SweepTask, str]] = {}
         partial: dict[int, RunSummary] = {}
         for index, task in enumerate(tasks):
             key = task.spec_hash
-            cached = self.cache.get(key, task.spec.seed) if self.cache is not None else None
-            if cached is not None and all(m in cached.metrics for m in measure_names):
-                yield index, cached, True
-            else:
-                if cached is not None:
-                    partial[index] = cached
+            if self.cache is None:
                 pending.append((index, task, key))
-
-        if not pending:
-            return
+            elif not measure_names:
+                # No measures to check: a cheap existence probe suffices,
+                # deferring the single read+parse to delivery time.
+                if self.cache.probe(key, task.spec.seed):
+                    cached[index] = (task, key)
+                else:
+                    pending.append((index, task, key))
+            else:
+                hit = self.cache.get(key, task.spec.seed)
+                if hit is not None and all(m in hit.metrics for m in measure_names):
+                    cached[index] = (task, key)
+                else:
+                    if hit is not None:
+                        partial[index] = hit
+                    pending.append((index, task, key))
 
         def finish(index: int, summary: RunSummary) -> RunSummary:
-            stale = partial.get(index)
+            stale = partial.pop(index, None)
             if stale is not None:
                 summary.metrics = {**stale.metrics, **summary.metrics}
             if self.cache is not None:
                 self.cache.put(summary)
             return summary
 
-        if self.workers == 1 or len(pending) == 1:
+        buffered: dict[int, RunSummary] = {}
+        cursor = 0
+
+        def drain() -> Iterator[tuple[int, RunSummary]]:
+            nonlocal cursor
+            while cursor < len(tasks):
+                if cursor in buffered:
+                    stats.executed += 1
+                    yield cursor, buffered.pop(cursor)
+                elif cursor in cached:
+                    task, key = cached.pop(cursor)
+                    # The scan already counted this hit; the delivery read is
+                    # unrecorded so counters stay one-per-task.
+                    hit = self.cache.get(key, task.spec.seed, record=False)
+                    if hit is None:
+                        # Evicted between scan and delivery: re-execute inline.
+                        hit = finish(
+                            cursor,
+                            execute_task(
+                                task.protocol,
+                                task.spec,
+                                spec_hash=key,
+                                measures=measure_names,
+                            ),
+                        )
+                        stats.executed += 1
+                    else:
+                        stats.cache_hits += 1
+                    yield cursor, hit
+                else:
+                    return
+                cursor += 1
+
+        if self.workers == 1 or len(pending) <= 1:
             stats.chunk_count = len(pending)
             for index, task, key in pending:
-                summary = execute_task(
-                    task.protocol, task.spec, spec_hash=key, measures=measure_names
+                buffered[index] = finish(
+                    index,
+                    execute_task(
+                        task.protocol, task.spec, spec_hash=key, measures=measure_names
+                    ),
                 )
-                yield index, finish(index, summary), False
+                stats.max_buffered = max(stats.max_buffered, len(buffered))
+                yield from drain()
+            yield from drain()
             return
 
         chunks = self._chunk(pending, measure_names)
@@ -226,7 +385,10 @@ class SweepEngine:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     for index, summary in future.result():
-                        yield index, finish(index, summary), False
+                        buffered[index] = finish(index, summary)
+                    stats.max_buffered = max(stats.max_buffered, len(buffered))
+                    yield from drain()
+        yield from drain()
 
     def _chunk(
         self,

@@ -135,6 +135,19 @@ class RunSummary:
         """Atomicity holds and nobody is blocked (Theorem 9's property)."""
         return not self.atomicity_violated and not self.blocked
 
+    @property
+    def verdict(self) -> str:
+        """The run's verdict class: ``violated``, ``blocked`` or ``consistent``.
+
+        Violation dominates blocking: a run that both mixed outcomes and left
+        a site undecided is classed ``violated`` (the stronger failure).
+        """
+        if self.atomicity_violated:
+            return "violated"
+        if self.blocked:
+            return "blocked"
+        return "consistent"
+
     def decision_latency(self, site: int) -> Optional[float]:
         """Time from submission (t = 0) to the site's decision."""
         return self.decision_times.get(site)

@@ -4,16 +4,18 @@ Sections 1-2 argue that blocking is unacceptable because a blocked
 transaction keeps its locks, making data unavailable to every other
 transaction.  This experiment quantifies that argument: it runs the same
 partition sweep under each protocol and compares blocking rates, lock
-retention and decision latency.
+retention and decision latency.  Each sweep streams into
+:class:`~repro.engine.sink.AtomicitySink` / :class:`~repro.engine.sink.BlockingSink`
+aggregators, so the comparison scales to arbitrarily large grids without
+materializing summaries.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.analysis.blocking import blocking_report
-from repro.analysis.atomicity import summarize_runs
-from repro.experiments.harness import ExperimentReport, sweep_protocol
+from repro.engine import AtomicitySink, BlockingSink
+from repro.experiments.harness import ExperimentReport, stream_protocol_sinks
 
 DEFAULT_PROTOCOLS: tuple[str, ...] = (
     "two-phase-commit",
@@ -39,9 +41,19 @@ def run_availability_comparison(
     details = {}
     times = list(times) if times is not None else None
     for protocol in protocols:
-        results = sweep_protocol(protocol, n_sites=n_sites, times=times, workers=workers)
-        blocking = blocking_report(results, protocol=protocol)
-        atomicity = summarize_runs(results, protocol=protocol)
+        # Each protocol's sweep streams into the two report sinks; no summary
+        # list is materialized even for large site counts.
+        atomicity_sink = AtomicitySink(protocol=protocol)
+        blocking_sink = BlockingSink(protocol=protocol)
+        stream_protocol_sinks(
+            protocol,
+            sinks=(atomicity_sink, blocking_sink),
+            n_sites=n_sites,
+            times=times,
+            workers=workers,
+        )
+        blocking = blocking_sink.report
+        atomicity = atomicity_sink.report
         details[protocol] = {"blocking": blocking, "atomicity": atomicity}
         worst_latency = blocking.max_decision_latency
         mean_locks = blocking.mean_lock_hold_time

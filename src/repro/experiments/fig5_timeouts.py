@@ -43,7 +43,9 @@ def run_fig5_timeouts(
         )
         for n_sites, _, latency in cases
     ]
-    sweep = get_engine(workers).run(tasks, measures=("timeouts",))
+    # Streamed execution: summaries arrive in task order, one at a time, so
+    # they pair with `cases` without materializing a result list.
+    sweep = get_engine(workers).stream(tasks, measures=("timeouts",))
     measurements: list[TimingMeasurement] = []
     for (n_sites, label, latency), summary in zip(cases, sweep):
         timers = TerminationTimers(max_delay=latency.upper_bound)

@@ -13,7 +13,7 @@ from typing import Iterable, Optional
 
 from repro.analysis.timing import TimingMeasurement
 from repro.core.termination import TerminationTimers
-from repro.experiments.harness import ExperimentReport, sweep_protocol
+from repro.experiments.harness import ExperimentReport, stream_protocol
 
 
 def run_fig6_probe_window(
@@ -28,7 +28,7 @@ def run_fig6_probe_window(
         title="Master probe-collection window after an undeliverable prepare (bound 5T)",
     )
     timers = TerminationTimers(max_delay=1.0)
-    summaries = sweep_protocol(
+    summaries = stream_protocol(
         "terminating-three-phase-commit",
         n_sites=n_sites,
         times=list(times) if times is not None else None,

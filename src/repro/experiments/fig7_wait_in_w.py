@@ -41,7 +41,8 @@ def run_fig7_wait_in_w(
         spec.latency = PerLinkLatency(1.0, {(1, n_sites): 1.5})
         specs.append(spec)
     tasks = tasks_from_specs("terminating-three-phase-commit", specs)
-    sweep = get_engine(workers).run(tasks, measures=("wait_in_w",))
+    # Streamed: the fold below only ever holds one summary at a time.
+    sweep = get_engine(workers).stream(tasks, measures=("wait_in_w",))
     worst = 0.0
     samples = 0
     timed_out_without_decision = 0

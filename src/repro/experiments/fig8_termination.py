@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.analysis.atomicity import AtomicityReport, summarize_runs
-from repro.experiments.harness import ExperimentReport, sweep_protocol
+from repro.analysis.atomicity import AtomicityReport
+from repro.engine import AtomicitySink
+from repro.experiments.harness import ExperimentReport, stream_protocol_sinks
 
 
 def run_termination_sweep(
@@ -24,16 +25,23 @@ def run_termination_sweep(
     protocol: str = "terminating-three-phase-commit",
     workers: Optional[int] = None,
 ) -> AtomicityReport:
-    """Sweep the terminating protocol and summarize atomicity / blocking."""
-    results = sweep_protocol(
+    """Sweep the terminating protocol and summarize atomicity / blocking.
+
+    The sweep streams into an :class:`~repro.engine.sink.AtomicitySink`, so
+    arbitrarily large site counts / onset grids aggregate in constant
+    memory.
+    """
+    sink = AtomicitySink(protocol=protocol)
+    stream_protocol_sinks(
         protocol,
+        sinks=sink,
         n_sites=n_sites,
         times=times,
         heal_after=heal_after,
         no_voter_options=no_voter_options,
         workers=workers,
     )
-    return summarize_runs(results)
+    return sink.report
 
 
 def run_fig8_termination(

@@ -14,7 +14,7 @@ from typing import Iterable, Optional
 
 from repro.analysis.timing import TimingMeasurement
 from repro.core.termination import TerminationTimers
-from repro.experiments.harness import ExperimentReport, sweep_protocol
+from repro.experiments.harness import ExperimentReport, stream_protocol
 
 
 def run_fig9_wait_in_p(
@@ -35,7 +35,7 @@ def run_fig9_wait_in_p(
     # The non-transient protocol isolates the Fig. 9 bound itself: the 5T
     # fallback timer of Section 6 must never be what terminates a slave under
     # a *permanent* partition.
-    summaries = sweep_protocol(
+    summaries = stream_protocol(
         "terminating-three-phase-commit-no-transient",
         n_sites=n_sites,
         times=list(times) if times is not None else None,

@@ -1,11 +1,14 @@
 """Shared machinery for the per-figure experiments.
 
-All sweep traffic funnels through :func:`sweep_protocol`, which builds a
-:class:`~repro.engine.grid.ScenarioGrid` and executes it on the
-:class:`~repro.engine.SweepEngine` -- serially by default, across worker
-processes when ``workers > 1`` (or when ``REPRO_SWEEP_WORKERS`` is set).
-Sweeps therefore return compact :class:`~repro.engine.summary.RunSummary`
-records; single diagnostic runs (:func:`run_once`) still return the full
+All sweep traffic funnels through the grid builders here and executes on
+the :class:`~repro.engine.SweepEngine` -- serially by default, across
+worker processes when ``workers > 1`` (or when ``REPRO_SWEEP_WORKERS`` is
+set).  The timing experiments (FIG5-FIG9) and the availability harness
+consume their sweeps through the engine's *streaming* surface
+(:func:`stream_protocol` / :func:`stream_protocol_sinks`): summaries are
+folded one at a time, in task order, and never materialized into a list.
+:func:`sweep_protocol` remains for callers that want the list.  Single
+diagnostic runs (:func:`run_once`) still return the full
 :class:`~repro.protocols.runner.TransactionRunResult` with its trace.
 """
 
@@ -13,9 +16,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
 
-from repro.engine import RunSummary, ScenarioGrid, SweepEngine
+from repro.engine import RunSummary, ScenarioGrid, StreamStats, SummarySink, SweepEngine
 from repro.metrics.reporting import format_table
 from repro.protocols.registry import create_protocol
 from repro.protocols.runner import ScenarioSpec, TransactionRunResult, run_scenario
@@ -79,7 +82,7 @@ def get_engine(
     return SweepEngine(workers=workers if workers is not None else default_workers())
 
 
-def sweep_protocol(
+def partition_grid(
     protocol_name: str,
     *,
     n_sites: int = 3,
@@ -87,12 +90,9 @@ def sweep_protocol(
     heal_after: Optional[float] = None,
     no_voter_options: Sequence[frozenset[int]] = (frozenset(),),
     horizon: Optional[float] = None,
-    workers: Optional[int] = None,
-    engine: Optional[SweepEngine] = None,
-    measures: Sequence[str] = (),
-) -> list[RunSummary]:
-    """Run ``protocol_name`` over a grid of simple-partition scenarios."""
-    grid = ScenarioGrid.from_partition_sweep(
+) -> ScenarioGrid:
+    """The standard simple-partition grid of one protocol (Theorem 9 axes)."""
+    return ScenarioGrid.from_partition_sweep(
         protocol_name,
         n_sites,
         times=list(times) if times is not None else None,
@@ -100,7 +100,57 @@ def sweep_protocol(
         no_voter_options=no_voter_options,
         horizon=horizon,
     )
+
+
+def sweep_protocol(
+    protocol_name: str,
+    *,
+    workers: Optional[int] = None,
+    engine: Optional[SweepEngine] = None,
+    measures: Sequence[str] = (),
+    **grid_kwargs: Any,
+) -> list[RunSummary]:
+    """Run ``protocol_name`` over a grid of simple-partition scenarios.
+
+    Materializes the summary list -- use :func:`stream_protocol` or
+    :func:`stream_protocol_sinks` for sweeps that should not.
+    """
+    grid = partition_grid(protocol_name, **grid_kwargs)
     return get_engine(workers, engine=engine).run(grid, measures=measures).summaries
+
+
+def stream_protocol(
+    protocol_name: str,
+    *,
+    workers: Optional[int] = None,
+    engine: Optional[SweepEngine] = None,
+    measures: Sequence[str] = (),
+    stats: Optional[StreamStats] = None,
+    **grid_kwargs: Any,
+) -> Iterator[RunSummary]:
+    """Stream ``protocol_name``'s partition sweep one summary at a time.
+
+    Summaries arrive in task order and are dropped after each loop
+    iteration, so the sweep runs in constant memory regardless of grid size.
+    """
+    grid = partition_grid(protocol_name, **grid_kwargs)
+    return get_engine(workers, engine=engine).stream(grid, measures=measures, stats=stats)
+
+
+def stream_protocol_sinks(
+    protocol_name: str,
+    *,
+    sinks: Union[SummarySink, Sequence[SummarySink]],
+    workers: Optional[int] = None,
+    engine: Optional[SweepEngine] = None,
+    measures: Sequence[str] = (),
+    **grid_kwargs: Any,
+) -> StreamStats:
+    """Stream ``protocol_name``'s partition sweep into aggregation sinks."""
+    grid = partition_grid(protocol_name, **grid_kwargs)
+    return get_engine(workers, engine=engine).run_streaming(
+        grid, sinks=sinks, measures=measures
+    )
 
 
 def run_once(protocol_name: str, spec: Optional[ScenarioSpec] = None, **overrides: Any) -> TransactionRunResult:

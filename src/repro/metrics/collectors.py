@@ -1,4 +1,12 @@
-"""Aggregation of run results into comparable metrics."""
+"""Aggregation of run results into comparable per-protocol metrics.
+
+Folds batches of runs into the side-by-side numbers the paper's
+availability argument (Sections 1-2) turns on: violation and blocking
+rates, commit/abort rates, message overhead and worst decision latency.
+Accepts full :class:`~repro.protocols.runner.TransactionRunResult` objects
+or the engine's :class:`~repro.engine.summary.RunSummary` records
+interchangeably (both expose the same verdict API).
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,9 @@
-"""Plain-text table rendering for benches and examples."""
+"""Plain-text table rendering for benches, examples and the CLI.
+
+Every experiment report, sweep table and boundary listing goes through
+:func:`format_table`; keeping the renderer free of third-party dependencies
+is deliberate (the golden-table tests pin its exact output).
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,25 @@
-"""Name-based lookup of the executable protocols."""
+"""Name-based lookup of the executable protocols.
+
+The registry is the pickling boundary of the sweep engine: tasks carry a
+protocol *name*, never a protocol object, so chunks ship to worker
+processes (and other machines) as plain data and each worker instantiates
+its own roles via :func:`create_protocol`.
+
+Invariants:
+
+* Names are stable identifiers -- they key the result cache's spec hashes
+  (renaming a protocol invalidates its cached sweeps, by design).
+* :func:`available_protocols` enumerates in sorted name order, which fixes
+  the protocol axis order of every ``--protocol all`` sweep.
+* Every entry constructs a fresh, stateless-between-runs
+  :class:`~repro.protocols.base.ProtocolDefinition`; registry lookups never
+  share role state across scenarios.
+
+The names cover the paper's protocol cast: 2PC (Fig. 1), extended 2PC
+(Fig. 2), 3PC (Fig. 3), the naive extended 3PC of Section 3, the
+terminating 3PC of Sections 5-6 (with and without the transient rule), and
+quorum commit plain plus its Theorem 10 termination construction.
+"""
 
 from __future__ import annotations
 

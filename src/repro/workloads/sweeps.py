@@ -1,4 +1,11 @@
-"""Parameter-sweep helpers used by the benchmarks."""
+"""Flat parameter sweeps over named axes, used by benchmarks and workloads.
+
+The predecessor of the engine's typed
+:class:`~repro.engine.grid.ScenarioGrid`: a :class:`ParameterSweep` is a
+cartesian product over plain parameter dicts, enumerated deterministically
+in declaration order.  ``ScenarioGrid.from_parameter_sweep`` lifts one onto
+``ScenarioSpec`` fields for execution on the sweep engine.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,163 @@
+"""Adaptive boundary refinement: agreement with uniform grids, cache reuse,
+and the scenario-count advantage the engine exists to deliver."""
+
+import pytest
+
+from repro.engine import (
+    OnsetLine,
+    RefinementDriver,
+    SweepEngine,
+    verdict_class,
+    verdict_class_with_bound,
+)
+from repro.protocols.runner import ScenarioSpec
+
+TERMINATING = "terminating-three-phase-commit"
+
+
+@pytest.fixture(scope="module")
+def line():
+    """The pinned FIG8 line: 3 sites, master-side majority, slave 3 isolated."""
+    return OnsetLine(protocol=TERMINATING, n_sites=3, g1=(1, 2), g2=(3,))
+
+
+def uniform_classes(line, lo, hi, step, engine=None):
+    """Classify a uniform onset grid (the brute-force reference)."""
+    engine = engine or SweepEngine(workers=1)
+    steps = int(round((hi - lo) / step))
+    times = [round(lo + i * step, 6) for i in range(steps + 1)]
+    sweep = engine.run([line.task_at(t) for t in times])
+    return {t: verdict_class(s) for t, s in zip(times, sweep.summaries)}
+
+
+class TestBoundaryLocation:
+    def test_finds_same_boundary_as_fine_uniform_grid(self, line):
+        # Uniform reference over the commit-point neighbourhood at 0.01 T.
+        reference = uniform_classes(line, 2.5, 3.5, 0.01)
+        times = sorted(reference)
+        flips = [
+            (t1, t2)
+            for t1, t2 in zip(times, times[1:])
+            if reference[t1] != reference[t2]
+        ]
+        assert len(flips) == 1  # abort -> commit at the commit point
+
+        driver = RefinementDriver(resolution=0.01)
+        result = driver.refine(line, lo=2.5, hi=3.5, coarse_step=0.25)
+        assert len(result.boundaries) == 1
+        boundary = result.boundaries[0]
+        uniform_lo, uniform_hi = flips[0]
+        # The refined bracket and the uniform flip interval must overlap and
+        # agree to within one resolution step.
+        assert boundary.lo_class == reference[uniform_lo]
+        assert boundary.hi_class == reference[uniform_hi]
+        assert abs(boundary.midpoint - (uniform_lo + uniform_hi) / 2) <= 0.01
+        assert boundary.width <= 0.01
+
+    def test_executes_under_a_quarter_of_the_uniform_grid(self, line):
+        driver = RefinementDriver(resolution=0.01)
+        result = driver.refine(line, lo=2.5, hi=3.5, coarse_step=0.25)
+        assert result.uniform_equivalent() == 101
+        assert result.scenarios_run < 0.25 * result.uniform_equivalent()
+
+    def test_flat_line_needs_only_the_coarse_scan(self):
+        # 2PC blocks at every onset in this window: no flip, no bisection.
+        line = OnsetLine(protocol="two-phase-commit", n_sites=3, g1=(1,), g2=(2, 3))
+        driver = RefinementDriver(resolution=0.01)
+        result = driver.refine(line, lo=0.5, hi=2.0, coarse_step=0.25)
+        assert result.boundaries == []
+        assert result.rounds == 0
+        assert result.scenarios_run == 7  # just the coarse points
+
+    def test_classes_cover_endpoints(self, line):
+        result = RefinementDriver(resolution=0.05).refine(
+            line, lo=2.5, hi=3.5, coarse_step=0.5
+        )
+        assert 2.5 in result.classes
+        assert 3.5 in result.classes
+
+
+class TestCacheReuse:
+    def test_warm_refinement_executes_zero_new_scenarios(self, line, tmp_path):
+        engine = SweepEngine(workers=1, cache=tmp_path)
+        driver = RefinementDriver(engine, resolution=0.01)
+        cold = driver.refine(line, lo=2.5, hi=3.5)
+        assert cold.executed == cold.scenarios_run
+        warm = driver.refine(line, lo=2.5, hi=3.5)
+        assert warm.executed == 0
+        assert warm.cache_hits == warm.scenarios_run
+        assert warm.boundaries == cold.boundaries
+
+    def test_refining_to_finer_resolution_reuses_coarser_rounds(self, line, tmp_path):
+        engine = SweepEngine(workers=1, cache=tmp_path)
+        coarse = RefinementDriver(engine, resolution=0.05).refine(line, lo=2.5, hi=3.5)
+        fine = RefinementDriver(engine, resolution=0.01).refine(line, lo=2.5, hi=3.5)
+        # Every point the coarse pass evaluated is a cache hit for the fine one.
+        assert fine.cache_hits >= coarse.scenarios_run
+        assert fine.boundaries[0].width <= 0.01
+
+
+class TestClassifiers:
+    def test_verdict_class_vocabulary(self, line):
+        abort = SweepEngine(workers=1).run([line.task_at(1.0)]).summaries[0]
+        commit = SweepEngine(workers=1).run([line.task_at(6.0)]).summaries[0]
+        assert verdict_class(abort) == "consistent:abort"
+        assert verdict_class(commit) == "consistent:commit"
+
+    def test_blocked_runs_classify_as_blocked(self):
+        blocked_line = OnsetLine(
+            protocol="two-phase-commit", n_sites=3, g1=(1,), g2=(2, 3)
+        )
+        summary = SweepEngine(workers=1).run([blocked_line.task_at(1.5)]).summaries[0]
+        assert verdict_class(summary) == "blocked"
+        assert verdict_class_with_bound(summary) == "blocked"
+
+    def test_bound_classifier_appends_whole_t_bound(self, line):
+        summary = SweepEngine(workers=1).run([line.task_at(6.0)]).summaries[0]
+        label = verdict_class_with_bound(summary)
+        assert label.startswith("consistent:commit:<=")
+        assert label.endswith("T")
+
+
+class TestLineAndDriverValidation:
+    def test_transient_lines_build_healing_schedules(self):
+        line = OnsetLine(
+            protocol=TERMINATING, n_sites=3, g1=(1, 2), g2=(3,), heal_after=2.0
+        )
+        schedule = line.task_at(1.5).spec.partition
+        times = [event.time for event in schedule]
+        assert times == [1.5, 3.5]
+
+    def test_line_carries_base_spec_fields(self):
+        line = OnsetLine(
+            protocol=TERMINATING,
+            n_sites=4,
+            g1=(1, 2, 3),
+            g2=(4,),
+            no_voters=frozenset({2}),
+            base_spec=ScenarioSpec(seed=7),
+        )
+        spec = line.task_at(2.0).spec
+        assert (spec.n_sites, spec.seed, spec.no_voters) == (4, 7, frozenset({2}))
+
+    def test_driver_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RefinementDriver(resolution=0.0)
+        with pytest.raises(ValueError):
+            RefinementDriver(max_rounds=0)
+        driver = RefinementDriver()
+        line = OnsetLine(protocol=TERMINATING, n_sites=3, g1=(1, 2), g2=(3,))
+        with pytest.raises(ValueError):
+            driver.refine(line, lo=2.0, hi=1.0)
+        with pytest.raises(ValueError):
+            driver.refine(line, lo=1.0, hi=2.0, coarse_step=0.0)
+
+    def test_refine_partition_boundaries_covers_every_split(self):
+        driver = RefinementDriver(resolution=0.1)
+        results = driver.refine_partition_boundaries(
+            TERMINATING, 3, lo=2.5, hi=3.5, coarse_step=0.5
+        )
+        assert len(results) == 3  # the 3 simple splits of 3 sites
+        for result in results:
+            assert result.boundaries  # each split has a commit-point flip
+            assert result.boundaries[0].width <= 0.1

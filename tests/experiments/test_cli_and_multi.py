@@ -38,6 +38,82 @@ class TestCli:
             assert callable(runner), experiment_id
 
 
+class TestSweepCli:
+    SWEEP = ["sweep", "--protocol", "two-phase-commit", "--times", "0.5", "1.5"]
+
+    def test_stream_prints_the_same_verdict_table(self, capsys):
+        assert main(self.SWEEP) == 0
+        materialized = capsys.readouterr().out
+        assert main(self.SWEEP + ["--stream"]) == 0
+        streamed = capsys.readouterr().out
+        # Same table; only the stats footer may differ.
+        assert materialized.splitlines()[:3] == streamed.splitlines()[:3]
+
+    def test_stream_spills_jsonl(self, capsys, tmp_path):
+        from repro.engine import read_jsonl
+
+        spill = tmp_path / "spill.jsonl"
+        assert main(self.SWEEP + ["--stream", "--jsonl", str(spill)]) == 0
+        assert "spilled" in capsys.readouterr().out
+        assert sum(1 for _ in read_jsonl(spill)) == 6  # 2 onsets x 3 splits
+
+    def test_stats_line_reports_cache_effectiveness(self, capsys, tmp_path):
+        cached = self.SWEEP + ["--cache", str(tmp_path)]
+        assert main(cached) == 0
+        assert "cache: 0 hit(s) / 6 miss(es)" in capsys.readouterr().out
+        assert main(cached) == 0
+        assert "cache: 6 hit(s) / 0 miss(es)" in capsys.readouterr().out
+
+    def test_jsonl_requires_stream(self, capsys):
+        assert main(self.SWEEP + ["--jsonl", "x.jsonl"]) == 2
+        assert "--jsonl requires --stream" in capsys.readouterr().err
+
+    def test_refine_conflicts_with_stream(self, capsys):
+        assert main(self.SWEEP + ["--refine", "--stream"]) == 2
+        assert "--refine cannot be combined" in capsys.readouterr().err
+
+
+class TestBoundariesCli:
+    def test_locates_the_commit_point_flip(self, capsys):
+        assert main(
+            [
+                "boundaries",
+                "--protocol",
+                "terminating-three-phase-commit",
+                "--lo",
+                "2.5",
+                "--hi",
+                "3.5",
+                "--resolution",
+                "0.05",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "consistent:abort" in output
+        assert "consistent:commit" in output
+        assert "of uniform cost" in output
+
+    def test_flat_interval_reports_no_flips(self, capsys):
+        assert main(
+            ["boundaries", "--protocol", "two-phase-commit", "--lo", "1.0", "--hi", "2.0"]
+        ) == 0
+        assert "no verdict flips" in capsys.readouterr().out
+
+    def test_single_site_has_no_lines_and_does_not_crash(self, capsys):
+        assert main(["boundaries", "--sites", "1", "--lo", "0.5", "--hi", "1.0"]) == 0
+        assert "no partition lines" in capsys.readouterr().out
+
+    def test_bad_parameters_exit_2(self, capsys):
+        assert main(["boundaries", "--lo", "2.0", "--hi", "1.0"]) == 2
+        assert "--lo < --hi" in capsys.readouterr().err
+        assert main(["boundaries", "--coarse-step", "0"]) == 2
+        assert "--coarse-step" in capsys.readouterr().err
+        assert main(["boundaries", "--resolution", "0"]) == 2
+        assert "--resolution" in capsys.readouterr().err
+        assert main(["boundaries", "--protocol", "nope"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+
 class TestThreeWaySplits:
     def test_requires_three_sites(self):
         with pytest.raises(ValueError):
