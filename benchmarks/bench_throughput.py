@@ -1,0 +1,78 @@
+"""Concurrent-transaction scheduler at the 500+-transaction scale.
+
+The acceptance bar for the txn subsystem: a single cluster sustains 500+
+concurrent transactions through the scheduler (lock queues, deadlock
+detection, one commit-protocol instance per in-flight transaction) at a
+usable scenarios/sec, and the multiplexing actually overlaps work (peak
+in-flight transactions well above 1).  Results are printed and persisted
+like every other bench.
+"""
+
+import pathlib
+
+from repro.txn import DeadlockPolicy, ThroughputSpec, run_throughput_scenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# 512 transactions offered at 4/T over a 16-key space: far beyond capacity,
+# so the run exercises deep lock queues and sustained multiplexing.
+SPEC = ThroughputSpec(
+    n_sites=3,
+    n_transactions=512,
+    tx_rate=4.0,
+    n_keys=16,
+    operations_per_site=2,
+    op_delay=0.1,
+    deadlock=DeadlockPolicy(detect_cycles=True),
+    seed=7,
+)
+
+
+def test_bench_throughput_500_transactions(run_once_benchmark):
+    result = run_once_benchmark(
+        run_throughput_scenario, "terminating-three-phase-commit", SPEC
+    )
+    summary = result.summary
+    assert summary.offered == 512
+    # Every transaction is accounted for exactly once.
+    total = (
+        summary.committed
+        + summary.aborted
+        + summary.blocked
+        + summary.stalled
+        + summary.violated
+    )
+    assert total == summary.offered
+    assert summary.committed > 0
+    # The scheduler genuinely overlaps commit-protocol instances.
+    assert summary.peak_in_flight >= 2
+    assert summary.peak_waiting >= 10
+    text = (
+        f"512-transaction contended workload: {summary.committed} committed, "
+        f"{summary.aborted} aborted ({summary.deadlock_aborts} deadlock victims), "
+        f"{summary.blocked + summary.stalled} unfinished at horizon; "
+        f"peak in-flight {summary.peak_in_flight}, "
+        f"peak waiting {summary.peak_waiting}, "
+        f"mean lock wait {summary.mean_lock_wait:.2f} T"
+    )
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "throughput.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def test_bench_throughput_scenarios_per_second(run_once_benchmark):
+    """Sweep-side cost: one throughput scenario per protocol, timed."""
+    from repro.engine import SweepEngine, ThroughputSink
+    from repro.experiments.throughput import DEFAULT_PROTOCOLS, throughput_tasks
+
+    tasks = throughput_tasks(list(DEFAULT_PROTOCOLS), n_transactions=200)
+    sink = ThroughputSink()
+    stats = run_once_benchmark(
+        SweepEngine(workers=1).run_streaming, tasks, sinks=sink
+    )
+    assert stats.total == len(DEFAULT_PROTOCOLS)
+    assert stats.max_buffered <= 1  # streaming guarantee holds for txn sweeps
+    print(
+        f"\n{stats.total} x 200-transaction scenarios in {stats.elapsed:.2f}s "
+        f"({stats.throughput:.2f} scenarios/s)"
+    )

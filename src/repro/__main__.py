@@ -14,12 +14,17 @@ Usage::
         --resolution 0.01 --cache .sweep-cache
     python -m repro boundaries --protocol terminating-three-phase-commit \\
         --sites 3 --lo 0.25 --hi 8.0 --resolution 0.01
+    python -m repro throughput --protocols all --transactions 200
+    python -m repro throughput --protocols two-phase-commit \\
+        --tx-rate 2.0 --read-fraction 0.5 --ops-per-site 2 --deadlock both
 
 ``sweep --stream`` executes through the constant-memory streaming path
 (summaries are folded into aggregation sinks in task order, never
 materialized); ``sweep --refine`` and the ``boundaries`` subcommand locate
 the onset times where the verdict class flips by adaptive bisection instead
-of a uniform grid.  Every mode reports cache hit/miss counts and
+of a uniform grid; ``throughput`` offers a contended multi-transaction
+workload per protocol and compares goodput / abort rate / lock-wait under
+a mid-run partition.  Every mode reports cache hit/miss counts and
 scenarios/sec at completion.
 """
 
@@ -49,6 +54,7 @@ EXPERIMENTS: dict[str, Callable[[], "ex.ExperimentReport"]] = {
     "AVAIL": ex.run_availability_comparison,
     "MSG": ex.run_message_overhead,
     "MULTI": ex.run_multiple_partitioning,
+    "TPUT": ex.run_throughput_comparison,
 }
 
 
@@ -156,6 +162,128 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --refine: boundary bracketing floor (default 0.01 T)",
     )
 
+    throughput = sub.add_parser(
+        "throughput",
+        help="run a contended multi-transaction workload per protocol",
+        description=(
+            "Offer a stream of update transactions to one cluster per "
+            "protocol, strike a partition mid-run, and compare goodput, "
+            "abort rate and lock-wait: blocking protocols keep the "
+            "partition's locks and collapse, the terminating protocols "
+            "release them and recover."
+        ),
+    )
+    throughput.add_argument(
+        "--protocols",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="protocol registry name (repeatable); 'all' runs every protocol",
+    )
+    throughput.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
+    throughput.add_argument(
+        "--transactions",
+        type=int,
+        default=200,
+        metavar="N",
+        help="transactions offered per scenario (default 200)",
+    )
+    throughput.add_argument(
+        "--tx-rate",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="offered load in transactions per T (default 1.0)",
+    )
+    throughput.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.2,
+        metavar="F",
+        help="fraction of operations that are reads, in [0, 1] (default 0.2)",
+    )
+    throughput.add_argument(
+        "--ops-per-site",
+        type=int,
+        default=1,
+        metavar="K",
+        help="data operations per participating site (default 1)",
+    )
+    throughput.add_argument(
+        "--keys",
+        type=int,
+        default=8,
+        metavar="K",
+        help="keyspace size; fewer keys = more contention (default 8)",
+    )
+    throughput.add_argument(
+        "--op-delay",
+        type=float,
+        default=0.05,
+        metavar="DT",
+        help="execution time per data operation, in T (default 0.05)",
+    )
+    throughput.add_argument(
+        "--partition-at",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="partition onset as a fraction of the admission span (default 0.5)",
+    )
+    throughput.add_argument(
+        "--heal-after",
+        type=float,
+        default=8.0,
+        metavar="DT",
+        help="heal the partition DT after onset (default 8.0)",
+    )
+    throughput.add_argument(
+        "--permanent",
+        action="store_true",
+        help="never heal the partition",
+    )
+    throughput.add_argument(
+        "--no-partition",
+        action="store_true",
+        help="failure-free run (contention only)",
+    )
+    throughput.add_argument(
+        "--deadlock",
+        choices=("cycles", "timeout", "both", "none"),
+        default="cycles",
+        help="deadlock handling: waits-for detection, lock-wait timeouts, both or none",
+    )
+    throughput.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=10.0,
+        metavar="DT",
+        help="lock-wait timeout in T, for --deadlock timeout/both (default 10.0)",
+    )
+    throughput.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0],
+        metavar="S",
+        help="workload / simulator seeds, one scenario per seed (default: 0)",
+    )
+    throughput.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1, in-process)"
+    )
+    throughput.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (re-runs become incremental)",
+    )
+    throughput.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="spill every scenario summary to PATH as JSON lines",
+    )
+
     boundaries = sub.add_parser(
         "boundaries",
         help="locate verdict boundaries along the partition-onset axis",
@@ -225,11 +353,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _resolve_protocols(args: argparse.Namespace) -> Optional[list[str]]:
-    """Validated protocol list, or ``None`` after printing the error."""
+def _resolve_protocol_names(
+    names: Optional[list[str]], *, default: list[str]
+) -> Optional[list[str]]:
+    """Validated protocol list ('all' expands), or ``None`` after the error."""
     from repro.protocols.registry import available_protocols
 
-    protocols = args.protocol or ["terminating-three-phase-commit"]
+    protocols = names or default
     if any(p == "all" for p in protocols):
         protocols = available_protocols()
     unknown = [p for p in protocols if p not in available_protocols()]
@@ -238,6 +368,13 @@ def _resolve_protocols(args: argparse.Namespace) -> Optional[list[str]]:
         print(f"available: {', '.join(available_protocols())}", file=sys.stderr)
         return None
     return list(protocols)
+
+
+def _resolve_protocols(args: argparse.Namespace) -> Optional[list[str]]:
+    """Validated protocol list, or ``None`` after printing the error."""
+    return _resolve_protocol_names(
+        args.protocol, default=["terminating-three-phase-commit"]
+    )
 
 
 def _resolve_no_voters(args: argparse.Namespace) -> Optional[tuple[frozenset[int], ...]]:
@@ -391,6 +528,74 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_throughput(args: argparse.Namespace) -> int:
+    from repro.engine import JsonlSink, SweepEngine, ThroughputSink
+    from repro.experiments.throughput import DEFAULT_PROTOCOLS, throughput_tasks
+    from repro.metrics.reporting import format_table
+    from repro.txn import DeadlockPolicy
+
+    # Every check names the offending flag so workload mistakes are
+    # self-explanatory (the satellite contract of the txn subsystem).
+    checks = [
+        (args.workers < 1, f"--workers must be >= 1, got {args.workers}"),
+        (args.sites < 1, f"--sites must be >= 1, got {args.sites}"),
+        (args.transactions < 1, f"--transactions must be >= 1, got {args.transactions}"),
+        (args.tx_rate <= 0, f"--tx-rate must be > 0, got {args.tx_rate}"),
+        (
+            not 0.0 <= args.read_fraction <= 1.0,
+            f"--read-fraction must be in [0, 1], got {args.read_fraction}",
+        ),
+        (args.ops_per_site < 1, f"--ops-per-site must be >= 1, got {args.ops_per_site}"),
+        (args.keys < 1, f"--keys must be >= 1, got {args.keys}"),
+        (args.op_delay < 0, f"--op-delay must be >= 0, got {args.op_delay}"),
+        (args.lock_timeout <= 0, f"--lock-timeout must be > 0, got {args.lock_timeout}"),
+        (
+            not 0.0 < args.partition_at <= 1.0,
+            f"--partition-at must be in (0, 1], got {args.partition_at}",
+        ),
+        (args.heal_after <= 0, f"--heal-after must be > 0, got {args.heal_after}"),
+        (
+            args.no_partition and args.permanent,
+            "--no-partition cannot be combined with --permanent",
+        ),
+    ]
+    for failed, message in checks:
+        if failed:
+            print(message, file=sys.stderr)
+            return 2
+    protocols = _resolve_protocol_names(args.protocols, default=list(DEFAULT_PROTOCOLS))
+    if protocols is None:
+        return 2
+    policy = DeadlockPolicy(
+        detect_cycles=args.deadlock in ("cycles", "both"),
+        wait_timeout=args.lock_timeout if args.deadlock in ("timeout", "both") else None,
+    )
+    tasks = throughput_tasks(
+        protocols,
+        n_sites=args.sites,
+        n_transactions=args.transactions,
+        tx_rates=(args.tx_rate,),
+        read_fractions=(args.read_fraction,),
+        onset_fractions=(None if args.no_partition else args.partition_at,),
+        heal_after=None if args.permanent else args.heal_after,
+        operations_per_site=args.ops_per_site,
+        n_keys=args.keys,
+        op_delay=args.op_delay,
+        deadlock=policy,
+        seeds=args.seeds,
+    )
+    engine = SweepEngine(workers=args.workers, cache=args.cache)
+    sinks: list = [ThroughputSink()]
+    if args.jsonl is not None:
+        sinks.append(JsonlSink(args.jsonl))
+    stats = engine.run_streaming(tasks, sinks=sinks)
+    print(format_table(sinks[0].rows()))
+    if args.jsonl is not None:
+        print(f"spilled {sinks[1].count} summaries to {args.jsonl}")
+    _print_stats(stats, args.workers, engine.cache)
+    return 0
+
+
 def _refine_and_report(
     engine,
     protocols: list[str],
@@ -503,6 +708,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "throughput":
+        return _run_throughput(args)
     if args.command == "boundaries":
         return _run_boundaries(args)
     ids = list(EXPERIMENTS) if args.command == "all" else [i.upper() for i in args.ids]

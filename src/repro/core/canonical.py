@@ -1,0 +1,20 @@
+"""Canonical JSON encoding shared by the engine's summary records.
+
+The result cache and the JSONL spill format promise *byte-identical*
+records across processes, worker counts and re-runs, which requires one
+encoding contract: sorted keys, compact separators, UTF-8.  Both
+:class:`~repro.engine.summary.RunSummary` and
+:class:`~repro.txn.summary.ThroughputSummary` encode through this helper
+(the txn package must not import the engine, so the contract lives here,
+below both).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+
+def canonical_json_bytes(payload: Mapping[str, Any]) -> bytes:
+    """Encode ``payload`` as canonical JSON bytes."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")

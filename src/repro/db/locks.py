@@ -1,17 +1,41 @@
-"""Strict two-phase-locking lock table.
+"""Strict two-phase-locking lock table with FIFO wait queues.
 
 The paper's motivation for non-blocking commit protocols is that a blocked
 transaction "cannot relinquish the locks acquired ... rendering those data
 inaccessible to other transactions".  The lock manager makes that cost
-measurable: the availability experiment (bench ``AVAIL``) counts how long
-keys stay locked under each protocol when a partition strikes.
+measurable twice over:
+
+* the availability experiment (bench ``AVAIL``) counts how long keys stay
+  locked under each protocol when a partition strikes;
+* the concurrent-transaction scheduler (:mod:`repro.txn`) *queues*
+  conflicting requests (:meth:`LockManager.request`) instead of failing
+  them, so contended workloads measure the queueing delay a blocked lock
+  holder inflicts on everyone behind it.
+
+Queueing invariants:
+
+* **FIFO, no barging.**  A request that conflicts with the current holders
+  -- or that arrives while *any* request is queued on the key -- waits in
+  arrival order.  Compatible requests at the head of the queue are granted
+  together (a shared group), so readers batch but can never overtake an
+  older writer.
+* **Upgrades jump the queue.**  A shared holder upgrading to exclusive
+  waits only for the other current holders, never behind queued newcomers
+  (queued-first upgrades would deadlock against their own queue position).
+* **Release wakes the queue.**  Releasing locks promotes now-grantable
+  requests in FIFO order and reports each grant through
+  :attr:`LockManager.on_grant`, which is how the transaction scheduler
+  resumes waiting transactions.
+* **Release-while-queued.**  Releasing an owner also cancels its queued
+  requests, and both release and cancel are idempotent (double release is a
+  no-op), so an aborting transaction can always be cleaned up blindly.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 
 class LockMode(enum.Enum):
@@ -23,6 +47,10 @@ class LockMode(enum.Enum):
     def compatible_with(self, other: "LockMode") -> bool:
         """Lock compatibility matrix: only shared/shared is compatible."""
         return self is LockMode.SHARED and other is LockMode.SHARED
+
+    def covers(self, other: "LockMode") -> bool:
+        """True when holding this mode already satisfies a request for ``other``."""
+        return self is other or self is LockMode.EXCLUSIVE
 
 
 class LockConflict(RuntimeError):
@@ -46,12 +74,40 @@ class LockGrant:
 
 
 @dataclass
+class LockRequest:
+    """A lock request, either granted immediately or waiting in a key's queue."""
+
+    key: str
+    owner: str
+    mode: LockMode
+    enqueued_at: float
+    upgrade: bool = False
+    granted: Optional[LockGrant] = None
+    granted_at: Optional[float] = None
+    cancelled: bool = False
+
+    @property
+    def pending(self) -> bool:
+        """True while the request is queued (neither granted nor cancelled)."""
+        return self.granted is None and not self.cancelled
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay this request experienced (0 for immediate grants)."""
+        if self.granted_at is None:
+            return 0.0
+        return max(0.0, self.granted_at - self.enqueued_at)
+
+
+@dataclass
 class LockStats:
     """Aggregate lock-contention statistics for one site."""
 
     grants: int = 0
     conflicts: int = 0
     releases: int = 0
+    queued: int = 0
+    wait_time_total: float = 0.0
     total_hold_time: float = 0.0
     held_since: dict[tuple[str, str], float] = field(default_factory=dict)
 
@@ -62,42 +118,44 @@ class LockManager:
     Locks are requested by transaction id and released only when the
     transaction terminates (commit or abort).  Upgrades from shared to
     exclusive by the same owner are allowed when no other owner holds the
-    lock.
+    lock.  Two acquisition surfaces share the table:
+
+    * :meth:`acquire` / :meth:`try_acquire` -- the fail-fast API used by the
+      single-transaction protocol path (raises :class:`LockConflict`);
+    * :meth:`request` -- the queueing API used by the concurrent-transaction
+      scheduler (enqueues and later grants via :attr:`on_grant`).
     """
 
     def __init__(self, site: int) -> None:
         self.site = site
         self._locks: dict[str, list[LockGrant]] = {}
+        self._queues: dict[str, list[LockRequest]] = {}
         self.stats = LockStats()
+        #: Callback invoked (synchronously) for every queued request that a
+        #: release promotes to granted.  Set by the transaction scheduler.
+        self.on_grant: Optional[Callable[[LockRequest], None]] = None
 
     # ------------------------------------------------------------------
-    # acquisition / release
+    # fail-fast acquisition (single-transaction protocol path)
     # ------------------------------------------------------------------
     def acquire(
         self, owner: str, key: str, mode: LockMode, *, now: float = 0.0
     ) -> LockGrant:
         """Grant ``owner`` a lock on ``key`` or raise :class:`LockConflict`."""
-        holders = self._locks.setdefault(key, [])
-        for grant in holders:
-            if grant.owner == owner:
-                if grant.mode is mode or grant.mode is LockMode.EXCLUSIVE:
-                    return grant
-                # Upgrade request: allowed only if we are the sole holder.
-                if len(holders) == 1:
-                    upgraded = LockGrant(key=key, owner=owner, mode=mode, granted_at=grant.granted_at)
-                    holders[0] = upgraded
-                    return upgraded
-                self.stats.conflicts += 1
-                other = next(g for g in holders if g.owner != owner)
-                raise LockConflict(key, owner, other.owner)
-            if not grant.mode.compatible_with(mode):
-                self.stats.conflicts += 1
-                raise LockConflict(key, owner, grant.owner)
-        grant = LockGrant(key=key, owner=owner, mode=mode, granted_at=now)
-        holders.append(grant)
-        self.stats.grants += 1
-        self.stats.held_since[(owner, key)] = now
-        return grant
+        held = self._grant_of(owner, key)
+        if held is not None:
+            if held.mode.covers(mode):
+                return held
+            blockers = self._upgrade_blockers(owner, key)
+            if not blockers:
+                return self._upgrade(held, now=now)
+            self.stats.conflicts += 1
+            raise LockConflict(key, owner, blockers[0])
+        blockers = self._blockers(owner, key, mode)
+        if blockers:
+            self.stats.conflicts += 1
+            raise LockConflict(key, owner, blockers[0])
+        return self._grant(owner, key, mode, now=now)
 
     def try_acquire(
         self, owner: str, key: str, mode: LockMode, *, now: float = 0.0
@@ -108,22 +166,134 @@ class LockManager:
         except LockConflict:
             return None
 
+    # ------------------------------------------------------------------
+    # queueing acquisition (concurrent-transaction scheduler path)
+    # ------------------------------------------------------------------
+    def request(
+        self, owner: str, key: str, mode: LockMode, *, now: float = 0.0
+    ) -> LockRequest:
+        """Request a lock, queueing FIFO on conflict instead of raising.
+
+        Returns a :class:`LockRequest`; ``request.granted`` is set when the
+        lock was granted immediately, otherwise the request waits in the
+        key's queue and is granted later by a release (reported through
+        :attr:`on_grant`).
+        """
+        held = self._grant_of(owner, key)
+        if held is not None:
+            request = LockRequest(key=key, owner=owner, mode=mode, enqueued_at=now)
+            if held.mode.covers(mode):
+                request.granted = held
+                request.granted_at = now
+                return request
+            request.upgrade = True
+            if not self._upgrade_blockers(owner, key):
+                request.granted = self._upgrade(held, now=now)
+                request.granted_at = now
+                return request
+            # Upgrades wait only for the other holders: insert ahead of
+            # ordinary queued requests, behind earlier pending upgrades.
+            # Compact settled entries first -- a cancelled entry between two
+            # pending upgrades would otherwise skew the insertion index.
+            self.stats.conflicts += 1
+            self.stats.queued += 1
+            queue = self._queues.setdefault(key, [])
+            queue[:] = [r for r in queue if r.pending]
+            position = sum(1 for r in queue if r.upgrade)
+            queue.insert(position, request)
+            return request
+        request = LockRequest(key=key, owner=owner, mode=mode, enqueued_at=now)
+        if not self._blockers(owner, key, mode):
+            request.granted = self._grant(owner, key, mode, now=now)
+            request.granted_at = now
+            return request
+        self.stats.conflicts += 1
+        self.stats.queued += 1
+        self._queues.setdefault(key, []).append(request)
+        return request
+
+    def cancel(self, request: LockRequest, *, now: float = 0.0) -> None:
+        """Withdraw a queued request (no-op if already granted or cancelled)."""
+        if not request.pending:
+            return
+        request.cancelled = True
+        self._promote(request.key, now=now)
+
+    def cancel_all_pending(self) -> int:
+        """Flag every queued request cancelled *without* promoting anyone.
+
+        The crash path: the lock table is about to be discarded, so waking
+        waiters on it would grant locks that die with the site.  Waiters
+        observe the cancellation through ``request.cancelled``.
+        """
+        cancelled = 0
+        for queue in self._queues.values():
+            for request in queue:
+                if request.pending:
+                    request.cancelled = True
+                    cancelled += 1
+        self._queues.clear()
+        return cancelled
+
+    # ------------------------------------------------------------------
+    # release
+    # ------------------------------------------------------------------
+    def release(self, owner: str, key: str, *, now: float = 0.0) -> bool:
+        """Release ``owner``'s lock on ``key`` (False if none was held).
+
+        Releasing a key the owner does not hold -- including a second
+        release of the same key -- is a safe no-op, so termination paths
+        can release blindly.  Queued requests of ``owner`` on the key are
+        cancelled (release-while-queued), and the queue is promoted.
+        """
+        released = False
+        holders = self._locks.get(key)
+        if holders is not None:
+            remaining = [grant for grant in holders if grant.owner != owner]
+            if len(remaining) != len(holders):
+                released = True
+                self._account_release(owner, key, now=now)
+                if remaining:
+                    self._locks[key] = remaining
+                else:
+                    del self._locks[key]
+        for request in self._queues.get(key, []):
+            if request.pending and request.owner == owner:
+                request.cancelled = True
+        self._promote(key, now=now)
+        return released
+
     def release_all(self, owner: str, *, now: float = 0.0) -> int:
-        """Release every lock held by ``owner``; returns the number released."""
+        """Release every lock held by ``owner``; returns the number released.
+
+        Also cancels the owner's queued requests and promotes every
+        affected queue, so a terminating transaction frees both the locks
+        it held and the queue slots it occupied in one call.
+        """
         released = 0
+        affected: list[str] = []
         for key in list(self._locks):
             holders = self._locks[key]
             remaining = [grant for grant in holders if grant.owner != owner]
+            if len(remaining) == len(holders):
+                continue
             released += len(holders) - len(remaining)
-            if len(remaining) != len(holders):
-                since = self.stats.held_since.pop((owner, key), None)
-                if since is not None:
-                    self.stats.total_hold_time += max(0.0, now - since)
-                self.stats.releases += len(holders) - len(remaining)
+            self._account_release(owner, key, now=now)
             if remaining:
                 self._locks[key] = remaining
             else:
                 del self._locks[key]
+            affected.append(key)
+        for key, queue in list(self._queues.items()):
+            dirty = False
+            for request in queue:
+                if request.pending and request.owner == owner:
+                    request.cancelled = True
+                    dirty = True
+            if dirty and key not in affected:
+                affected.append(key)
+        for key in affected:
+            self._promote(key, now=now)
         return released
 
     # ------------------------------------------------------------------
@@ -145,6 +315,54 @@ class LockManager:
         """Transaction ids currently holding at least one lock."""
         return {grant.owner for grants in self._locks.values() for grant in grants}
 
+    def queued(self, key: str) -> tuple[LockRequest, ...]:
+        """Pending requests waiting on ``key``, in grant order."""
+        return tuple(r for r in self._queues.get(key, ()) if r.pending)
+
+    def pending_owners(self) -> set[str]:
+        """Transaction ids with at least one queued request."""
+        return {
+            request.owner
+            for queue in self._queues.values()
+            for request in queue
+            if request.pending
+        }
+
+    def waits_for(self) -> dict[str, set[str]]:
+        """The site's waits-for edges: queued owner -> owners it waits on.
+
+        A queued request waits for every *other* current holder it
+        conflicts with and for every *incompatible* owner queued ahead of
+        it (FIFO: the earlier request will be granted first, and the later
+        one must then outwait it).  Compatible queued neighbours (a shared
+        group) promote together, so no edge joins them -- a spurious edge
+        there would let the deadlock detector abort an innocent member of
+        the group.  Upgrades wait only for the other holders.  The union
+        of these maps across sites is the graph the deadlock detector
+        searches for cycles.
+        """
+        edges: dict[str, set[str]] = {}
+        for key in sorted(self._queues):
+            holders = self._locks.get(key, ())
+            ahead: list[LockRequest] = []
+            for request in self._queues[key]:
+                if not request.pending:
+                    continue
+                waits = edges.setdefault(request.owner, set())
+                for grant in holders:
+                    if grant.owner != request.owner and not grant.mode.compatible_with(
+                        request.mode
+                    ):
+                        waits.add(grant.owner)
+                if not request.upgrade:
+                    for earlier in ahead:
+                        if earlier.owner != request.owner and not (
+                            earlier.mode.compatible_with(request.mode)
+                        ):
+                            waits.add(earlier.owner)
+                ahead.append(request)
+        return edges
+
     def is_available(self, key: str, mode: LockMode, *, owner: Optional[str] = None) -> bool:
         """Could ``owner`` acquire ``key`` in ``mode`` right now?"""
         for grant in self._locks.get(key, ()):
@@ -156,3 +374,89 @@ class LockManager:
 
     def __len__(self) -> int:
         return sum(len(grants) for grants in self._locks.values())
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _grant_of(self, owner: str, key: str) -> Optional[LockGrant]:
+        for grant in self._locks.get(key, ()):
+            if grant.owner == owner:
+                return grant
+        return None
+
+    def _blockers(self, owner: str, key: str, mode: LockMode) -> list[str]:
+        """Owners preventing an immediate grant: conflicting holders first,
+        then anyone already queued (FIFO fairness -- no barging)."""
+        blockers = []
+        for grant in self._locks.get(key, ()):
+            if grant.owner != owner and not grant.mode.compatible_with(mode):
+                blockers.append(grant.owner)
+        for request in self._queues.get(key, ()):
+            if request.pending and request.owner != owner:
+                blockers.append(request.owner)
+        return blockers
+
+    def _upgrade_blockers(self, owner: str, key: str) -> list[str]:
+        """Other holders standing in the way of a shared -> exclusive upgrade."""
+        return [g.owner for g in self._locks.get(key, ()) if g.owner != owner]
+
+    def _grant(self, owner: str, key: str, mode: LockMode, *, now: float) -> LockGrant:
+        grant = LockGrant(key=key, owner=owner, mode=mode, granted_at=now)
+        self._locks.setdefault(key, []).append(grant)
+        self.stats.grants += 1
+        self.stats.held_since[(owner, key)] = now
+        return grant
+
+    def _upgrade(self, held: LockGrant, *, now: float) -> LockGrant:
+        """Strengthen a shared grant in place (hold time keeps its origin)."""
+        upgraded = LockGrant(
+            key=held.key, owner=held.owner, mode=LockMode.EXCLUSIVE,
+            granted_at=held.granted_at,
+        )
+        holders = self._locks[held.key]
+        holders[holders.index(held)] = upgraded
+        return upgraded
+
+    def _account_release(self, owner: str, key: str, *, now: float) -> None:
+        since = self.stats.held_since.pop((owner, key), None)
+        if since is not None:
+            self.stats.total_hold_time += max(0.0, now - since)
+        self.stats.releases += 1
+
+    def _promote(self, key: str, *, now: float) -> None:
+        """Grant now-compatible queued requests from the front of the queue."""
+        queue = self._queues.get(key)
+        if queue is None:
+            return
+        promoted: list[LockRequest] = []
+        while queue:
+            request = queue[0]
+            if not request.pending:
+                queue.pop(0)
+                continue
+            held = self._grant_of(request.owner, key)
+            if held is not None:
+                if not self._upgrade_blockers(request.owner, key):
+                    queue.pop(0)
+                    request.granted = self._upgrade(held, now=now)
+                    request.granted_at = now
+                    promoted.append(request)
+                    continue
+                break
+            blocked = any(
+                grant.owner != request.owner
+                and not grant.mode.compatible_with(request.mode)
+                for grant in self._locks.get(key, ())
+            )
+            if blocked:
+                break
+            queue.pop(0)
+            request.granted = self._grant(request.owner, key, request.mode, now=now)
+            request.granted_at = now
+            promoted.append(request)
+        if not queue:
+            self._queues.pop(key, None)
+        for request in promoted:
+            self.stats.wait_time_total += request.wait_time
+            if self.on_grant is not None:
+                self.on_grant(request)

@@ -22,7 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
-from repro.db.locks import LockConflict, LockManager, LockMode
+from repro.db.locks import LockConflict, LockManager, LockMode, LockRequest
 from repro.db.recovery import RecoveryManager, RecoveryReport
 from repro.db.storage import KeyValueStore
 from repro.db.transactions import Transaction, TransactionStatus
@@ -96,6 +96,20 @@ class DatabaseSite:
         )
         return "yes"
 
+    def request_lock(
+        self, transaction_id: str, key: str, mode: LockMode, *, now: float = 0.0
+    ) -> LockRequest:
+        """Queueing lock acquisition for the concurrent-transaction scheduler.
+
+        Unlike the :meth:`execute` path (which votes "no" on a conflict),
+        a conflicting request *waits* in the site's FIFO lock queue and is
+        granted when the holder terminates -- modelling the execution phase
+        of a transaction under strict 2PL.  Once every requested lock is
+        granted, :meth:`execute` re-acquires them idempotently and votes.
+        """
+        self._require_up()
+        return self.locks.request(transaction_id, key, mode, now=now)
+
     def prepare(self, transaction_id: str, *, now: float = 0.0) -> None:
         """Journal the prepared state (the 3PC ``prepare`` step)."""
         self._require_up()
@@ -151,10 +165,20 @@ class DatabaseSite:
     # crash / recovery
     # ------------------------------------------------------------------
     def crash(self) -> None:
-        """Lose all volatile state (pending transactions, locks)."""
+        """Lose all volatile state (pending transactions, locks).
+
+        Queued lock requests are cancelled (their waiters observe the
+        cancellation through :attr:`~repro.db.locks.LockRequest.cancelled`)
+        and the grant callback survives onto the fresh lock table, so a
+        scheduler wired via ``locks.on_grant`` keeps receiving grants after
+        recovery.
+        """
         self.state = SiteState.CRASHED
         self._pending.clear()
+        self.locks.cancel_all_pending()
+        on_grant = self.locks.on_grant
         self.locks = LockManager(self.site)
+        self.locks.on_grant = on_grant
         self.recovery = RecoveryManager(self.site, self.wal, self.store)
 
     def recover(self, *, now: float = 0.0) -> RecoveryReport:

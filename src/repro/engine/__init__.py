@@ -43,11 +43,12 @@ from repro.engine.sink import (
     JsonlSink,
     ListSink,
     SummarySink,
+    ThroughputSink,
     VerdictCounterSink,
     ViolationCollectorSink,
     read_jsonl,
 )
-from repro.engine.summary import RunSummary
+from repro.engine.summary import RunSummary, summary_from_json_dict
 
 __all__ = [
     "MEASURES",
@@ -69,11 +70,13 @@ __all__ = [
     "SweepEngine",
     "SweepResult",
     "SweepTask",
+    "ThroughputSink",
     "VerdictCounterSink",
     "ViolationCollectorSink",
     "read_jsonl",
     "register_measure",
     "spec_hash",
+    "summary_from_json_dict",
     "tasks_from_specs",
     "verdict_class",
     "verdict_class_with_bound",

@@ -15,11 +15,17 @@ import pathlib
 import tempfile
 from typing import Optional, Union
 
-from repro.engine.summary import RunSummary
+from repro.engine.summary import RunSummary, summary_from_json_bytes
 
 
 class ResultCache:
-    """A directory of canonical-JSON :class:`RunSummary` records."""
+    """A directory of canonical-JSON summary records.
+
+    Stores both single-transaction :class:`RunSummary` records and
+    concurrent-workload :class:`~repro.txn.summary.ThroughputSummary`
+    records (the entry's ``kind`` tag selects the loader); the key space is
+    shared because the spec hash covers the spec's dataclass name.
+    """
 
     def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = pathlib.Path(root)
@@ -70,7 +76,7 @@ class ResultCache:
         data = self.get_bytes(spec_hash, seed, record=record)
         if data is None:
             return None
-        return RunSummary.from_json_bytes(data)
+        return summary_from_json_bytes(data)
 
     def put(self, summary: RunSummary) -> pathlib.Path:
         """Store ``summary`` (atomic write; last writer wins)."""

@@ -49,6 +49,7 @@ from repro.engine.sink import SummarySink
 from repro.engine.summary import RunSummary
 from repro.protocols.registry import create_protocol
 from repro.protocols.runner import ScenarioSpec, run_scenario
+from repro.txn.runner import ThroughputSpec, run_throughput_scenario
 
 TaskBatch = Union[ScenarioGrid, Iterable[SweepTask], Iterable[tuple[str, ScenarioSpec]]]
 
@@ -58,8 +59,17 @@ _ChunkPayload = tuple[tuple[str, ...], list[tuple[int, str, ScenarioSpec, str]]]
 
 def execute_task(
     protocol: str, spec: ScenarioSpec, *, spec_hash: str, measures: Sequence[str] = ()
-) -> RunSummary:
-    """Run one scenario and reduce it to a summary (used by the workers)."""
+):
+    """Run one task and reduce it to a summary (used by the workers).
+
+    Dispatches on the spec type: a
+    :class:`~repro.txn.runner.ThroughputSpec` runs the concurrent-workload
+    scheduler and yields a :class:`~repro.txn.summary.ThroughputSummary`
+    (trace measures do not apply); anything else is a single-transaction
+    :class:`~repro.protocols.runner.ScenarioSpec`.
+    """
+    if isinstance(spec, ThroughputSpec):
+        return run_throughput_scenario(protocol, spec, spec_hash=spec_hash).summary
     result = run_scenario(create_protocol(protocol), spec)
     metrics = apply_measures(result, measures)
     return RunSummary.from_result(result, spec_hash=spec_hash, metrics=metrics)

@@ -19,7 +19,29 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
+from repro.core.canonical import canonical_json_bytes
 from repro.protocols.runner import TransactionRunResult
+
+
+def summary_from_json_dict(payload: Mapping[str, Any]):
+    """Rebuild whichever summary record ``payload`` encodes.
+
+    Dispatches on the ``kind`` tag: throughput records
+    (:class:`~repro.txn.summary.ThroughputSummary`) carry
+    ``"kind": "throughput"``; plain run summaries carry no tag.  The result
+    cache and :func:`~repro.engine.sink.read_jsonl` both load through this
+    function so every engine surface round-trips both record types.
+    """
+    if payload.get("kind") == "throughput":
+        from repro.txn.summary import ThroughputSummary
+
+        return ThroughputSummary.from_json_dict(payload)
+    return RunSummary.from_json_dict(payload)
+
+
+def summary_from_json_bytes(data: bytes):
+    """Byte-level counterpart of :func:`summary_from_json_dict`."""
+    return summary_from_json_dict(json.loads(data.decode("utf-8")))
 
 
 @dataclass
@@ -225,10 +247,8 @@ class RunSummary:
         )
 
     def to_json_bytes(self) -> bytes:
-        """Canonical JSON bytes: sorted keys, no whitespace, UTF-8."""
-        return json.dumps(
-            self.to_json_dict(), sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
+        """Canonical JSON bytes (shared contract: :mod:`repro.core.canonical`)."""
+        return canonical_json_bytes(self.to_json_dict())
 
     @classmethod
     def from_json_bytes(cls, data: bytes) -> "RunSummary":

@@ -23,6 +23,7 @@ from repro.experiments.thm10_generalization import run_thm10_generalization
 from repro.experiments.availability import run_availability_comparison
 from repro.experiments.message_overhead import run_message_overhead
 from repro.experiments.multiple_partitioning import run_multiple_partitioning
+from repro.experiments.throughput import run_throughput_comparison
 
 __all__ = [
     "ExperimentReport",
@@ -44,5 +45,6 @@ __all__ = [
     "run_sec7_assumptions",
     "run_termination_sweep",
     "run_thm10_generalization",
+    "run_throughput_comparison",
     "sweep_protocol",
 ]

@@ -112,6 +112,11 @@ class RoleBase:
         self.decided_at: Optional[float] = None
         self.vote: Optional[str] = None
         self.conflicting_decisions = 0
+        #: Observers called once, with (role, decision), when the role
+        #: reaches its first (and only effective) local decision.  The
+        #: concurrent-transaction scheduler uses this to track completion
+        #: without polling; single-transaction runs leave it empty.
+        self.decision_listeners: list[Any] = []
         self.node.attach(self)
 
     # ------------------------------------------------------------------
@@ -190,6 +195,8 @@ class RoleBase:
             state=self.state,
             reason=reason,
         )
+        for listener in list(self.decision_listeners):
+            listener(self, decision)
 
     # ------------------------------------------------------------------
     # voting

@@ -1,0 +1,47 @@
+"""Concurrent-transaction subsystem: contention, deadlocks, throughput.
+
+The single-transaction runner measures the paper's availability argument
+indirectly (lock-hold times of one transaction); this package measures it
+directly by scheduling *many* commit-protocol instances concurrently over
+one shared cluster:
+
+* :mod:`repro.txn.multiplex` -- per-transaction virtual nodes multiplexed
+  over the shared sites (message routing by transaction id, namespaced
+  timers);
+* :mod:`repro.txn.scheduler` -- the lock-contention scheduler: strict-2PL
+  execution phase through FIFO lock queues, deadlock handling, one
+  coordinator role-set per in-flight transaction;
+* :mod:`repro.txn.deadlock` -- waits-for cycle detection and the
+  configurable :class:`~repro.txn.deadlock.DeadlockPolicy`;
+* :mod:`repro.txn.runner` / :mod:`repro.txn.summary` -- declarative
+  :class:`~repro.txn.runner.ThroughputSpec` scenarios reduced to plain
+  :class:`~repro.txn.summary.ThroughputSummary` records that flow through
+  the sweep engine's workers, cache and streaming sinks.
+
+The ``repro throughput`` CLI subcommand and
+:mod:`repro.experiments.throughput` build the partition-onset x offered
+load x read-fraction sweeps on top.
+"""
+
+from repro.txn.deadlock import DeadlockPolicy, find_cycle, merge_waits_for
+from repro.txn.multiplex import SiteMultiplexer, VirtualNode
+from repro.txn.runner import ThroughputRunResult, ThroughputSpec, run_throughput_scenario
+from repro.txn.scheduler import TransactionScheduler, TransactionState, TxnPhase
+from repro.txn.summary import ThroughputSummary, TransactionOutcome, TransactionVerdict
+
+__all__ = [
+    "DeadlockPolicy",
+    "SiteMultiplexer",
+    "ThroughputRunResult",
+    "ThroughputSpec",
+    "ThroughputSummary",
+    "TransactionOutcome",
+    "TransactionScheduler",
+    "TransactionState",
+    "TransactionVerdict",
+    "TxnPhase",
+    "VirtualNode",
+    "find_cycle",
+    "merge_waits_for",
+    "run_throughput_scenario",
+]

@@ -1,0 +1,231 @@
+"""Multiplexing many commit-protocol instances over one simulated cluster.
+
+The single-transaction runner attaches exactly one protocol role per
+:class:`~repro.sim.node.Node`.  The concurrent-transaction scheduler
+instead attaches a :class:`SiteMultiplexer` to each node and gives every
+in-flight transaction its own :class:`VirtualNode` -- a per-transaction
+view of the shared node that
+
+* routes sends through the real node (so partitions, bounces and latency
+  apply unchanged),
+* namespaces timer names by transaction id (two transactions' roles can
+  both arm ``phase-timeout`` without clobbering each other, and a role's
+  ``cancel_all_timers`` on decision cancels only its own), and
+* records trace entries against the real site.
+
+The multiplexer routes every delivery by the protocol message's
+``transaction_id`` (messages are already tagged -- see
+:class:`~repro.protocols.base.ProtocolMessage`), fires namespaced timers
+back to the owning role, and fans crash / recovery notifications out to
+every registered role.  Protocol roles run unmodified on top: they duck-type
+against the node surface (:meth:`send`, :meth:`set_timer`, :meth:`note`,
+``sim``) rather than the concrete :class:`Node`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.sim.network import Undeliverable, describe_payload
+from repro.sim.node import Node, Timer
+
+#: Separator between the transaction id and the role-chosen timer name.
+#: Transaction ids never contain it (workload ids are ``workload-txn-N``).
+_TIMER_SEP = "::"
+
+
+class VirtualNode:
+    """A per-transaction view of a shared :class:`~repro.sim.node.Node`.
+
+    Presents the node surface protocol roles use (attach / send / timers /
+    trace notes) while isolating the transaction's timers and role wiring
+    from every other transaction multiplexed over the same site.
+    """
+
+    def __init__(self, node: Node, multiplexer: "SiteMultiplexer", transaction_id: str) -> None:
+        self._node = node
+        self._multiplexer = multiplexer
+        self.transaction_id = transaction_id
+        self.role: Optional[Any] = None
+        self._timer_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # node surface shared with the real Node
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        """The underlying site id."""
+        return self._node.node_id
+
+    @property
+    def sim(self):
+        """The shared simulator."""
+        return self._node.sim
+
+    @property
+    def network(self):
+        """The shared network."""
+        return self._node.network
+
+    @property
+    def trace(self):
+        """The shared trace."""
+        return self._node.trace
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the underlying site is crashed."""
+        return self._node.crashed
+
+    def attach(self, role: Any) -> None:
+        """Attach this transaction's role and register it for routing."""
+        self.role = role
+        self._multiplexer.register(self.transaction_id, self)
+
+    def start(self) -> None:
+        """Schedule the role's ``on_start`` at the current simulated time."""
+        self._node.sim.schedule(
+            0.0,
+            self._start_role,
+            label=f"start {self.transaction_id}@site{self.node_id}",
+        )
+
+    def _start_role(self) -> None:
+        if self.crashed or self.role is None:
+            return
+        hook = getattr(self.role, "on_start", None)
+        if hook is not None:
+            hook()
+
+    def send(self, destination: int, payload: Any):
+        """Send through the shared node (partitions and latency apply)."""
+        return self._node.send(destination, payload)
+
+    def multicast(self, destinations: list[int], payload: Any):
+        """Send ``payload`` to every site in ``destinations``."""
+        return self._node.multicast(destinations, payload)
+
+    # ------------------------------------------------------------------
+    # namespaced timers
+    # ------------------------------------------------------------------
+    def _scoped(self, name: str) -> str:
+        return f"{self.transaction_id}{_TIMER_SEP}{name}"
+
+    def set_timer(self, name: str, delay: float, payload: Any = None) -> Timer:
+        """(Re)arm the named timer, scoped to this transaction."""
+        self._timer_names.add(name)
+        return self._node.set_timer(self._scoped(name), delay, payload)
+
+    def cancel_timer(self, name: str) -> None:
+        """Cancel this transaction's timer ``name`` if armed."""
+        self._timer_names.discard(name)
+        self._node.cancel_timer(self._scoped(name))
+
+    def cancel_all_timers(self) -> None:
+        """Cancel every timer this transaction armed (and only those)."""
+        for name in sorted(self._timer_names):
+            self._node.cancel_timer(self._scoped(name))
+        self._timer_names.clear()
+
+    def timer_armed(self, name: str) -> bool:
+        """True when this transaction's timer ``name`` is armed."""
+        return self._node.timer_armed(self._scoped(name))
+
+    # ------------------------------------------------------------------
+    # trace helpers
+    # ------------------------------------------------------------------
+    def note(self, category: str, **detail: Any) -> None:
+        """Record a role-level trace entry attributed to the real site."""
+        self._node.note(category, **detail)
+
+    @staticmethod
+    def describe(payload: Any) -> str:
+        """Human-readable payload description (re-exported for roles)."""
+        return describe_payload(payload)
+
+
+class SiteMultiplexer:
+    """The role attached to a real node; routes traffic to per-transaction roles."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self._virtuals: dict[str, VirtualNode] = {}
+        #: Called (with no arguments) after a crash is fanned out to the
+        #: roles; the transaction scheduler uses this to fail lock waits
+        #: that died with the site's lock table.
+        self.crash_listeners: list[Any] = []
+        node.attach(self)
+
+    def register(self, transaction_id: str, virtual: VirtualNode) -> None:
+        """Register a transaction's virtual node for routing."""
+        self._virtuals[transaction_id] = virtual
+
+    def virtual_node(self, transaction_id: str) -> VirtualNode:
+        """Create (or return) the virtual node for one transaction."""
+        virtual = self._virtuals.get(transaction_id)
+        if virtual is None:
+            virtual = VirtualNode(self.node, self, transaction_id)
+            self._virtuals[transaction_id] = virtual
+        return virtual
+
+    def roles(self) -> dict[str, Any]:
+        """Transaction id -> attached role, for inspection."""
+        return {
+            txn: virtual.role
+            for txn, virtual in self._virtuals.items()
+            if virtual.role is not None
+        }
+
+    # ------------------------------------------------------------------
+    # Role hooks invoked by the real node
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Transactions start when the scheduler admits them, not at t=0."""
+
+    def on_message(self, payload: Any, envelope: Any) -> None:
+        """Route a delivery (or bounce) to the owning transaction's role."""
+        inner = payload.payload if isinstance(payload, Undeliverable) else payload
+        transaction_id = getattr(inner, "transaction_id", None)
+        virtual = self._virtuals.get(transaction_id) if transaction_id else None
+        if virtual is None or virtual.role is None:
+            self.node.note(
+                "unrouted-message",
+                transaction=transaction_id,
+                payload=describe_payload(payload),
+            )
+            return
+        handler = getattr(virtual.role, "on_message", None)
+        if handler is not None:
+            handler(payload, envelope)
+
+    def on_timeout(self, timer: Timer) -> None:
+        """Strip the transaction prefix and fire the owning role's handler."""
+        transaction_id, sep, name = timer.name.partition(_TIMER_SEP)
+        if not sep:
+            return
+        virtual = self._virtuals.get(transaction_id)
+        if virtual is None or virtual.role is None:
+            return
+        virtual._timer_names.discard(name)
+        handler = getattr(virtual.role, "on_timeout", None)
+        if handler is not None:
+            handler(dataclasses.replace(timer, name=name))
+
+    def on_crash(self) -> None:
+        """Fan the crash notification out to every transaction's role."""
+        for transaction_id in sorted(self._virtuals):
+            virtual = self._virtuals[transaction_id]
+            virtual._timer_names.clear()
+            hook = getattr(virtual.role, "on_crash", None)
+            if hook is not None:
+                hook()
+        for listener in list(self.crash_listeners):
+            listener()
+
+    def on_recover(self) -> None:
+        """Fan the recovery notification out to every transaction's role."""
+        for transaction_id in sorted(self._virtuals):
+            hook = getattr(self._virtuals[transaction_id].role, "on_recover", None)
+            if hook is not None:
+                hook()

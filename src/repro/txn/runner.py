@@ -1,0 +1,214 @@
+"""Throughput scenarios: a contended workload through one commit protocol.
+
+A :class:`ThroughputSpec` is the concurrent-workload analogue of
+:class:`~repro.protocols.runner.ScenarioSpec`: everything needed to run a
+stream of update transactions against one cluster under one protocol and
+one failure schedule, reduced to plain (picklable, stably hashable) data.
+:func:`run_throughput_scenario` executes it deterministically -- workload
+generation, arrivals, lock scheduling and the commit protocols all derive
+from ``(spec, seed)`` alone -- and reduces the run to a
+:class:`~repro.txn.summary.ThroughputSummary`.
+
+The sweep engine executes these specs exactly like scenario specs (same
+task lists, worker pools, result cache and streaming sinks); see
+:func:`repro.engine.engine.execute_task` for the dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.termination import TerminationTimers
+from repro.db.site import DatabaseSite
+from repro.protocols.base import ProtocolDefinition
+from repro.protocols.registry import create_protocol
+from repro.sim.cluster import Cluster
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.network import OPTIMISTIC
+from repro.sim.partition import PartitionSchedule
+from repro.txn.deadlock import DeadlockPolicy
+from repro.txn.scheduler import TransactionScheduler
+from repro.txn.summary import ThroughputSummary, TransactionVerdict
+from repro.workloads.transactions import (
+    TransactionMix,
+    WorkloadConfig,
+    generate_transactions,
+)
+
+
+@dataclass
+class ThroughputSpec:
+    """Everything needed to run one contended workload through one protocol.
+
+    Attributes:
+        n_sites: participating sites (site 1 masters every transaction).
+        n_transactions: transactions offered over the run.
+        tx_rate: offered load, in transactions per ``T`` (arrivals are
+            evenly spaced ``T / tx_rate`` apart -- deterministic, so the
+            spec hash pins the whole arrival schedule).
+        read_fraction / operations_per_site / n_keys /
+        participants_per_transaction: workload shape (see
+            :class:`~repro.workloads.transactions.WorkloadConfig`).
+        op_delay: simulated execution time per data operation; the gap
+            between a transaction's successive lock requests.
+        partition: partition / heal schedule (default: none).
+        latency: network latency model; its upper bound is the paper's ``T``.
+        model: ``"optimistic"`` or ``"pessimistic"`` partition model.
+        deadlock: deadlock-handling policy.
+        horizon: simulated-time limit; defaults to the admission span plus
+            ``40 T`` of drain, far beyond every decision bound in the paper.
+        seed: seed for workload generation and the simulator RNG.
+    """
+
+    n_sites: int = 3
+    n_transactions: int = 200
+    tx_rate: float = 4.0
+    read_fraction: float = 0.2
+    operations_per_site: int = 1
+    n_keys: int = 8
+    participants_per_transaction: Optional[int] = None
+    op_delay: float = 0.05
+    partition: Optional[PartitionSchedule] = None
+    latency: Optional[LatencyModel] = None
+    model: str = OPTIMISTIC
+    deadlock: DeadlockPolicy = field(default_factory=DeadlockPolicy)
+    horizon: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise ValueError(f"n_sites must be >= 1, got {self.n_sites}")
+        if self.n_transactions < 1:
+            raise ValueError(f"n_transactions must be >= 1, got {self.n_transactions}")
+        if self.tx_rate <= 0:
+            raise ValueError(f"tx_rate must be > 0, got {self.tx_rate}")
+        if self.n_keys < 1:
+            raise ValueError(f"n_keys must be >= 1, got {self.n_keys}")
+        if self.op_delay < 0:
+            raise ValueError(f"op_delay must be >= 0, got {self.op_delay}")
+        # Build the workload config eagerly (mix ranges, participant counts,
+        # master bounds) so bad specs fail at construction, not mid-sweep in
+        # a worker process.
+        self.workload_config()
+
+    def effective_latency(self) -> LatencyModel:
+        """The latency model, defaulting to a constant delay of 1 (= T)."""
+        return self.latency or ConstantLatency(1.0)
+
+    def workload_config(self) -> WorkloadConfig:
+        """The equivalent workload-generator configuration."""
+        return WorkloadConfig(
+            n_sites=self.n_sites,
+            n_transactions=self.n_transactions,
+            keys=tuple(f"key-{index}" for index in range(self.n_keys)),
+            participants_per_transaction=self.participants_per_transaction,
+            mix=TransactionMix(
+                read_fraction=self.read_fraction,
+                operations_per_site=self.operations_per_site,
+            ),
+            master=1,
+            seed=self.seed,
+        )
+
+    def arrival_times(self) -> list[float]:
+        """Deterministic admission instants: evenly spaced at the offered rate."""
+        interval = self.effective_latency().upper_bound / self.tx_rate
+        return [index * interval for index in range(self.n_transactions)]
+
+    def effective_horizon(self) -> float:
+        """The run horizon: explicit, or admission span plus ``40 T`` drain."""
+        if self.horizon is not None:
+            return self.horizon
+        max_delay = self.effective_latency().upper_bound
+        return self.arrival_times()[-1] + 40.0 * max_delay
+
+
+@dataclass
+class ThroughputRunResult:
+    """A throughput run with its live objects, for tests and diagnostics.
+
+    The engine keeps only :attr:`summary`; the scheduler / cluster stay in
+    the worker process, like the single-transaction runner's heavyweight
+    state.
+    """
+
+    summary: ThroughputSummary
+    scheduler: TransactionScheduler
+    cluster: Cluster
+    db_sites: dict[int, DatabaseSite]
+
+
+def run_throughput_scenario(
+    protocol: Union[str, ProtocolDefinition],
+    spec: Optional[ThroughputSpec] = None,
+    *,
+    spec_hash: str = "",
+    **overrides,
+) -> ThroughputRunResult:
+    """Run one contended workload under ``protocol`` and summarize it.
+
+    Keyword overrides are applied on top of ``spec`` (or a default spec),
+    mirroring :func:`~repro.protocols.runner.run_scenario`.
+    """
+    if spec is None:
+        spec = ThroughputSpec()
+    if overrides:
+        spec = ThroughputSpec(**{**spec.__dict__, **overrides})
+    if isinstance(protocol, str):
+        protocol = create_protocol(protocol)
+
+    latency = spec.effective_latency()
+    cluster = Cluster(spec.n_sites, latency=latency, model=spec.model, seed=spec.seed)
+    db_sites = {site: DatabaseSite(site) for site in cluster.site_ids()}
+    scheduler = TransactionScheduler(
+        cluster,
+        protocol,
+        db_sites,
+        policy=spec.deadlock,
+        op_delay=spec.op_delay,
+        timers=TerminationTimers(max_delay=latency.upper_bound),
+    )
+    if spec.partition is not None:
+        cluster.apply_partition_schedule(spec.partition)
+    scheduler.submit_all(
+        generate_transactions(spec.workload_config()), arrivals=spec.arrival_times()
+    )
+    horizon = spec.effective_horizon()
+    cluster.run(until=horizon, max_events=5_000_000)
+    scheduler.finalize(horizon)
+
+    summary = ThroughputSummary(
+        protocol=getattr(protocol, "name", type(protocol).__name__),
+        spec_hash=spec_hash,
+        seed=spec.seed,
+        n_sites=spec.n_sites,
+        duration=horizon,
+        max_delay=latency.upper_bound,
+        peak_in_flight=scheduler.peak_in_flight,
+        peak_waiting=scheduler.peak_waiting,
+        deadlock_aborts=scheduler.deadlock_aborts,
+        timeout_aborts=scheduler.timeout_aborts,
+        lock_hold_total=scheduler.lock_hold_total(horizon),
+        messages_sent=cluster.network.messages_sent,
+        messages_delivered=cluster.network.messages_delivered,
+        messages_bounced=cluster.network.messages_bounced,
+        messages_dropped=cluster.network.messages_dropped,
+    )
+    for outcome in scheduler.outcomes():
+        summary.offered += 1
+        summary.lock_wait_total += outcome.lock_wait
+        if outcome.verdict is TransactionVerdict.COMMITTED:
+            summary.committed += 1
+            summary.commit_latency_total += outcome.commit_latency or 0.0
+        elif outcome.verdict is TransactionVerdict.ABORTED:
+            summary.aborted += 1
+        elif outcome.verdict is TransactionVerdict.BLOCKED:
+            summary.blocked += 1
+        elif outcome.verdict is TransactionVerdict.STALLED:
+            summary.stalled += 1
+        else:
+            summary.violated += 1
+    return ThroughputRunResult(
+        summary=summary, scheduler=scheduler, cluster=cluster, db_sites=db_sites
+    )

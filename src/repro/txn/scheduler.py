@@ -1,0 +1,455 @@
+"""The lock-contention transaction scheduler.
+
+:class:`TransactionScheduler` admits a stream of update transactions
+against one shared :class:`~repro.sim.cluster.Cluster` and runs one
+commit-protocol instance per in-flight transaction, multiplexed over the
+same sites (:mod:`repro.txn.multiplex`).  It models the paper's setting
+end-to-end:
+
+1. **Execution phase (strict 2PL growth).**  At admission a transaction
+   requests its locks operation by operation -- shared for reads,
+   exclusive for writes, ``op_delay`` apart -- through the sites' FIFO
+   lock queues (:meth:`~repro.db.site.DatabaseSite.request_lock`).
+   Conflicts *wait* rather than abort; incremental acquisition means lock
+   cycles can form and are broken per the
+   :class:`~repro.txn.deadlock.DeadlockPolicy` (waits-for cycle detection
+   with youngest-victim abort, and/or lock-wait timeouts).
+2. **Commit phase.**  Once every lock is granted, the scheduler builds the
+   protocol's coordinator / participant roles on per-transaction virtual
+   nodes and starts them; messages travel the real network, so partitions
+   hit the commit protocols exactly as in the single-transaction runner.
+3. **Termination.**  Decisions release locks
+   (:meth:`~repro.db.site.DatabaseSite.commit` / ``abort``), which
+   promotes queued waiters and resumes their acquisition -- the chain
+   through which a *blocked* protocol's retained locks throttle every
+   transaction behind it, the Section 1-2 availability argument made
+   measurable.
+
+Everything is driven by the deterministic simulation kernel: given the
+same transactions, arrival times and seed, a run is bit-for-bit
+reproducible (the determinism suite compares whole
+:class:`~repro.txn.summary.ThroughputSummary` records across worker
+counts).
+
+Lock requests are placed directly at the sites rather than travelling the
+network; see ``docs/concurrency.md`` for this and the other modelling
+choices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.termination import TerminationTimers
+from repro.db.locks import LockMode, LockRequest
+from repro.db.site import DatabaseSite, SiteState
+from repro.db.transactions import OpKind, Transaction
+from repro.protocols.base import Decision, ProtocolContext, ProtocolDefinition, RoleBase
+from repro.sim.cluster import Cluster
+from repro.sim.events import Event
+from repro.txn.deadlock import DeadlockPolicy, find_cycle, merge_waits_for
+from repro.txn.multiplex import SiteMultiplexer, VirtualNode
+from repro.txn.summary import TransactionOutcome, TransactionVerdict
+
+
+class TxnPhase(enum.Enum):
+    """Where a transaction is in the scheduler's pipeline."""
+
+    WAITING = "waiting"    # execution phase: acquiring locks
+    RUNNING = "running"    # commit protocol in flight
+    DONE = "done"          # terminated (or written off by the scheduler)
+
+
+@dataclass
+class TransactionState:
+    """Scheduler-side bookkeeping for one admitted transaction."""
+
+    transaction: Transaction
+    index: int
+    admitted_at: float
+    plan: list[tuple[int, str, LockMode]]
+    next_op: int = 0
+    phase: TxnPhase = TxnPhase.WAITING
+    pending_request: Optional[LockRequest] = None
+    pending_site: Optional[int] = None
+    timeout_event: Optional[Event] = None
+    lock_wait: float = 0.0
+    all_granted_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    decisions: dict[int, Decision] = field(default_factory=dict)
+    roles: dict[int, RoleBase] = field(default_factory=dict)
+    verdict: Optional[TransactionVerdict] = None
+    abort_reason: str = ""
+
+    @property
+    def transaction_id(self) -> str:
+        """Shortcut for the transaction id."""
+        return self.transaction.transaction_id
+
+
+class TransactionScheduler:
+    """Admits, locks, runs and accounts concurrent transactions on a cluster.
+
+    Args:
+        cluster: the shared simulated deployment.
+        protocol: commit-protocol definition used for every transaction.
+        db_sites: one :class:`~repro.db.site.DatabaseSite` per cluster site.
+        policy: deadlock handling configuration.
+        op_delay: simulated execution time of one data operation (the gap
+            between successive lock requests of a transaction; values > 0
+            let acquisition interleave, which is what makes lock cycles
+            possible).
+        timers: protocol timeout structure (defaults to the cluster's ``T``).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        protocol: ProtocolDefinition,
+        db_sites: dict[int, DatabaseSite],
+        *,
+        policy: Optional[DeadlockPolicy] = None,
+        op_delay: float = 0.0,
+        timers: Optional[TerminationTimers] = None,
+    ) -> None:
+        if op_delay < 0:
+            raise ValueError(f"op_delay must be >= 0, got {op_delay}")
+        self.cluster = cluster
+        self.protocol = protocol
+        self.db_sites = db_sites
+        self.policy = policy or DeadlockPolicy()
+        self.op_delay = op_delay
+        self.timers = timers or TerminationTimers(max_delay=cluster.max_delay)
+        self.multiplexers: dict[int, SiteMultiplexer] = {
+            site: SiteMultiplexer(cluster.node(site)) for site in cluster.site_ids()
+        }
+        for site, multiplexer in sorted(self.multiplexers.items()):
+            multiplexer.crash_listeners.append(
+                lambda _site=site: self._on_site_crashed(_site)
+            )
+        for site, db in sorted(db_sites.items()):
+            db.locks.on_grant = (
+                lambda request, _site=site: self._on_lock_granted(_site, request)
+            )
+        self.states: dict[str, TransactionState] = {}
+        self._order: list[str] = []
+        self.waiting = 0
+        self.running = 0
+        self.peak_waiting = 0
+        self.peak_in_flight = 0
+        self.deadlock_aborts = 0
+        self.timeout_aborts = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.cluster.sim.now
+
+    def submit(self, transaction: Transaction, *, at: float) -> None:
+        """Schedule ``transaction`` for admission at simulated time ``at``."""
+        self.cluster.sim.schedule_at(
+            at,
+            lambda txn=transaction: self._admit(txn),
+            label=f"admit {transaction.transaction_id}",
+        )
+
+    def submit_all(self, transactions, *, arrivals) -> None:
+        """Submit a transaction stream with its per-transaction arrival times."""
+        for transaction, at in zip(transactions, arrivals):
+            self.submit(transaction, at=at)
+
+    def outcomes(self) -> list[TransactionOutcome]:
+        """Per-transaction outcomes in admission order (after a run)."""
+        out = []
+        for transaction_id in self._order:
+            state = self.states[transaction_id]
+            out.append(
+                TransactionOutcome(
+                    transaction_id=transaction_id,
+                    index=state.index,
+                    verdict=state.verdict or TransactionVerdict.STALLED,
+                    admitted_at=state.admitted_at,
+                    all_granted_at=state.all_granted_at,
+                    started_at=state.started_at,
+                    finished_at=state.finished_at,
+                    lock_wait=state.lock_wait,
+                    abort_reason=state.abort_reason,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # admission + lock acquisition (execution phase)
+    # ------------------------------------------------------------------
+    def _admit(self, transaction: Transaction) -> None:
+        transaction_id = transaction.transaction_id
+        if transaction_id in self.states:
+            raise ValueError(f"transaction {transaction_id} already admitted")
+        state = TransactionState(
+            transaction=transaction,
+            index=len(self._order),
+            admitted_at=self.now,
+            plan=self._lock_plan(transaction),
+        )
+        self.states[transaction_id] = state
+        self._order.append(transaction_id)
+        self.waiting += 1
+        self.peak_waiting = max(self.peak_waiting, self.waiting)
+        self.cluster.trace.record(
+            self.now, "admit", site=transaction.master, transaction=transaction_id
+        )
+        self._advance(state)
+
+    @staticmethod
+    def _lock_plan(transaction: Transaction) -> list[tuple[int, str, LockMode]]:
+        """The strict-2PL growth schedule: one request per operation, deduped.
+
+        A read after a write on the same key is covered; a write after a
+        read becomes an upgrade request (the lock manager handles it).
+        """
+        plan: list[tuple[int, str, LockMode]] = []
+        held: dict[tuple[int, str], LockMode] = {}
+        for op in transaction.operations:
+            mode = LockMode.EXCLUSIVE if op.kind is OpKind.WRITE else LockMode.SHARED
+            current = held.get((op.site, op.key))
+            if current is not None and current.covers(mode):
+                continue
+            plan.append((op.site, op.key, mode))
+            held[(op.site, op.key)] = mode
+        return plan
+
+    def _advance(self, state: TransactionState) -> None:
+        """Request the next locks; start the commit protocol when done."""
+        while state.phase is TxnPhase.WAITING and state.next_op < len(state.plan):
+            site, key, mode = state.plan[state.next_op]
+            if self.cluster.node(site).crashed or self.db_sites[site].state is SiteState.CRASHED:
+                # The execution phase cannot proceed at a crashed site;
+                # write the transaction off instead of raising mid-event.
+                self._abort_waiting(state, reason=f"site {site} crashed")
+                return
+            request = self.db_sites[site].request_lock(
+                state.transaction_id, key, mode, now=self.now
+            )
+            if request.granted is None:
+                state.pending_request = request
+                state.pending_site = site
+                self._arm_wait_timeout(state)
+                if self.policy.detect_cycles:
+                    self._break_deadlocks()
+                return
+            if not self._operation_done(state):
+                return
+        if state.phase is TxnPhase.WAITING:
+            self._start_protocol(state)
+
+    def _operation_done(self, state: TransactionState) -> bool:
+        """Step past a granted operation; False when the next lock request
+        was deferred by ``op_delay`` (the operation's execution time)."""
+        state.next_op += 1
+        if self.op_delay > 0 and state.next_op < len(state.plan):
+            self.cluster.sim.schedule(
+                self.op_delay,
+                lambda s=state: self._advance(s),
+                label=f"next-op {state.transaction_id}",
+            )
+            return False
+        return True
+
+    def _on_lock_granted(self, site: int, request: LockRequest) -> None:
+        state = self.states.get(request.owner)
+        if state is None or state.phase is not TxnPhase.WAITING:
+            return
+        if state.pending_request is not request:
+            return
+        state.pending_request = None
+        state.pending_site = None
+        state.lock_wait += request.wait_time
+        self._cancel_wait_timeout(state)
+        if self._operation_done(state):
+            self._advance(state)
+
+    # ------------------------------------------------------------------
+    # deadlock handling
+    # ------------------------------------------------------------------
+    def _break_deadlocks(self) -> None:
+        """Abort the youngest member of every waits-for cycle until none remain."""
+        while True:
+            graph = merge_waits_for(
+                {site: db.locks.waits_for() for site, db in self.db_sites.items()}
+            )
+            cycle = find_cycle(graph)
+            if cycle is None:
+                return
+            if any(
+                self.states[txn].phase is not TxnPhase.WAITING for txn in cycle
+            ):
+                # Stale cycle: a victim mid-abort still has queued requests
+                # at sites its participant loop has not reached yet.  Those
+                # edges dissolve when the in-flight abort completes; the
+                # caller's loop (or the next queued request) re-checks.
+                return
+            victim = max(cycle, key=lambda txn: self.states[txn].index)
+            self.deadlock_aborts += 1
+            self.cluster.trace.record(
+                self.now,
+                "deadlock",
+                site=None,
+                cycle=sorted(cycle),
+                victim=victim,
+            )
+            self._abort_waiting(
+                self.states[victim], reason=f"deadlock victim (cycle of {len(cycle)})"
+            )
+
+    def _on_site_crashed(self, site: int) -> None:
+        """Fail the lock waits that died with a crashed site.
+
+        Invoked through the site multiplexer's crash fan-out: a transaction
+        whose current lock wait targets the crashed site can never be
+        granted (no role will release on its behalf), so it is written off
+        instead of stalling to the horizon.
+        """
+        for transaction_id in list(self._order):
+            state = self.states[transaction_id]
+            if state.phase is TxnPhase.WAITING and state.pending_site == site:
+                self._abort_waiting(
+                    state, reason=f"site {site} crashed during lock wait"
+                )
+
+    def _arm_wait_timeout(self, state: TransactionState) -> None:
+        if self.policy.wait_timeout is None:
+            return
+        self._cancel_wait_timeout(state)
+        request = state.pending_request
+        state.timeout_event = self.cluster.sim.schedule(
+            self.policy.wait_timeout,
+            lambda s=state, r=request: self._on_wait_timeout(s, r),
+            label=f"lock-wait-timeout {state.transaction_id}",
+        )
+
+    def _cancel_wait_timeout(self, state: TransactionState) -> None:
+        if state.timeout_event is not None:
+            state.timeout_event.cancel()
+            state.timeout_event = None
+
+    def _on_wait_timeout(self, state: TransactionState, request: LockRequest) -> None:
+        if state.phase is not TxnPhase.WAITING or state.pending_request is not request:
+            return
+        self.timeout_aborts += 1
+        self.cluster.trace.record(
+            self.now, "lock-wait-timeout", site=state.pending_site,
+            transaction=state.transaction_id,
+        )
+        self._abort_waiting(state, reason="lock-wait timeout")
+
+    def _abort_waiting(self, state: TransactionState, *, reason: str) -> None:
+        """Abort a transaction still in its execution phase (victim path)."""
+        if state.phase is not TxnPhase.WAITING:
+            # Reentrant call (promotion cascades during this victim's own
+            # cleanup can re-trigger detection paths): already handled.
+            return
+        if state.pending_request is not None:
+            state.lock_wait += max(0.0, self.now - state.pending_request.enqueued_at)
+            state.pending_request = None
+            state.pending_site = None
+        self._cancel_wait_timeout(state)
+        state.phase = TxnPhase.DONE
+        state.verdict = TransactionVerdict.ABORTED
+        state.abort_reason = reason
+        state.finished_at = self.now
+        self.waiting -= 1
+        # The durable abort releases held locks and cancels queued requests
+        # at every participant (WAL records stay tagged by transaction id).
+        # A crashed site's volatile lock state is already gone; skip it.
+        for site in state.transaction.participants:
+            if self.db_sites[site].state is SiteState.CRASHED:
+                continue
+            self.db_sites[site].abort(state.transaction_id, now=self.now)
+
+    # ------------------------------------------------------------------
+    # commit phase
+    # ------------------------------------------------------------------
+    def _start_protocol(self, state: TransactionState) -> None:
+        state.phase = TxnPhase.RUNNING
+        state.all_granted_at = self.now
+        state.started_at = self.now
+        self.waiting -= 1
+        self.running += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.running)
+        transaction = state.transaction
+        participants = transaction.participants
+        virtuals: list[VirtualNode] = []
+        for site in participants:
+            virtual = self.multiplexers[site].virtual_node(transaction.transaction_id)
+            ctx = ProtocolContext(
+                node=virtual,
+                db=self.db_sites[site],
+                transaction=transaction,
+                participants=participants,
+                master=transaction.master,
+                timers=self.timers,
+            )
+            if site == transaction.master:
+                role = self.protocol.coordinator(ctx)
+            else:
+                role = self.protocol.participant(ctx)
+            role.decision_listeners.append(
+                lambda _role, decision, s=site, st=state: self._on_site_decided(
+                    st, s, decision
+                )
+            )
+            state.roles[site] = role
+            virtuals.append(virtual)
+        for virtual in virtuals:
+            virtual.start()
+
+    def _on_site_decided(
+        self, state: TransactionState, site: int, decision: Decision
+    ) -> None:
+        state.decisions[site] = decision
+        if len(state.decisions) < len(state.transaction.participants):
+            return
+        decided = set(state.decisions.values())
+        if decided == {Decision.COMMIT}:
+            state.verdict = TransactionVerdict.COMMITTED
+        elif decided == {Decision.ABORT}:
+            state.verdict = TransactionVerdict.ABORTED
+            state.abort_reason = state.abort_reason or "protocol abort"
+        else:
+            state.verdict = TransactionVerdict.VIOLATED
+        state.phase = TxnPhase.DONE
+        state.finished_at = self.now
+        self.running -= 1
+
+    # ------------------------------------------------------------------
+    # horizon accounting
+    # ------------------------------------------------------------------
+    def finalize(self, horizon: float) -> None:
+        """Classify whatever is still in flight when the run horizon ends."""
+        for transaction_id in self._order:
+            state = self.states[transaction_id]
+            if state.phase is TxnPhase.WAITING:
+                state.verdict = TransactionVerdict.STALLED
+                if state.pending_request is not None:
+                    state.lock_wait += max(
+                        0.0, horizon - state.pending_request.enqueued_at
+                    )
+            elif state.phase is TxnPhase.RUNNING:
+                state.verdict = TransactionVerdict.BLOCKED
+
+    def lock_hold_total(self, horizon: float) -> float:
+        """Total lock-hold time across sites, charging still-held locks to
+        the horizon (the unavailability a blocked protocol inflicts)."""
+        total = 0.0
+        for site in sorted(self.db_sites):
+            stats = self.db_sites[site].locks.stats
+            total += stats.total_hold_time
+            for (_, _), since in stats.held_since.items():
+                total += max(0.0, horizon - since)
+        return total

@@ -1,0 +1,205 @@
+"""Per-transaction outcomes and the per-scenario ``ThroughputSummary``.
+
+A throughput scenario runs *many* concurrent transactions through one
+cluster, so its result is not a per-site decision vector but a workload
+aggregate: how many transactions committed / aborted / blocked, how long
+they queued for locks, and the resulting goodput.  The records here are
+plain picklable data with canonical JSON (sorted keys, ``kind`` tag), so
+they flow through the existing sweep-engine machinery unchanged -- worker
+processes return them, the on-disk result cache stores them (dispatched on
+the ``kind`` field), :class:`~repro.engine.sink.JsonlSink` spills them
+byte-identically across worker counts, and the determinism tests compare
+them byte-for-byte.
+
+This module deliberately imports nothing from :mod:`repro.engine`; the
+engine imports *it* (one-way layering, like
+:class:`~repro.engine.summary.RunSummary`).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.core.canonical import canonical_json_bytes
+
+
+class TransactionVerdict(enum.Enum):
+    """Final classification of one transaction in a contended run."""
+
+    COMMITTED = "committed"          # every participant committed
+    ABORTED = "aborted"              # terminated without committing anywhere
+    BLOCKED = "blocked"              # protocol started, some site never decided
+    STALLED = "stalled"              # still waiting for locks at the horizon
+    VIOLATED = "violated"            # mixed commit / abort across sites
+
+
+@dataclass
+class TransactionOutcome:
+    """Per-transaction metrics emitted by the scheduler.
+
+    Times are simulated-time; ``None`` marks phases never reached.
+    ``lock_wait`` is the execution-phase queueing delay (admission to the
+    final lock grant, or to abort / horizon for transactions that never got
+    their locks) -- the paper's "data inaccessible to other transactions"
+    cost, measured per transaction.
+    """
+
+    transaction_id: str
+    index: int
+    verdict: TransactionVerdict
+    admitted_at: float
+    all_granted_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    lock_wait: float = 0.0
+    abort_reason: str = ""
+
+    @property
+    def commit_latency(self) -> Optional[float]:
+        """Protocol start to last participant decision (decided runs only)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class ThroughputSummary:
+    """The outcome of one contended-workload scenario, as plain data.
+
+    Carries the same engine plumbing fields as
+    :class:`~repro.engine.summary.RunSummary` (``protocol``, ``spec_hash``,
+    ``seed``, ``metrics``) so :class:`~repro.engine.engine.SweepEngine`
+    streams, caches and spills it through the existing sinks.
+    """
+
+    protocol: str
+    spec_hash: str
+    seed: int
+    n_sites: int
+    offered: int = 0
+    committed: int = 0
+    aborted: int = 0
+    blocked: int = 0
+    stalled: int = 0
+    violated: int = 0
+    deadlock_aborts: int = 0
+    timeout_aborts: int = 0
+    duration: float = 0.0
+    max_delay: float = 1.0
+    lock_wait_total: float = 0.0
+    lock_hold_total: float = 0.0
+    commit_latency_total: float = 0.0
+    peak_in_flight: int = 0
+    peak_waiting: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_bounced: int = 0
+    messages_dropped: int = 0
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # derived rates
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> int:
+        """Transactions that terminated everywhere (committed or aborted)."""
+        return self.committed + self.aborted
+
+    @property
+    def goodput(self) -> float:
+        """Committed transactions per ``T`` of simulated time."""
+        if self.duration <= 0:
+            return 0.0
+        return self.committed / (self.duration / (self.max_delay or 1.0))
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted fraction of the offered transactions."""
+        return self.aborted / self.offered if self.offered else 0.0
+
+    @property
+    def blocked_rate(self) -> float:
+        """Fraction of offered transactions blocked or stalled at the horizon."""
+        if not self.offered:
+            return 0.0
+        return (self.blocked + self.stalled) / self.offered
+
+    @property
+    def mean_lock_wait(self) -> float:
+        """Mean per-transaction lock-queueing delay, in units of ``T``."""
+        if not self.offered:
+            return 0.0
+        return self.lock_wait_total / self.offered / (self.max_delay or 1.0)
+
+    @property
+    def mean_commit_latency(self) -> Optional[float]:
+        """Mean protocol latency of committed transactions, in units of ``T``."""
+        if not self.committed:
+            return None
+        return self.commit_latency_total / self.committed / (self.max_delay or 1.0)
+
+    @property
+    def atomicity_violated(self) -> bool:
+        """True when any transaction mixed commit and abort across sites."""
+        return self.violated > 0
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (
+            f"{self.protocol}: {self.committed}/{self.offered} committed "
+            f"({self.goodput:.2f}/T), {self.aborted} aborted, "
+            f"{self.blocked + self.stalled} blocked, "
+            f"mean lock wait {self.mean_lock_wait:.2f} T"
+        )
+
+    # ------------------------------------------------------------------
+    # canonical JSON (cache + JSONL spill format)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict; ``kind`` tags the record for cache dispatch."""
+        return {
+            "kind": "throughput",
+            "protocol": self.protocol,
+            "spec_hash": self.spec_hash,
+            "seed": self.seed,
+            "n_sites": self.n_sites,
+            "offered": self.offered,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "blocked": self.blocked,
+            "stalled": self.stalled,
+            "violated": self.violated,
+            "deadlock_aborts": self.deadlock_aborts,
+            "timeout_aborts": self.timeout_aborts,
+            "duration": self.duration,
+            "max_delay": self.max_delay,
+            "lock_wait_total": self.lock_wait_total,
+            "lock_hold_total": self.lock_hold_total,
+            "commit_latency_total": self.commit_latency_total,
+            "peak_in_flight": self.peak_in_flight,
+            "peak_waiting": self.peak_waiting,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_bounced": self.messages_bounced,
+            "messages_dropped": self.messages_dropped,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "ThroughputSummary":
+        """Rebuild a summary from :meth:`to_json_dict` output."""
+        data = {k: v for k, v in payload.items() if k != "kind"}
+        data["metrics"] = dict(data.get("metrics", {}))
+        return cls(**data)
+
+    def to_json_bytes(self) -> bytes:
+        """Canonical JSON bytes (shared contract: :mod:`repro.core.canonical`)."""
+        return canonical_json_bytes(self.to_json_dict())
+
+    @classmethod
+    def from_json_bytes(cls, data: bytes) -> "ThroughputSummary":
+        """Inverse of :meth:`to_json_bytes`."""
+        return cls.from_json_dict(json.loads(data.decode("utf-8")))

@@ -59,6 +59,26 @@ class WorkloadConfig:
     master: int = 1
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise ValueError(f"n_sites must be >= 1: {self.n_sites}")
+        if self.n_transactions < 0:
+            raise ValueError(f"n_transactions must be >= 0: {self.n_transactions}")
+        if not self.keys:
+            raise ValueError("keys must name at least one key")
+        if not 1 <= self.master <= self.n_sites:
+            raise ValueError(f"master {self.master} outside 1..{self.n_sites}")
+        if (
+            self.participants_per_transaction is not None
+            and self.participants_per_transaction < 2
+        ):
+            # A distributed transaction needs the master plus at least one
+            # slave; 1 would silently be generated as 2, so reject it.
+            raise ValueError(
+                "participants_per_transaction must be >= 2 (master plus a slave): "
+                f"{self.participants_per_transaction}"
+            )
+
 
 def generate_transactions(config: WorkloadConfig) -> list[Transaction]:
     """Generate a deterministic list of transactions for ``config``."""
@@ -74,7 +94,7 @@ def _one_transaction(config: WorkloadConfig, rng: random.Random, index: int) -> 
     if config.participants_per_transaction is None or config.participants_per_transaction >= len(sites):
         participants = sites
     else:
-        count = max(2, config.participants_per_transaction)
+        count = config.participants_per_transaction
         others = [site for site in sites if site != config.master]
         participants = [config.master] + sorted(rng.sample(others, count - 1))
     operations: list[Operation] = []

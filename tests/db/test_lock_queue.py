@@ -1,0 +1,234 @@
+"""FIFO wait-queue semantics of the lock manager (the scheduler substrate)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.locks import LockManager, LockMode
+
+
+def manager():
+    return LockManager(site=1)
+
+
+class TestImmediateGrants:
+    def test_request_free_key_grants_immediately(self):
+        locks = manager()
+        request = locks.request("t1", "x", LockMode.EXCLUSIVE, now=2.0)
+        assert request.granted is not None
+        assert request.wait_time == 0.0
+        assert locks.holds("t1", "x")
+
+    def test_compatible_shared_requests_grant_together(self):
+        locks = manager()
+        assert locks.request("t1", "x", LockMode.SHARED).granted is not None
+        assert locks.request("t2", "x", LockMode.SHARED).granted is not None
+
+    def test_reentrant_request_returns_existing_grant(self):
+        locks = manager()
+        first = locks.request("t1", "x", LockMode.EXCLUSIVE)
+        again = locks.request("t1", "x", LockMode.SHARED)
+        assert again.granted is first.granted
+
+
+class TestQueueing:
+    def test_conflicting_request_queues_instead_of_raising(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        request = locks.request("t2", "x", LockMode.EXCLUSIVE, now=1.0)
+        assert request.pending
+        assert locks.queued("x") == (request,)
+        assert locks.pending_owners() == {"t2"}
+
+    def test_release_promotes_fifo_order(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        first = locks.request("t2", "x", LockMode.EXCLUSIVE)
+        second = locks.request("t3", "x", LockMode.EXCLUSIVE)
+        locks.release_all("t1")
+        assert first.granted is not None
+        assert second.pending
+        locks.release_all("t2")
+        assert second.granted is not None
+
+    def test_shared_group_promotes_together_but_not_past_a_writer(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        r2 = locks.request("t2", "x", LockMode.SHARED)
+        r3 = locks.request("t3", "x", LockMode.SHARED)
+        r4 = locks.request("t4", "x", LockMode.EXCLUSIVE)
+        r5 = locks.request("t5", "x", LockMode.SHARED)
+        locks.release_all("t1")
+        assert r2.granted is not None and r3.granted is not None
+        assert r4.pending and r5.pending  # the late reader cannot pass the writer
+
+    def test_no_barging_past_a_queued_writer(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.SHARED)
+        writer = locks.request("t2", "x", LockMode.EXCLUSIVE)
+        # A new reader is compatible with the *holder* but must not
+        # overtake the queued writer (writers would starve).
+        reader = locks.request("t3", "x", LockMode.SHARED)
+        assert writer.pending and reader.pending
+        locks.release_all("t1")
+        assert writer.granted is not None
+        assert reader.pending
+
+    def test_acquire_respects_the_queue_too(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.SHARED)
+        locks.request("t2", "x", LockMode.EXCLUSIVE)
+        with pytest.raises(Exception):
+            locks.acquire("t3", "x", LockMode.SHARED)
+
+    def test_wait_time_recorded_at_grant(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE, now=0.0)
+        request = locks.request("t2", "x", LockMode.EXCLUSIVE, now=1.0)
+        locks.release_all("t1", now=4.5)
+        assert request.granted_at == 4.5
+        assert request.wait_time == 3.5
+        assert locks.stats.wait_time_total == 3.5
+
+    def test_on_grant_callback_fires_per_promotion(self):
+        locks = manager()
+        granted = []
+        locks.on_grant = granted.append
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        r2 = locks.request("t2", "x", LockMode.SHARED)
+        r3 = locks.request("t3", "x", LockMode.SHARED)
+        assert granted == []
+        locks.release_all("t1")
+        assert granted == [r2, r3]
+
+    def test_cancel_unblocks_the_queue(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.SHARED)
+        writer = locks.request("t2", "x", LockMode.EXCLUSIVE)
+        reader = locks.request("t3", "x", LockMode.SHARED)
+        locks.cancel(writer)
+        assert reader.granted is not None
+
+
+class TestCrashSemantics:
+    def test_cancel_all_pending_never_promotes(self):
+        locks = manager()
+        granted = []
+        locks.on_grant = granted.append
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        blocked = locks.request("t2", "x", LockMode.EXCLUSIVE)
+        assert locks.cancel_all_pending() == 1
+        assert blocked.cancelled
+        assert granted == []  # a dying table must not hand out grants
+
+    def test_site_crash_preserves_the_grant_callback(self):
+        from repro.db.site import DatabaseSite
+
+        site = DatabaseSite(1)
+        granted = []
+        site.locks.on_grant = granted.append
+        site.crash()
+        site.recover()
+        site.locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        request = site.locks.request("t2", "x", LockMode.EXCLUSIVE)
+        site.locks.release_all("t1")
+        assert granted == [request]  # scheduler wiring survives the crash
+
+
+class TestUpgradesInQueue:
+    def test_upgrade_waits_for_other_holders_only(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.SHARED)
+        locks.acquire("t2", "x", LockMode.SHARED)
+        newcomer = locks.request("t3", "x", LockMode.EXCLUSIVE)
+        upgrade = locks.request("t1", "x", LockMode.EXCLUSIVE)
+        assert upgrade.pending and upgrade.upgrade
+        locks.release_all("t2")
+        # The upgrade outranks the queued newcomer.
+        assert upgrade.granted is not None
+        assert upgrade.granted.mode is LockMode.EXCLUSIVE
+        assert newcomer.pending
+
+    def test_cancelled_entries_do_not_skew_upgrade_insertion_order(self):
+        # t1..t4 hold shared and queue upgrades in order; t2's is cancelled
+        # in place (e.g. a lock-wait timeout) while the queue stays blocked.
+        # A later upgrade (t4) must land *behind* every older pending
+        # upgrade -- a stale cancelled entry must not skew the index.
+        locks = manager()
+        for owner in ("t1", "t2", "t3", "t4", "t5"):
+            locks.acquire(owner, "x", LockMode.SHARED)
+        up1 = locks.request("t1", "x", LockMode.EXCLUSIVE)
+        up2 = locks.request("t2", "x", LockMode.EXCLUSIVE)
+        up3 = locks.request("t3", "x", LockMode.EXCLUSIVE)
+        up2.cancelled = True  # settled in place, not compacted by promotion
+        up4 = locks.request("t4", "x", LockMode.EXCLUSIVE)
+        assert locks.queued("x") == (up1, up3, up4)
+
+    def test_two_upgraders_form_a_waits_for_cycle(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.SHARED)
+        locks.acquire("t2", "x", LockMode.SHARED)
+        locks.request("t1", "x", LockMode.EXCLUSIVE)
+        locks.request("t2", "x", LockMode.EXCLUSIVE)
+        edges = locks.waits_for()
+        assert "t2" in edges["t1"] and "t1" in edges["t2"]
+
+
+class TestWaitsFor:
+    def test_edges_point_at_conflicting_holders(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        locks.request("t2", "x", LockMode.EXCLUSIVE)
+        assert locks.waits_for() == {"t2": {"t1"}}
+
+    def test_edges_point_at_earlier_queued_owners(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        locks.request("t2", "x", LockMode.EXCLUSIVE)
+        locks.request("t3", "x", LockMode.EXCLUSIVE)
+        edges = locks.waits_for()
+        assert edges["t3"] == {"t1", "t2"}
+
+    def test_no_pending_requests_no_edges(self):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert locks.waits_for() == {}
+
+    def test_shared_group_members_do_not_wait_on_each_other(self):
+        # tB and tC queue shared behind an exclusive holder: they will be
+        # granted *together*, so no edge may join them (a spurious edge
+        # here lets the deadlock detector abort an innocent group member).
+        locks = manager()
+        locks.acquire("tA", "x", LockMode.EXCLUSIVE)
+        locks.request("tB", "x", LockMode.SHARED)
+        locks.request("tC", "x", LockMode.SHARED)
+        edges = locks.waits_for()
+        assert edges["tB"] == {"tA"}
+        assert edges["tC"] == {"tA"}
+
+    def test_shared_request_still_waits_on_queued_writer(self):
+        locks = manager()
+        locks.acquire("tA", "x", LockMode.SHARED)
+        locks.request("tW", "x", LockMode.EXCLUSIVE)
+        locks.request("tC", "x", LockMode.SHARED)
+        edges = locks.waits_for()
+        assert "tW" in edges["tC"]  # the reader must outwait the older writer
+
+
+class TestQueueProperties:
+    @given(st.lists(st.integers(min_value=2, max_value=9), min_size=1, max_size=8))
+    def test_property_exclusive_queue_drains_in_fifo_order(self, owners):
+        locks = manager()
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        requests = [
+            locks.request(f"t{owner}-{i}", "x", LockMode.EXCLUSIVE)
+            for i, owner in enumerate(owners)
+        ]
+        order = []
+        locks.on_grant = lambda r: order.append(r)
+        previous = "t1"
+        for expected in requests:
+            locks.release_all(previous)
+            assert order[-1] is expected
+            previous = expected.owner
+        locks.release_all(previous)
+        assert len(locks) == 0 and not locks.pending_owners()

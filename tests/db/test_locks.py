@@ -137,3 +137,64 @@ class TestQueriesAndStats:
             locks.acquire("t", key, LockMode.EXCLUSIVE)
         assert locks.release_all("t") == len(keys)
         assert len(locks) == 0
+
+
+class TestEdgeCases:
+    """The scheduler-driven edge semantics: upgrades, double release,
+    release-while-queued (correct stand-alone, required by repro.txn)."""
+
+    def test_upgrade_by_sole_shared_holder_survives_queued_waiters(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED)
+        queued = locks.request("t2", "x", LockMode.EXCLUSIVE)
+        assert queued.pending
+        # t1 is still the only *holder*: the upgrade must not deadlock
+        # against t2's queue position.
+        grant = locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert grant.mode is LockMode.EXCLUSIVE
+        assert queued.pending  # t2 keeps waiting for the (now exclusive) holder
+
+    def test_upgrade_keeps_original_hold_time_origin(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED, now=1.0)
+        upgraded = locks.acquire("t1", "x", LockMode.EXCLUSIVE, now=3.0)
+        assert upgraded.granted_at == 1.0
+        locks.release_all("t1", now=5.0)
+        assert locks.stats.total_hold_time == 4.0
+
+    def test_double_release_all_is_a_noop(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE, now=1.0)
+        assert locks.release_all("t1", now=2.0) == 1
+        assert locks.release_all("t1", now=3.0) == 0
+        assert locks.stats.releases == 1
+        assert locks.stats.total_hold_time == 1.0
+
+    def test_double_release_single_key_is_a_noop(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert locks.release("t1", "x") is True
+        assert locks.release("t1", "x") is False
+        assert locks.release("t1", "never-held") is False
+
+    def test_release_while_queued_cancels_the_request(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.EXCLUSIVE)
+        queued = locks.request("t2", "x", LockMode.SHARED)
+        assert queued.pending
+        locks.release_all("t2")  # t2 aborts while waiting
+        assert queued.cancelled
+        assert not locks.queued("x")
+        locks.release_all("t1")
+        assert queued.granted is None  # never granted after cancellation
+
+    def test_release_while_queued_unblocks_the_queue_behind(self):
+        locks = LockManager(site=1)
+        locks.acquire("t1", "x", LockMode.SHARED)
+        blocked_writer = locks.request("t2", "x", LockMode.EXCLUSIVE)
+        blocked_reader = locks.request("t3", "x", LockMode.SHARED)
+        assert blocked_writer.pending and blocked_reader.pending
+        # The writer gives up; the reader is now compatible with the holder.
+        locks.release_all("t2")
+        assert blocked_reader.granted is not None
+        assert locks.holds("t3", "x")

@@ -1,0 +1,248 @@
+"""Scheduler semantics: contention, FIFO waits, deadlocks, blocked holders."""
+
+import pytest
+
+from repro.core.termination import TerminationTimers
+from repro.db.site import DatabaseSite
+from repro.db.transactions import Operation, Transaction
+from repro.protocols.registry import create_protocol
+from repro.sim.cluster import Cluster
+from repro.sim.partition import PartitionSchedule
+from repro.txn import (
+    DeadlockPolicy,
+    ThroughputSpec,
+    TransactionScheduler,
+    TransactionVerdict,
+    find_cycle,
+    run_throughput_scenario,
+)
+
+
+def build(n_sites=3, protocol="terminating-three-phase-commit", **kwargs):
+    cluster = Cluster(n_sites)
+    db_sites = {site: DatabaseSite(site) for site in cluster.site_ids()}
+    scheduler = TransactionScheduler(
+        cluster, create_protocol(protocol), db_sites,
+        timers=TerminationTimers(max_delay=cluster.max_delay), **kwargs,
+    )
+    return cluster, db_sites, scheduler
+
+
+def txn(txn_id, operations):
+    return Transaction.create(1, operations, transaction_id=txn_id)
+
+
+def w(site, key):
+    return Operation.write(site, key, "value")
+
+
+class TestFifoContention:
+    def test_conflicting_transaction_waits_for_the_holder(self):
+        cluster, _, scheduler = build()
+        scheduler.submit(txn("txn-a", [w(1, "k"), w(2, "k"), w(3, "k")]), at=0.0)
+        scheduler.submit(txn("txn-b", [w(1, "k"), w(2, "k"), w(3, "k")]), at=0.5)
+        cluster.run(until=60.0)
+        scheduler.finalize(60.0)
+        a, b = scheduler.outcomes()
+        assert a.verdict is b.verdict is TransactionVerdict.COMMITTED
+        assert a.lock_wait == 0.0
+        assert b.lock_wait > 0.0
+        # Strict 2PL: b could only start after a released (committed).
+        assert b.started_at >= a.finished_at
+
+    def test_queued_transactions_commit_in_admission_order(self):
+        cluster, _, scheduler = build()
+        for index in range(4):
+            scheduler.submit(
+                txn(f"txn-{index}", [w(1, "hot"), w(2, "hot"), w(3, "hot")]),
+                at=0.25 * index,
+            )
+        cluster.run(until=120.0)
+        scheduler.finalize(120.0)
+        outcomes = scheduler.outcomes()
+        assert [o.verdict for o in outcomes] == [TransactionVerdict.COMMITTED] * 4
+        finished = [o.finished_at for o in outcomes]
+        assert finished == sorted(finished)
+
+    def test_read_only_transactions_share_locks(self):
+        cluster, _, scheduler = build()
+        reads = [Operation.read(site, "k") for site in (1, 2, 3)]
+        scheduler.submit(txn("txn-a", reads), at=0.0)
+        scheduler.submit(txn("txn-b", list(reads)), at=0.0)
+        cluster.run(until=40.0)
+        scheduler.finalize(40.0)
+        a, b = scheduler.outcomes()
+        assert a.lock_wait == b.lock_wait == 0.0
+        assert scheduler.peak_in_flight == 2
+
+
+class TestDeadlockHandling:
+    def cycle_pair(self, scheduler):
+        """Two transactions acquiring the same site-1 keys in opposite order."""
+        scheduler.submit(
+            txn("txn-a", [w(1, "k1"), w(1, "k2"), w(2, "ka")]), at=0.0
+        )
+        scheduler.submit(
+            txn("txn-b", [w(1, "k2"), w(1, "k1"), w(2, "kb")]), at=0.1
+        )
+
+    def test_two_transaction_cycle_aborts_exactly_one_victim(self):
+        cluster, _, scheduler = build(op_delay=0.3)
+        self.cycle_pair(scheduler)
+        cluster.run(until=60.0)
+        scheduler.finalize(60.0)
+        a, b = scheduler.outcomes()
+        assert scheduler.deadlock_aborts == 1
+        # The youngest transaction (b) is the victim; the survivor commits.
+        assert b.verdict is TransactionVerdict.ABORTED
+        assert "deadlock" in b.abort_reason
+        assert a.verdict is TransactionVerdict.COMMITTED
+
+    def test_victim_releases_its_locks_everywhere(self):
+        cluster, db_sites, scheduler = build(op_delay=0.3)
+        self.cycle_pair(scheduler)
+        cluster.run(until=60.0)
+        scheduler.finalize(60.0)
+        for site in (1, 2):
+            assert not db_sites[site].holds_locks("txn-b")
+        assert db_sites[1].decision("txn-b") == "abort"
+
+    def test_detection_disabled_leaves_the_cycle_stuck(self):
+        cluster, _, scheduler = build(
+            op_delay=0.3, policy=DeadlockPolicy(detect_cycles=False)
+        )
+        self.cycle_pair(scheduler)
+        cluster.run(until=60.0)
+        scheduler.finalize(60.0)
+        a, b = scheduler.outcomes()
+        assert scheduler.deadlock_aborts == 0
+        assert a.verdict is TransactionVerdict.STALLED
+        assert b.verdict is TransactionVerdict.STALLED
+
+    def test_lock_wait_timeout_breaks_the_cycle_instead(self):
+        cluster, _, scheduler = build(
+            op_delay=0.3,
+            policy=DeadlockPolicy(detect_cycles=False, wait_timeout=3.0),
+        )
+        self.cycle_pair(scheduler)
+        cluster.run(until=60.0)
+        scheduler.finalize(60.0)
+        assert scheduler.timeout_aborts >= 1
+        verdicts = {o.transaction_id: o.verdict for o in scheduler.outcomes()}
+        assert TransactionVerdict.COMMITTED in verdicts.values()
+
+    def test_promotion_cascade_during_victim_abort_counts_one_victim(self):
+        # Reentrancy regression: while victim V's abort walks its
+        # participant sites, each release promotes waiter H, whose
+        # synchronous re-requests re-trigger detection while V's queued
+        # requests at later sites are still pending -- the stale cycle must
+        # not be broken a second time.
+        cluster, _, scheduler = build(n_sites=2)
+        scheduler.submit(txn("txn-x", [w(1, "k0"), w(2, "kx")]), at=0.0)
+        scheduler.submit(
+            txn("txn-h", [w(2, "k2"), w(1, "k0"), w(1, "k1"), w(2, "k4")]), at=0.2
+        )
+        scheduler.submit(
+            txn("txn-v", [w(1, "k1"), w(2, "k4"), w(2, "k2")]), at=0.4
+        )
+        cluster.run(until=80.0)
+        scheduler.finalize(80.0)
+        x, h, v = scheduler.outcomes()
+        assert scheduler.deadlock_aborts == 1
+        assert scheduler.waiting == 0 and scheduler.running == 0
+        assert v.verdict is TransactionVerdict.ABORTED
+        assert x.verdict is TransactionVerdict.COMMITTED
+        assert h.verdict is TransactionVerdict.COMMITTED
+
+    def test_find_cycle_is_deterministic(self):
+        edges = {"a": {"b"}, "b": {"c"}, "c": {"a"}, "d": {"a"}}
+        assert find_cycle(edges) == find_cycle(dict(reversed(list(edges.items()))))
+        assert set(find_cycle(edges)) == {"a", "b", "c"}
+
+    def test_find_cycle_none_on_acyclic_graph(self):
+        assert find_cycle({"a": {"b"}, "b": {"c"}, "d": {"c"}}) is None
+
+
+class TestBlockedHoldersThrottle:
+    def test_blocked_two_phase_commit_starves_the_queue(self):
+        # A permanent partition strikes while txn-a's 2PC instance is in
+        # flight: it blocks, keeps its locks, and txn-b (same keys) stalls.
+        cluster, db_sites, scheduler = build(protocol="two-phase-commit")
+        cluster.apply_partition_schedule(
+            PartitionSchedule.simple(1.5, [1, 2], [3])
+        )
+        scheduler.submit(txn("txn-a", [w(1, "k"), w(2, "k"), w(3, "k")]), at=0.0)
+        scheduler.submit(txn("txn-b", [w(1, "k"), w(2, "k"), w(3, "k")]), at=2.0)
+        cluster.run(until=80.0)
+        scheduler.finalize(80.0)
+        a, b = scheduler.outcomes()
+        assert a.verdict is TransactionVerdict.BLOCKED
+        assert b.verdict is TransactionVerdict.STALLED
+        assert db_sites[1].holds_locks("txn-a")
+        assert b.lock_wait == pytest.approx(78.0)
+
+    def test_terminating_protocol_frees_the_queue(self):
+        cluster, db_sites, scheduler = build()
+        cluster.apply_partition_schedule(
+            PartitionSchedule.simple(1.5, [1, 2], [3])
+        )
+        scheduler.submit(txn("txn-a", [w(1, "k"), w(2, "k"), w(3, "k")]), at=0.0)
+        scheduler.submit(txn("txn-b", [w(1, "k"), w(2, "k"), w(3, "k")]), at=2.0)
+        cluster.run(until=80.0)
+        scheduler.finalize(80.0)
+        a, b = scheduler.outcomes()
+        # The termination protocol ends txn-a everywhere; its locks free up
+        # and txn-b at least reaches its own protocol (site 3 is cut off,
+        # so txn-b terminates too rather than stalling in the queue).
+        assert a.verdict in (TransactionVerdict.COMMITTED, TransactionVerdict.ABORTED)
+        assert b.verdict in (TransactionVerdict.COMMITTED, TransactionVerdict.ABORTED)
+        assert not db_sites[1].holds_locks("txn-a")
+        assert not db_sites[1].holds_locks("txn-b")
+
+
+class TestSiteCrashes:
+    def test_waiters_at_a_crashed_site_are_written_off_not_stalled(self):
+        cluster, _, scheduler = build()
+        # txn-a holds the hot key's locks; txn-b queues behind it at site 1;
+        # site 1 then crashes while txn-b is still waiting.
+        scheduler.submit(txn("txn-a", [w(1, "k"), w(2, "k"), w(3, "k")]), at=0.0)
+        scheduler.submit(txn("txn-b", [w(1, "k"), w(2, "k"), w(3, "k")]), at=0.5)
+        cluster.sim.schedule_at(1.0, cluster.node(1).crash)
+        cluster.run(until=60.0)
+        scheduler.finalize(60.0)
+        a, b = scheduler.outcomes()
+        assert b.verdict is TransactionVerdict.ABORTED
+        assert "crashed" in b.abort_reason
+        assert b.finished_at == pytest.approx(1.0)
+
+    def test_advance_skips_requests_to_a_crashed_site(self):
+        cluster, _, scheduler = build(op_delay=1.0)
+        # With op_delay the transaction reaches site 2's request only after
+        # the crash; it must be written off cleanly, not raise mid-event.
+        scheduler.submit(txn("txn-a", [w(1, "k"), w(2, "k")]), at=0.0)
+        cluster.sim.schedule_at(0.5, cluster.node(2).crash)
+        cluster.run(until=60.0)
+        scheduler.finalize(60.0)
+        (a,) = scheduler.outcomes()
+        assert a.verdict is TransactionVerdict.ABORTED
+        assert "site 2 crashed" in a.abort_reason
+
+
+class TestSpecValidation:
+    def test_spec_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="tx_rate"):
+            ThroughputSpec(tx_rate=0.0)
+
+    def test_spec_rejects_bad_site_count(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            ThroughputSpec(n_sites=0)
+
+    def test_spec_rejects_bad_read_fraction(self):
+        with pytest.raises(ValueError, match="read_fraction"):
+            run_throughput_scenario(
+                "two-phase-commit", ThroughputSpec(n_transactions=1), read_fraction=1.5
+            )
+
+    def test_policy_rejects_bad_timeout(self):
+        with pytest.raises(ValueError, match="wait_timeout"):
+            DeadlockPolicy(wait_timeout=0.0)

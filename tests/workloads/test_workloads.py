@@ -29,6 +29,22 @@ class TestTransactionMix:
         with pytest.raises(ValueError):
             TransactionMix(read_fraction=1.5)
 
+
+class TestWorkloadConfigValidation:
+    def test_rejects_master_outside_site_range(self):
+        with pytest.raises(ValueError, match="master"):
+            WorkloadConfig(n_sites=3, master=4)
+
+    def test_rejects_empty_keyspace(self):
+        with pytest.raises(ValueError, match="keys"):
+            WorkloadConfig(keys=())
+
+    def test_rejects_single_participant(self):
+        # The generator always emits master + >= 1 slave; a value of 1
+        # would be silently generated as 2, so it is rejected up front.
+        with pytest.raises(ValueError, match="participants_per_transaction"):
+            WorkloadConfig(n_sites=3, participants_per_transaction=1)
+
     def test_rejects_zero_operations(self):
         with pytest.raises(ValueError):
             TransactionMix(operations_per_site=0)
