@@ -62,8 +62,9 @@ def test_bench_throughput_500_transactions(run_once_benchmark):
 
 def test_bench_throughput_scenarios_per_second(run_once_benchmark):
     """Sweep-side cost: one throughput scenario per protocol, timed."""
-    from repro.engine import SweepEngine, ThroughputSink
+    from repro.engine import SweepEngine
     from repro.experiments.throughput import DEFAULT_PROTOCOLS, throughput_tasks
+    from repro.txn.sink import ThroughputSink
 
     tasks = throughput_tasks(list(DEFAULT_PROTOCOLS), n_transactions=200)
     sink = ThroughputSink()

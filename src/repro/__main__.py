@@ -17,6 +17,10 @@ Usage::
     python -m repro throughput --protocols all --transactions 200
     python -m repro throughput --protocols two-phase-commit \\
         --tx-rate 2.0 --read-fraction 0.5 --ops-per-site 2 --deadlock both
+    python -m repro shard --shard-index 0 --shard-count 3 \\
+        --out shard-0.jsonl --protocol all --cache .sweep-cache
+    python -m repro merge shard-0.jsonl shard-1.jsonl shard-2.jsonl \\
+        --jsonl merged.jsonl --stats-json merge-stats.json
 
 ``sweep --stream`` executes through the constant-memory streaming path
 (summaries are folded into aggregation sinks in task order, never
@@ -24,8 +28,14 @@ materialized); ``sweep --refine`` and the ``boundaries`` subcommand locate
 the onset times where the verdict class flips by adaptive bisection instead
 of a uniform grid; ``throughput`` offers a contended multi-transaction
 workload per protocol and compares goodput / abort rate / lock-wait under
-a mid-run partition.  Every mode reports cache hit/miss counts and
-scenarios/sec at completion.
+a mid-run partition.  ``shard`` runs one deterministic slice of a sweep or
+throughput grid to a self-describing JSONL spill and ``merge`` folds any
+set of shard spills back into aggregates byte-identical to a
+single-machine run -- the distribution surface the matrix-sharded CI
+pipeline drives.  Every mode reports cache hit/miss counts and
+scenarios/sec at completion; ``--stats-json PATH`` additionally writes the
+statistics as canonical JSON for machine consumers (CI assertions,
+benchmark trackers).
 """
 
 from __future__ import annotations
@@ -69,6 +79,175 @@ def _parse_no_voters(values: list[str]) -> tuple[frozenset[int], ...]:
     return tuple(options) if options else (frozenset(),)
 
 
+def _add_engine_options(
+    parser: argparse.ArgumentParser, *, chunk_size: bool = False
+) -> None:
+    """The engine-facing options every grid-executing subcommand shares."""
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1, in-process)"
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (re-runs become incremental)",
+    )
+    if chunk_size:
+        parser.add_argument(
+            "--chunk-size",
+            type=int,
+            default=None,
+            metavar="N",
+            help="scenarios per worker submission (default: auto)",
+        )
+    parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write run statistics to PATH as canonical JSON",
+    )
+
+
+def _add_partition_axes(parser: argparse.ArgumentParser) -> None:
+    """The partition-sweep grid axes (shared by ``sweep`` and ``shard``)."""
+    parser.add_argument(
+        "--protocol",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="protocol registry name (repeatable); 'all' sweeps every protocol",
+    )
+    parser.add_argument(
+        "--times",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="T",
+        help="partition onset times (default: the standard 0.25T grid)",
+    )
+    parser.add_argument(
+        "--heal-after",
+        type=float,
+        default=None,
+        metavar="DT",
+        help="heal every partition DT after onset (transient partitioning)",
+    )
+    parser.add_argument(
+        "--no-voters",
+        action="append",
+        default=None,
+        metavar="SITES",
+        help="comma-separated no-voting sites; repeatable, 'none' = all yes",
+    )
+
+
+# The throughput grid's heal default, shared by the `throughput` parser and
+# `shard --kind throughput` (whose parser leaves --heal-after unset because
+# the sweep axes own the flag) so both always build the same grid.
+_TPUT_HEAL_DEFAULT = 8.0
+
+
+def _add_throughput_axes(
+    parser: argparse.ArgumentParser, *, include_heal: bool = True
+) -> None:
+    """The throughput grid axes (shared by ``throughput`` and ``shard``)."""
+    parser.add_argument(
+        "--protocols",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="protocol registry name (repeatable); 'all' runs every protocol",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=200,
+        metavar="N",
+        help="transactions offered per scenario (default 200)",
+    )
+    parser.add_argument(
+        "--tx-rate",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="offered load in transactions per T (default 1.0)",
+    )
+    parser.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.2,
+        metavar="F",
+        help="fraction of operations that are reads, in [0, 1] (default 0.2)",
+    )
+    parser.add_argument(
+        "--ops-per-site",
+        type=int,
+        default=1,
+        metavar="K",
+        help="data operations per participating site (default 1)",
+    )
+    parser.add_argument(
+        "--keys",
+        type=int,
+        default=8,
+        metavar="K",
+        help="keyspace size; fewer keys = more contention (default 8)",
+    )
+    parser.add_argument(
+        "--op-delay",
+        type=float,
+        default=0.05,
+        metavar="DT",
+        help="execution time per data operation, in T (default 0.05)",
+    )
+    parser.add_argument(
+        "--partition-at",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="partition onset as a fraction of the admission span (default 0.5)",
+    )
+    if include_heal:
+        parser.add_argument(
+            "--heal-after",
+            type=float,
+            default=_TPUT_HEAL_DEFAULT,
+            metavar="DT",
+            help=f"heal the partition DT after onset (default {_TPUT_HEAL_DEFAULT})",
+        )
+    parser.add_argument(
+        "--permanent",
+        action="store_true",
+        help="never heal the partition",
+    )
+    parser.add_argument(
+        "--no-partition",
+        action="store_true",
+        help="failure-free run (contention only)",
+    )
+    parser.add_argument(
+        "--deadlock",
+        choices=("cycles", "timeout", "both", "none"),
+        default="cycles",
+        help="deadlock handling: waits-for detection, lock-wait timeouts, both or none",
+    )
+    parser.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=10.0,
+        metavar="DT",
+        help="lock-wait timeout in T, for --deadlock timeout/both (default 10.0)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0],
+        metavar="S",
+        help="workload / simulator seeds, one scenario per seed (default: 0)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -89,52 +268,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "processes and summarizing atomicity / blocking per protocol."
         ),
     )
-    sweep.add_argument(
-        "--protocol",
-        action="append",
-        default=None,
-        metavar="NAME",
-        help="protocol registry name (repeatable); 'all' sweeps every protocol",
-    )
     sweep.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
-    sweep.add_argument(
-        "--workers", type=int, default=1, help="worker processes (default 1, in-process)"
-    )
-    sweep.add_argument(
-        "--times",
-        type=float,
-        nargs="+",
-        default=None,
-        metavar="T",
-        help="partition onset times (default: the standard 0.25T grid)",
-    )
-    sweep.add_argument(
-        "--heal-after",
-        type=float,
-        default=None,
-        metavar="DT",
-        help="heal every partition DT after onset (transient partitioning)",
-    )
-    sweep.add_argument(
-        "--no-voters",
-        action="append",
-        default=None,
-        metavar="SITES",
-        help="comma-separated no-voting sites; repeatable, 'none' = all yes",
-    )
-    sweep.add_argument(
-        "--cache",
-        default=None,
-        metavar="DIR",
-        help="result-cache directory (re-sweeps become incremental)",
-    )
-    sweep.add_argument(
-        "--chunk-size",
-        type=int,
-        default=None,
-        metavar="N",
-        help="scenarios per worker submission (default: auto)",
-    )
+    _add_partition_axes(sweep)
+    _add_engine_options(sweep, chunk_size=True)
     sweep.add_argument(
         "--stream",
         action="store_true",
@@ -174,114 +310,91 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     throughput.add_argument(
-        "--protocols",
-        action="append",
-        default=None,
-        metavar="NAME",
-        help="protocol registry name (repeatable); 'all' runs every protocol",
+        "--sites", type=int, default=3, help="number of sites (default 3)"
     )
-    throughput.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
-    throughput.add_argument(
-        "--transactions",
-        type=int,
-        default=200,
-        metavar="N",
-        help="transactions offered per scenario (default 200)",
-    )
-    throughput.add_argument(
-        "--tx-rate",
-        type=float,
-        default=1.0,
-        metavar="R",
-        help="offered load in transactions per T (default 1.0)",
-    )
-    throughput.add_argument(
-        "--read-fraction",
-        type=float,
-        default=0.2,
-        metavar="F",
-        help="fraction of operations that are reads, in [0, 1] (default 0.2)",
-    )
-    throughput.add_argument(
-        "--ops-per-site",
-        type=int,
-        default=1,
-        metavar="K",
-        help="data operations per participating site (default 1)",
-    )
-    throughput.add_argument(
-        "--keys",
-        type=int,
-        default=8,
-        metavar="K",
-        help="keyspace size; fewer keys = more contention (default 8)",
-    )
-    throughput.add_argument(
-        "--op-delay",
-        type=float,
-        default=0.05,
-        metavar="DT",
-        help="execution time per data operation, in T (default 0.05)",
-    )
-    throughput.add_argument(
-        "--partition-at",
-        type=float,
-        default=0.5,
-        metavar="FRAC",
-        help="partition onset as a fraction of the admission span (default 0.5)",
-    )
-    throughput.add_argument(
-        "--heal-after",
-        type=float,
-        default=8.0,
-        metavar="DT",
-        help="heal the partition DT after onset (default 8.0)",
-    )
-    throughput.add_argument(
-        "--permanent",
-        action="store_true",
-        help="never heal the partition",
-    )
-    throughput.add_argument(
-        "--no-partition",
-        action="store_true",
-        help="failure-free run (contention only)",
-    )
-    throughput.add_argument(
-        "--deadlock",
-        choices=("cycles", "timeout", "both", "none"),
-        default="cycles",
-        help="deadlock handling: waits-for detection, lock-wait timeouts, both or none",
-    )
-    throughput.add_argument(
-        "--lock-timeout",
-        type=float,
-        default=10.0,
-        metavar="DT",
-        help="lock-wait timeout in T, for --deadlock timeout/both (default 10.0)",
-    )
-    throughput.add_argument(
-        "--seeds",
-        type=int,
-        nargs="+",
-        default=[0],
-        metavar="S",
-        help="workload / simulator seeds, one scenario per seed (default: 0)",
-    )
-    throughput.add_argument(
-        "--workers", type=int, default=1, help="worker processes (default 1, in-process)"
-    )
-    throughput.add_argument(
-        "--cache",
-        default=None,
-        metavar="DIR",
-        help="result-cache directory (re-runs become incremental)",
-    )
+    _add_throughput_axes(throughput)
+    _add_engine_options(throughput)
     throughput.add_argument(
         "--jsonl",
         default=None,
         metavar="PATH",
         help="spill every scenario summary to PATH as JSON lines",
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help="run one deterministic shard of a grid to a JSONL spill",
+        description=(
+            "Partition a sweep or throughput grid into --shard-count "
+            "content-addressed slices (stable under task reordering, "
+            "cache-compatible with single-machine runs), execute slice "
+            "--shard-index on this machine, and spill its summaries to a "
+            "self-describing JSONL file that 'repro merge' folds back into "
+            "single-machine-identical aggregates."
+        ),
+    )
+    shard.add_argument(
+        "--shard-index",
+        type=int,
+        required=True,
+        metavar="I",
+        help="which slice to run, in [0, --shard-count)",
+    )
+    shard.add_argument(
+        "--shard-count",
+        type=int,
+        required=True,
+        metavar="N",
+        help="total number of slices the grid is partitioned into",
+    )
+    shard.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="shard spill destination (self-describing JSON lines)",
+    )
+    shard.add_argument(
+        "--kind",
+        choices=("sweep", "throughput"),
+        default="sweep",
+        help="which grid to shard: the partition sweep or the throughput grid",
+    )
+    shard.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
+    _add_partition_axes(shard)
+    _add_throughput_axes(shard, include_heal=False)
+    _add_engine_options(shard, chunk_size=True)
+
+    merge = sub.add_parser(
+        "merge",
+        help="fold shard spills into single-machine-identical aggregates",
+        description=(
+            "Read a set of 'repro shard' spill files, restore global task "
+            "order, and fold every summary through the registered spec "
+            "kinds' aggregation sinks.  The resulting tables (and the "
+            "optional --jsonl spill) are byte-identical to a single-machine "
+            "streaming run of the whole grid."
+        ),
+    )
+    merge.add_argument(
+        "spills", nargs="+", metavar="SPILL", help="shard spill files to merge"
+    )
+    merge.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="write the merged summaries to PATH (byte-identical to a "
+        "single-machine 'sweep --stream --jsonl' spill)",
+    )
+    merge.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="merge even when some shards are missing (partial aggregates)",
+    )
+    merge.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write merge statistics to PATH as canonical JSON",
     )
 
     boundaries = sub.add_parser(
@@ -420,14 +533,75 @@ def _print_stats(stats, workers: int, cache) -> None:
     )
 
 
+def _write_stats_json(path: Optional[str], payload: dict) -> None:
+    """Write a stats payload as one canonical-JSON line (machine-readable)."""
+    if path is None:
+        return
+    import pathlib
+
+    from repro.core.canonical import canonical_json_bytes
+
+    target = pathlib.Path(path)
+    if target.parent != pathlib.Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_bytes(canonical_json_bytes(payload) + b"\n")
+
+
+def _run_stats_payload(command: str, stats, cache) -> dict:
+    """The ``--stats-json`` payload of one grid execution.
+
+    Works for both :class:`~repro.engine.StreamStats` and
+    :class:`~repro.engine.SweepResult` (same statistics surface).  CI
+    asserts on ``executed`` / ``cache_hits`` instead of grepping the human
+    completion line.
+    """
+    return {
+        "command": command,
+        "total": stats.total,
+        "executed": stats.executed,
+        "cache_hits": stats.cache_hits,
+        "workers": stats.workers,
+        "chunk_count": stats.chunk_count,
+        "elapsed": round(stats.elapsed, 6),
+        "scenarios_per_second": round(stats.throughput, 3),
+        "cache_enabled": cache is not None,
+    }
+
+
+def _sweep_grid_tasks(args: argparse.Namespace):
+    """The sweep grid's task list plus per-protocol spans, or ``None``.
+
+    One task list (and thus one worker pool / shard partition) across all
+    protocols; ``spans`` lets the materializing path slice per-protocol
+    tables back out of the ordered summaries.
+    """
+    from repro.engine import ScenarioGrid
+
+    no_voter_options = _resolve_no_voters(args)
+    if no_voter_options is None:
+        return None
+    protocols = _resolve_protocols(args)
+    if protocols is None:
+        return None
+    tasks = []
+    spans: list[tuple[str, int, int]] = []
+    for protocol in protocols:
+        grid = ScenarioGrid.from_partition_sweep(
+            protocol,
+            args.sites,
+            times=args.times,
+            heal_after=args.heal_after,
+            no_voter_options=no_voter_options,
+        )
+        protocol_tasks = list(grid.tasks())
+        spans.append((protocol, len(tasks), len(tasks) + len(protocol_tasks)))
+        tasks.extend(protocol_tasks)
+    return tasks, spans
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.atomicity import summarize_runs
-    from repro.engine import (
-        JsonlSink,
-        ScenarioGrid,
-        SweepEngine,
-        VerdictCounterSink,
-    )
+    from repro.engine import JsonlSink, SweepEngine, VerdictCounterSink
     from repro.metrics.reporting import format_table
 
     if args.workers < 1:
@@ -439,14 +613,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.jsonl is not None and not args.stream:
         print("--jsonl requires --stream", file=sys.stderr)
         return 2
-    if args.refine and (args.stream or args.jsonl):
-        print("--refine cannot be combined with --stream/--jsonl", file=sys.stderr)
-        return 2
-    no_voter_options = _resolve_no_voters(args)
-    if no_voter_options is None:
-        return 2
-    protocols = _resolve_protocols(args)
-    if protocols is None:
+    if args.refine and (args.stream or args.jsonl or args.stats_json):
+        print(
+            "--refine cannot be combined with --stream/--jsonl/--stats-json",
+            file=sys.stderr,
+        )
         return 2
 
     engine = SweepEngine(
@@ -454,6 +625,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
     )
 
     if args.refine:
+        no_voter_options = _resolve_no_voters(args)
+        if no_voter_options is None:
+            return 2
+        protocols = _resolve_protocols(args)
+        if protocols is None:
+            return 2
         # With --refine, --times only delimits the interval: refinement
         # places its own (coarse + bisected) points inside [min, max].
         lo = min(args.times) if args.times else 0.25
@@ -479,21 +656,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
             classify_bounds=False,
         )
 
-    # One task list (and thus one worker pool) across all protocols; the
-    # per-protocol tables are sliced back out of the ordered summaries.
-    tasks = []
-    spans: list[tuple[str, int, int]] = []
-    for protocol in protocols:
-        grid = ScenarioGrid.from_partition_sweep(
-            protocol,
-            args.sites,
-            times=args.times,
-            heal_after=args.heal_after,
-            no_voter_options=no_voter_options,
-        )
-        protocol_tasks = list(grid.tasks())
-        spans.append((protocol, len(tasks), len(tasks) + len(protocol_tasks)))
-        tasks.extend(protocol_tasks)
+    built = _sweep_grid_tasks(args)
+    if built is None:
+        return 2
+    tasks, spans = built
 
     if args.stream:
         # Constant-memory path: summaries flow through sinks in task order
@@ -506,6 +672,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
         if args.jsonl is not None:
             print(f"spilled {sinks[1].count} summaries to {args.jsonl}")
         _print_stats(stats, args.workers, engine.cache)
+        _write_stats_json(
+            args.stats_json, _run_stats_payload("sweep", stats, engine.cache)
+        )
         return 0
 
     result = engine.run(tasks)
@@ -525,19 +694,24 @@ def _run_sweep(args: argparse.Namespace) -> int:
         )
     print(format_table(rows))
     _print_stats(result, args.workers, engine.cache)
+    _write_stats_json(
+        args.stats_json, _run_stats_payload("sweep", result, engine.cache)
+    )
     return 0
 
 
-def _run_throughput(args: argparse.Namespace) -> int:
-    from repro.engine import JsonlSink, SweepEngine, ThroughputSink
+def _throughput_grid_tasks(args: argparse.Namespace):
+    """The throughput grid's task list, or ``None`` after a printed error.
+
+    Shared by ``repro throughput`` and ``repro shard --kind throughput`` so
+    sharded runs execute exactly the grid a single-machine run would.
+    """
     from repro.experiments.throughput import DEFAULT_PROTOCOLS, throughput_tasks
-    from repro.metrics.reporting import format_table
     from repro.txn import DeadlockPolicy
 
     # Every check names the offending flag so workload mistakes are
     # self-explanatory (the satellite contract of the txn subsystem).
     checks = [
-        (args.workers < 1, f"--workers must be >= 1, got {args.workers}"),
         (args.sites < 1, f"--sites must be >= 1, got {args.sites}"),
         (args.transactions < 1, f"--transactions must be >= 1, got {args.transactions}"),
         (args.tx_rate <= 0, f"--tx-rate must be > 0, got {args.tx_rate}"),
@@ -562,15 +736,15 @@ def _run_throughput(args: argparse.Namespace) -> int:
     for failed, message in checks:
         if failed:
             print(message, file=sys.stderr)
-            return 2
+            return None
     protocols = _resolve_protocol_names(args.protocols, default=list(DEFAULT_PROTOCOLS))
     if protocols is None:
-        return 2
+        return None
     policy = DeadlockPolicy(
         detect_cycles=args.deadlock in ("cycles", "both"),
         wait_timeout=args.lock_timeout if args.deadlock in ("timeout", "both") else None,
     )
-    tasks = throughput_tasks(
+    return throughput_tasks(
         protocols,
         n_sites=args.sites,
         n_transactions=args.transactions,
@@ -584,6 +758,19 @@ def _run_throughput(args: argparse.Namespace) -> int:
         deadlock=policy,
         seeds=args.seeds,
     )
+
+
+def _run_throughput(args: argparse.Namespace) -> int:
+    from repro.engine import JsonlSink, SweepEngine
+    from repro.metrics.reporting import format_table
+    from repro.txn.sink import ThroughputSink
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    tasks = _throughput_grid_tasks(args)
+    if tasks is None:
+        return 2
     engine = SweepEngine(workers=args.workers, cache=args.cache)
     sinks: list = [ThroughputSink()]
     if args.jsonl is not None:
@@ -593,6 +780,128 @@ def _run_throughput(args: argparse.Namespace) -> int:
     if args.jsonl is not None:
         print(f"spilled {sinks[1].count} summaries to {args.jsonl}")
     _print_stats(stats, args.workers, engine.cache)
+    _write_stats_json(
+        args.stats_json, _run_stats_payload("throughput", stats, engine.cache)
+    )
+    return 0
+
+
+def _run_shard(args: argparse.Namespace) -> int:
+    from repro.engine import SweepEngine
+    from repro.engine.shard import run_shard
+
+    checks = [
+        (args.workers < 1, f"--workers must be >= 1, got {args.workers}"),
+        (
+            args.chunk_size is not None and args.chunk_size < 1,
+            f"--chunk-size must be >= 1, got {args.chunk_size}",
+        ),
+        (args.shard_count < 1, f"--shard-count must be >= 1, got {args.shard_count}"),
+        (
+            not 0 <= args.shard_index < max(args.shard_count, 1),
+            f"--shard-index must be in [0, {args.shard_count}), got {args.shard_index}",
+        ),
+    ]
+    for failed, message in checks:
+        if failed:
+            print(message, file=sys.stderr)
+            return 2
+    # Flags belonging to the other grid would be silently ignored -- the
+    # shard would quietly cover a different grid than the user asked for,
+    # breaking the merge-vs-single-machine identity.  Name the mistake.
+    if args.kind == "sweep" and args.protocols is not None:
+        print(
+            "--protocols applies to --kind throughput; "
+            "the sweep grid takes --protocol",
+            file=sys.stderr,
+        )
+        return 2
+    if args.kind == "throughput":
+        for provided, flag in (
+            (args.protocol, "--protocol"),
+            (args.times, "--times"),
+            (args.no_voters, "--no-voters"),
+        ):
+            if provided is not None:
+                print(
+                    f"{flag} applies to --kind sweep; "
+                    f"the throughput grid takes --protocols",
+                    file=sys.stderr,
+                )
+                return 2
+    if args.kind == "sweep":
+        built = _sweep_grid_tasks(args)
+        if built is None:
+            return 2
+        tasks = built[0]
+    else:
+        # The shard parser leaves --heal-after unset by default (the sweep
+        # axes own the flag); apply the throughput subcommand's default so
+        # both build the same grid.
+        if args.heal_after is None:
+            args.heal_after = _TPUT_HEAL_DEFAULT
+        tasks = _throughput_grid_tasks(args)
+        if tasks is None:
+            return 2
+    engine = SweepEngine(
+        workers=args.workers, cache=args.cache, chunk_size=args.chunk_size
+    )
+    stats = run_shard(tasks, args.shard_index, args.shard_count, args.out, engine=engine)
+    print(
+        f"shard {args.shard_index}/{args.shard_count} ({args.kind} grid): "
+        f"{stats.total} of {len(tasks)} task(s) spilled to {args.out}"
+    )
+    _print_stats(stats, args.workers, engine.cache)
+    payload = _run_stats_payload("shard", stats, engine.cache)
+    payload.update(
+        {
+            "kind": args.kind,
+            "shard_index": args.shard_index,
+            "shard_count": args.shard_count,
+            "total_tasks": len(tasks),
+        }
+    )
+    _write_stats_json(args.stats_json, payload)
+    return 0
+
+
+def _run_merge(args: argparse.Namespace) -> int:
+    from repro.engine.registry import UnknownSpecKindError
+    from repro.engine.shard import ShardFormatError, merge_shards
+    from repro.metrics.reporting import format_table
+
+    try:
+        result = merge_shards(
+            args.spills,
+            jsonl=args.jsonl,
+            require_complete=not args.allow_partial,
+        )
+    except (ShardFormatError, UnknownSpecKindError, OSError) as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 2
+    for sink in result.kind_sinks.values():
+        rows = sink.rows() if hasattr(sink, "rows") else []
+        if rows:
+            print(format_table(rows))
+    if args.jsonl is not None:
+        print(f"spilled {result.records} merged summaries to {args.jsonl}")
+    print(
+        f"merged {result.records} record(s) from {len(result.headers)} shard "
+        f"spill(s) (grid of {result.total_tasks} task(s), "
+        f"{result.elapsed:.2f}s)"
+    )
+    _write_stats_json(
+        args.stats_json,
+        {
+            "command": "merge",
+            "shards": len(result.headers),
+            "shard_count": result.shard_count,
+            "records": result.records,
+            "total_tasks": result.total_tasks,
+            "kinds": sorted(result.kind_sinks),
+            "elapsed": round(result.elapsed, 6),
+        },
+    )
     return 0
 
 
@@ -710,6 +1019,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_sweep(args)
     if args.command == "throughput":
         return _run_throughput(args)
+    if args.command == "shard":
+        return _run_shard(args)
+    if args.command == "merge":
+        return _run_merge(args)
     if args.command == "boundaries":
         return _run_boundaries(args)
     ids = list(EXPERIMENTS) if args.command == "all" else [i.upper() for i in args.ids]

@@ -18,12 +18,22 @@ sweeps run in O(sinks) memory.  :mod:`~repro.engine.refine` adds adaptive
 onset-boundary refinement on top: coarse scan, then bisection of only the
 intervals where the verdict class flips.
 
+Scenario families are open: :mod:`~repro.engine.registry` is a spec-kind
+registration point (spec dataclass + task executor + summary codec +
+default sink factory) the engine, cache, sinks and CLI all resolve
+through, so new spec types plug in with one ``register_spec_kind`` call.
+:mod:`~repro.engine.shard` distributes a sweep across machines: a
+deterministic, content-addressed shard partition, self-describing JSONL
+spills, and a merge that reproduces single-machine aggregates
+byte-identically.
+
 Every experiment sweep, benchmark and the ``repro sweep`` / ``repro
-boundaries`` CLI subcommands run on top of this package.
+boundaries`` / ``repro shard`` / ``repro merge`` CLI subcommands run on
+top of this package.
 """
 
 from repro.engine.cache import ResultCache
-from repro.engine.engine import StreamStats, SweepEngine, SweepResult
+from repro.engine.engine import StreamStats, SweepEngine, SweepResult, execute_task
 from repro.engine.grid import ScenarioGrid, SweepTask, tasks_from_specs
 from repro.engine.hashing import spec_hash
 from repro.engine.measures import MEASURES, register_measure
@@ -35,6 +45,27 @@ from repro.engine.refine import (
     verdict_class,
     verdict_class_with_bound,
 )
+from repro.engine.registry import (
+    SpecKind,
+    UnknownSpecKindError,
+    kind_by_name,
+    kind_for_payload,
+    kind_for_spec,
+    kind_for_tag,
+    register_spec_kind,
+    registered_kinds,
+    unregister_spec_kind,
+)
+from repro.engine.shard import (
+    MergeResult,
+    ShardFormatError,
+    ShardHeader,
+    merge_shards,
+    read_shard,
+    run_shard,
+    shard_of,
+    shard_tasks,
+)
 from repro.engine.sink import (
     AtomicitySink,
     BlockingSink,
@@ -43,7 +74,6 @@ from repro.engine.sink import (
     JsonlSink,
     ListSink,
     SummarySink,
-    ThroughputSink,
     VerdictCounterSink,
     ViolationCollectorSink,
     read_jsonl,
@@ -59,25 +89,42 @@ __all__ = [
     "DecisionTimeHistogramSink",
     "JsonlSink",
     "ListSink",
+    "MergeResult",
     "OnsetLine",
     "RefinementDriver",
     "RefinementResult",
     "ResultCache",
     "RunSummary",
     "ScenarioGrid",
+    "ShardFormatError",
+    "ShardHeader",
+    "SpecKind",
     "StreamStats",
     "SummarySink",
     "SweepEngine",
     "SweepResult",
     "SweepTask",
-    "ThroughputSink",
+    "UnknownSpecKindError",
     "VerdictCounterSink",
     "ViolationCollectorSink",
+    "execute_task",
+    "kind_by_name",
+    "kind_for_payload",
+    "kind_for_spec",
+    "kind_for_tag",
+    "merge_shards",
     "read_jsonl",
+    "read_shard",
     "register_measure",
+    "register_spec_kind",
+    "registered_kinds",
+    "run_shard",
+    "shard_of",
+    "shard_tasks",
     "spec_hash",
     "summary_from_json_dict",
     "tasks_from_specs",
+    "unregister_spec_kind",
     "verdict_class",
     "verdict_class_with_bound",
 ]

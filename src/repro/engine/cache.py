@@ -21,10 +21,12 @@ from repro.engine.summary import RunSummary, summary_from_json_bytes
 class ResultCache:
     """A directory of canonical-JSON summary records.
 
-    Stores both single-transaction :class:`RunSummary` records and
-    concurrent-workload :class:`~repro.txn.summary.ThroughputSummary`
-    records (the entry's ``kind`` tag selects the loader); the key space is
-    shared because the spec hash covers the spec's dataclass name.
+    Stores the summary records of every registered spec kind (the entry's
+    ``kind`` tag selects the codec through
+    :mod:`repro.engine.registry` -- single-transaction :class:`RunSummary`
+    records, concurrent-workload throughput records, and any kind
+    registered later); the key space is shared because the spec hash
+    covers the spec's dataclass name.
     """
 
     def __init__(self, root: Union[str, os.PathLike]) -> None:

@@ -44,12 +44,11 @@ from typing import Any, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.grid import ScenarioGrid, SweepTask
-from repro.engine.measures import apply_measures, resolve_measures
+from repro.engine.measures import resolve_measures
+from repro.engine.registry import kind_for_spec
 from repro.engine.sink import SummarySink
 from repro.engine.summary import RunSummary
-from repro.protocols.registry import create_protocol
-from repro.protocols.runner import ScenarioSpec, run_scenario
-from repro.txn.runner import ThroughputSpec, run_throughput_scenario
+from repro.protocols.runner import ScenarioSpec
 
 TaskBatch = Union[ScenarioGrid, Iterable[SweepTask], Iterable[tuple[str, ScenarioSpec]]]
 
@@ -62,17 +61,17 @@ def execute_task(
 ):
     """Run one task and reduce it to a summary (used by the workers).
 
-    Dispatches on the spec type: a
+    The spec's type selects a registered spec kind
+    (:mod:`repro.engine.registry`) whose executor runs the task: a
+    :class:`~repro.protocols.runner.ScenarioSpec` runs one transaction and
+    yields a :class:`~repro.engine.summary.RunSummary`; a
     :class:`~repro.txn.runner.ThroughputSpec` runs the concurrent-workload
-    scheduler and yields a :class:`~repro.txn.summary.ThroughputSummary`
-    (trace measures do not apply); anything else is a single-transaction
-    :class:`~repro.protocols.runner.ScenarioSpec`.
+    scheduler and yields a :class:`~repro.txn.summary.ThroughputSummary`;
+    any other registered kind runs its own executor.  The engine itself
+    never names a concrete spec type.
     """
-    if isinstance(spec, ThroughputSpec):
-        return run_throughput_scenario(protocol, spec, spec_hash=spec_hash).summary
-    result = run_scenario(create_protocol(protocol), spec)
-    metrics = apply_measures(result, measures)
-    return RunSummary.from_result(result, spec_hash=spec_hash, metrics=metrics)
+    kind = kind_for_spec(spec)
+    return kind.execute(protocol, spec, spec_hash=spec_hash, measures=measures)
 
 
 def _execute_chunk(payload: _ChunkPayload) -> list[tuple[int, RunSummary]]:

@@ -1,0 +1,405 @@
+"""Distributed sweep sharding: partition a task list, spill, merge.
+
+A sweep that outgrows one machine splits into *shards*: deterministic
+slices of the task list that any number of machines (or CI jobs) run
+independently, each spilling its results to a self-describing JSONL file.
+:func:`merge_shards` then folds any set of shard spills -- in global task
+order -- through the registered spec kinds' aggregation sinks, producing
+aggregates (and an optional merged JSONL spill) **byte-identical** to a
+single-machine streaming run of the whole task list.
+
+Design rules:
+
+* **Membership is content-addressed.**  A task belongs to shard
+  ``int(spec_hash[:16], 16) % shard_count`` (:func:`shard_of`), so the
+  partition is stable under task-list reordering and is
+  cache-compatible: shards share the same ``(spec-hash, seed)`` result
+  cache keys as single-machine runs, and a warm cache serves any shard.
+* **Spills are self-describing.**  The first line of a spill is a header
+  (shard index / count, total task count, spec kinds); every following
+  line wraps one summary payload with its *global* task index.  Merging
+  needs nothing but the spill files themselves.
+* **Merge = reorder + fold.**  Records are sorted by global task index and
+  delivered exactly once to each kind's registered sink, which is the same
+  fold a single-machine :meth:`~repro.engine.engine.SweepEngine.run_streaming`
+  performs -- hence byte-identical aggregates and spills.
+
+Every spec kind registered with :mod:`repro.engine.registry` shards and
+merges with no code here changing; the CI pipeline's matrix-sharded sweep
+is the first multi-machine consumer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Any, IO, Mapping, Optional, Sequence, Union
+
+from repro.core.canonical import canonical_json_bytes
+from repro.engine.engine import StreamStats, SweepEngine, TaskBatch
+from repro.engine.grid import SweepTask
+from repro.engine.registry import kind_for_payload, kind_for_spec
+from repro.engine.sink import SummarySink
+
+#: Version stamp of the spill format; bumped on incompatible layout changes.
+SHARD_FORMAT = 1
+
+_HEADER_KIND = "shard-header"
+
+
+class ShardFormatError(ValueError):
+    """A spill file (or a set of them) violates the shard format contract."""
+
+
+def shard_of(spec_hash: str, shard_count: int) -> int:
+    """The shard owning one task, derived from its stable spec hash alone.
+
+    Content-addressed assignment keeps the partition independent of task
+    order: reordering or interleaving grids never moves a task between
+    shards, and the assignment is reproducible on any machine.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    return int(spec_hash[:16], 16) % shard_count
+
+
+def shard_tasks(
+    tasks: TaskBatch, shard_index: int, shard_count: int
+) -> list[tuple[int, SweepTask]]:
+    """The ``(global index, task)`` pairs belonging to one shard.
+
+    Global indices refer to positions in the *full* task list; the merge
+    step uses them to restore global task order across shards.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard_index must be in [0, {shard_count}), got {shard_index}"
+        )
+    task_list = SweepEngine._materialize(tasks)
+    return [
+        (index, task)
+        for index, task in enumerate(task_list)
+        if shard_of(task.spec_hash, shard_count) == shard_index
+    ]
+
+
+@dataclass(frozen=True)
+class ShardHeader:
+    """The self-describing first line of a shard spill."""
+
+    shard_index: int
+    shard_count: int
+    total_tasks: int
+    shard_tasks: int
+    spec_kinds: tuple[str, ...]
+    format: int = SHARD_FORMAT
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """The header's JSON payload (tagged so readers can recognize it)."""
+        return {
+            "kind": _HEADER_KIND,
+            "format": self.format,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "total_tasks": self.total_tasks,
+            "shard_tasks": self.shard_tasks,
+            "spec_kinds": list(self.spec_kinds),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "ShardHeader":
+        """Rebuild a header, rejecting future format versions."""
+        if payload.get("kind") != _HEADER_KIND:
+            raise ShardFormatError(
+                f"expected a {_HEADER_KIND!r} payload, got kind={payload.get('kind')!r}"
+            )
+        if payload.get("format") != SHARD_FORMAT:
+            raise ShardFormatError(
+                f"unsupported shard format {payload.get('format')!r} "
+                f"(this build reads format {SHARD_FORMAT})"
+            )
+        counts = ("shard_index", "shard_count", "total_tasks", "shard_tasks")
+        for name in counts:
+            if not isinstance(payload.get(name), int):
+                raise ShardFormatError(
+                    f"malformed {_HEADER_KIND}: {name}={payload.get(name)!r} "
+                    f"(expected an integer)"
+                )
+        if not isinstance(payload.get("spec_kinds"), (list, tuple)):
+            raise ShardFormatError(
+                f"malformed {_HEADER_KIND}: "
+                f"spec_kinds={payload.get('spec_kinds')!r} (expected a list)"
+            )
+        return cls(
+            shard_index=payload["shard_index"],
+            shard_count=payload["shard_count"],
+            total_tasks=payload["total_tasks"],
+            shard_tasks=payload["shard_tasks"],
+            spec_kinds=tuple(payload["spec_kinds"]),
+            format=payload["format"],
+        )
+
+
+class _ShardSpillSink(SummarySink):
+    """Writes one shard's spill: a header line, then indexed summary lines.
+
+    The engine delivers summaries by *local* (within-shard) index; this sink
+    maps them back to global task indices so the merge can restore global
+    order.  An empty shard still produces a header-only spill on close.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        header: ShardHeader,
+        global_indices: Sequence[int],
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.header = header
+        self.global_indices = list(global_indices)
+        self._handle: Optional[IO[bytes]] = None
+
+    def _ensure_open(self) -> IO[bytes]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "wb")
+            self._handle.write(canonical_json_bytes(self.header.to_json_dict()) + b"\n")
+        return self._handle
+
+    def accept(self, index: int, summary) -> None:
+        record = {
+            "index": self.global_indices[index],
+            "summary": summary.to_json_dict(),
+        }
+        self._ensure_open().write(canonical_json_bytes(record) + b"\n")
+
+    def close(self) -> None:
+        handle = self._ensure_open()  # header even when nothing was delivered
+        handle.close()
+        self._handle = None
+
+
+def run_shard(
+    tasks: TaskBatch,
+    shard_index: int,
+    shard_count: int,
+    path: Union[str, os.PathLike],
+    *,
+    engine: Optional[SweepEngine] = None,
+    measures: Sequence[str] = (),
+) -> StreamStats:
+    """Execute one shard of ``tasks`` and spill it to ``path``.
+
+    The shard's slice runs through the normal streaming engine path
+    (worker pool, result cache, in-order delivery), so a warm cache makes
+    shard re-runs incremental exactly like whole sweeps.  Returns the
+    shard run's :class:`~repro.engine.engine.StreamStats`.
+    """
+    task_list = SweepEngine._materialize(tasks)
+    selected = shard_tasks(task_list, shard_index, shard_count)
+    engine = engine or SweepEngine()
+    spec_kinds = tuple(
+        sorted({kind_for_spec(task.spec).name for _, task in selected})
+    )
+    header = ShardHeader(
+        shard_index=shard_index,
+        shard_count=shard_count,
+        total_tasks=len(task_list),
+        shard_tasks=len(selected),
+        spec_kinds=spec_kinds,
+    )
+    spill = _ShardSpillSink(path, header, [index for index, _ in selected])
+    return engine.run_streaming(
+        [task for _, task in selected], sinks=spill, measures=measures
+    )
+
+
+def read_shard(
+    path: Union[str, os.PathLike]
+) -> tuple[ShardHeader, list[tuple[int, dict[str, Any]]]]:
+    """Parse one spill into its header and ``(global index, payload)`` pairs.
+
+    Payloads stay as JSON dicts (decode them through
+    :func:`~repro.engine.summary.summary_from_json_dict` / the registry
+    when objects are needed).  Raises :class:`ShardFormatError` on a
+    missing or malformed header, malformed records, out-of-range indices,
+    or a record count disagreeing with the header (e.g. a truncated
+    artifact download).
+    """
+    path = pathlib.Path(path)
+    header: Optional[ShardHeader] = None
+    records: list[tuple[int, dict[str, Any]]] = []
+    with open(path, "rb") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line.decode("utf-8"))
+            except ValueError as exc:
+                raise ShardFormatError(f"{path}:{number}: not JSON ({exc})") from exc
+            if header is None:
+                header = ShardHeader.from_json_dict(payload)
+                continue
+            if "index" not in payload or "summary" not in payload:
+                raise ShardFormatError(
+                    f"{path}:{number}: record lacks index/summary keys"
+                )
+            index = payload["index"]
+            if not isinstance(index, int):
+                raise ShardFormatError(
+                    f"{path}:{number}: task index {index!r} is not an integer"
+                )
+            if not 0 <= index < header.total_tasks:
+                raise ShardFormatError(
+                    f"{path}:{number}: task index {index} outside "
+                    f"[0, {header.total_tasks})"
+                )
+            records.append((index, payload["summary"]))
+    if header is None:
+        raise ShardFormatError(f"{path}: empty spill (no {_HEADER_KIND} line)")
+    if len(records) != header.shard_tasks:
+        raise ShardFormatError(
+            f"{path}: header promises {header.shard_tasks} record(s) "
+            f"but {len(records)} were read (truncated spill?)"
+        )
+    return header, records
+
+
+@dataclass
+class MergeResult:
+    """The outcome of folding a set of shard spills back together.
+
+    ``kind_sinks`` maps each spec kind seen in the spills to its registered
+    default sink, fully folded in global task order -- the same aggregates
+    a single-machine streaming run of the whole task list would leave.
+    """
+
+    headers: list[ShardHeader]
+    records: int
+    kind_sinks: dict[str, Any]
+    jsonl_path: Optional[pathlib.Path] = None
+    elapsed: float = 0.0
+
+    @property
+    def total_tasks(self) -> int:
+        """The size of the full (unsharded) task list."""
+        return self.headers[0].total_tasks if self.headers else 0
+
+    @property
+    def shard_count(self) -> int:
+        """The shard count the spills were produced with."""
+        return self.headers[0].shard_count if self.headers else 0
+
+
+def merge_shards(
+    paths: Sequence[Union[str, os.PathLike]],
+    *,
+    sinks: Sequence[SummarySink] = (),
+    jsonl: Union[str, os.PathLike, None] = None,
+    require_complete: bool = True,
+) -> MergeResult:
+    """Fold shard spills into single-machine-identical aggregates.
+
+    Records from every spill are sorted by global task index and delivered
+    exactly once to (a) the registered default sink of each record's spec
+    kind, (b) every extra sink in ``sinks``, and (c) an optional merged
+    JSONL spill at ``jsonl`` whose bytes equal a single-machine
+    :class:`~repro.engine.sink.JsonlSink` spill of the same task list.
+
+    With ``require_complete`` (the default), the spill set must cover every
+    shard and every task index exactly once; errors name the missing or
+    duplicated shards.  Pass ``require_complete=False`` to fold a partial
+    set (aggregates then cover only the supplied shards).
+    """
+    if not paths:
+        raise ShardFormatError("no shard spills to merge")
+    started = time.perf_counter()
+    headers: list[ShardHeader] = []
+    merged: list[tuple[int, dict[str, Any]]] = []
+    for path in paths:
+        header, records = read_shard(path)
+        if headers:
+            first = headers[0]
+            for field_name in ("shard_count", "total_tasks"):
+                if getattr(header, field_name) != getattr(first, field_name):
+                    raise ShardFormatError(
+                        f"{path}: {field_name}={getattr(header, field_name)} "
+                        f"disagrees with {paths[0]} "
+                        f"({field_name}={getattr(first, field_name)})"
+                    )
+            if header.shard_index in {h.shard_index for h in headers}:
+                raise ShardFormatError(
+                    f"{path}: shard {header.shard_index} appears twice in the "
+                    f"merge set"
+                )
+        headers.append(header)
+        merged.extend(records)
+    if require_complete:
+        present = {header.shard_index for header in headers}
+        missing = sorted(set(range(headers[0].shard_count)) - present)
+        if missing:
+            raise ShardFormatError(
+                f"incomplete merge set: missing shard(s) "
+                f"{', '.join(map(str, missing))} of {headers[0].shard_count} "
+                f"(pass require_complete=False to merge a partial set)"
+            )
+    seen: set[int] = set()
+    for index, _ in merged:
+        if index in seen:
+            raise ShardFormatError(f"task index {index} appears in two records")
+        seen.add(index)
+    if require_complete:
+        # Shard coverage alone is not enough: spills re-run against a
+        # different grid of the same size are internally consistent yet
+        # jointly incomplete.  Every task index must be present.
+        missing_tasks = sorted(set(range(headers[0].total_tasks)) - seen)
+        if missing_tasks:
+            preview = ", ".join(map(str, missing_tasks[:5]))
+            if len(missing_tasks) > 5:
+                preview += ", ..."
+            raise ShardFormatError(
+                f"incomplete merge set: {len(missing_tasks)} of "
+                f"{headers[0].total_tasks} task(s) have no record "
+                f"(missing indices {preview}); were the shards run against "
+                f"the same grid?"
+            )
+    merged.sort(key=lambda record: record[0])
+
+    kind_sinks: dict[str, Any] = {}
+    extra = list(sinks)
+    jsonl_path = pathlib.Path(jsonl) if jsonl is not None else None
+    handle: Optional[IO[bytes]] = None
+    if jsonl_path is not None:
+        jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(jsonl_path, "wb")
+    try:
+        for index, payload in merged:
+            kind = kind_for_payload(payload)
+            summary = kind.decode(payload)
+            if kind.name not in kind_sinks and kind.make_sink is not None:
+                kind_sinks[kind.name] = kind.make_sink()
+            sink = kind_sinks.get(kind.name)
+            if sink is not None:
+                sink.accept(index, summary)
+            for extra_sink in extra:
+                extra_sink.accept(index, summary)
+            if handle is not None:
+                handle.write(summary.to_json_bytes() + b"\n")
+    finally:
+        if handle is not None:
+            handle.close()
+        for sink in (*kind_sinks.values(), *extra):
+            sink.close()
+    return MergeResult(
+        headers=headers,
+        records=len(merged),
+        kind_sinks=kind_sinks,
+        jsonl_path=jsonl_path,
+        elapsed=time.perf_counter() - started,
+    )

@@ -20,23 +20,21 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro.core.canonical import canonical_json_bytes
+from repro.engine.registry import kind_for_payload
 from repro.protocols.runner import TransactionRunResult
 
 
 def summary_from_json_dict(payload: Mapping[str, Any]):
     """Rebuild whichever summary record ``payload`` encodes.
 
-    Dispatches on the ``kind`` tag: throughput records
-    (:class:`~repro.txn.summary.ThroughputSummary`) carry
-    ``"kind": "throughput"``; plain run summaries carry no tag.  The result
-    cache and :func:`~repro.engine.sink.read_jsonl` both load through this
-    function so every engine surface round-trips both record types.
+    The payload's ``kind`` tag selects a registered spec kind
+    (:mod:`repro.engine.registry`) whose codec decodes it; untagged
+    payloads are the scenario kind's legacy format.  The result cache and
+    :func:`~repro.engine.sink.read_jsonl` both load through this function,
+    so every engine surface round-trips every registered record type --
+    including kinds registered after this module was imported.
     """
-    if payload.get("kind") == "throughput":
-        from repro.txn.summary import ThroughputSummary
-
-        return ThroughputSummary.from_json_dict(payload)
-    return RunSummary.from_json_dict(payload)
+    return kind_for_payload(payload).decode(payload)
 
 
 def summary_from_json_bytes(data: bytes):

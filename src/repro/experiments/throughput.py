@@ -7,7 +7,7 @@ lock-hold times of a single transaction; this experiment measures it
 directly.  Each scenario offers a stream of update transactions
 (:class:`~repro.txn.runner.ThroughputSpec`) to one cluster, a partition
 strikes mid-run and heals, and the per-protocol
-:class:`~repro.engine.sink.ThroughputSink` aggregates goodput, abort rate
+:class:`~repro.txn.sink.ThroughputSink` aggregates goodput, abort rate
 and lock-wait.  Blocking protocols (2PC, 3PC, quorum) never release the
 locks of the transactions caught by the partition, so their goodput
 collapses and stays collapsed after the heal; the terminating protocols
@@ -23,8 +23,9 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Iterable, Optional, Sequence
 
-from repro.engine import SweepTask, ThroughputSink
+from repro.engine import SweepTask
 from repro.experiments.harness import ExperimentReport, get_engine
+from repro.txn.sink import ThroughputSink
 from repro.sim.partition import PartitionSchedule
 from repro.txn.deadlock import DeadlockPolicy
 from repro.txn.runner import ThroughputSpec
@@ -136,7 +137,7 @@ def run_throughput_comparison(
     """Compare goodput under a mid-run partition across protocols.
 
     Returns a report whose ``details`` carry the raw
-    :class:`~repro.engine.sink.ThroughputSink` totals plus the blocking /
+    :class:`~repro.txn.sink.ThroughputSink` totals plus the blocking /
     non-blocking goodput split the headline asserts.
     """
     tasks = throughput_tasks(

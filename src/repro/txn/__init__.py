@@ -16,7 +16,12 @@ one shared cluster:
 * :mod:`repro.txn.runner` / :mod:`repro.txn.summary` -- declarative
   :class:`~repro.txn.runner.ThroughputSpec` scenarios reduced to plain
   :class:`~repro.txn.summary.ThroughputSummary` records that flow through
-  the sweep engine's workers, cache and streaming sinks.
+  the sweep engine's workers, cache and streaming sinks;
+* :mod:`repro.txn.kind` / :mod:`repro.txn.sink` -- the subsystem's
+  spec-kind registration (executor, codec, and the
+  :class:`~repro.txn.sink.ThroughputSink` default aggregate) with
+  :mod:`repro.engine.registry`; the engine resolves everything above
+  through the registry and imports nothing from this package.
 
 The ``repro throughput`` CLI subcommand and
 :mod:`repro.experiments.throughput` build the partition-onset x offered
@@ -27,12 +32,14 @@ from repro.txn.deadlock import DeadlockPolicy, find_cycle, merge_waits_for
 from repro.txn.multiplex import SiteMultiplexer, VirtualNode
 from repro.txn.runner import ThroughputRunResult, ThroughputSpec, run_throughput_scenario
 from repro.txn.scheduler import TransactionScheduler, TransactionState, TxnPhase
+from repro.txn.sink import ThroughputSink
 from repro.txn.summary import ThroughputSummary, TransactionOutcome, TransactionVerdict
 
 __all__ = [
     "DeadlockPolicy",
     "SiteMultiplexer",
     "ThroughputRunResult",
+    "ThroughputSink",
     "ThroughputSpec",
     "ThroughputSummary",
     "TransactionOutcome",

@@ -1,0 +1,62 @@
+"""Registration of the concurrent-workload throughput kind.
+
+One :class:`~repro.txn.runner.ThroughputSpec` offers a stream of
+transactions to one cluster under one protocol and reduces to a
+:class:`~repro.txn.summary.ThroughputSummary` (payloads tagged
+``"kind": "throughput"``).  Trace measures do not apply -- a contended run
+has no single-transaction trace to measure.
+
+Imported lazily by :mod:`repro.engine.registry` (it is listed in
+``BUILTIN_KIND_PROVIDERS``); nothing in :mod:`repro.engine` imports this
+package directly, which is exactly the decoupling the registry exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.registry import SpecKind, register_spec_kind
+from repro.txn.runner import ThroughputSpec, run_throughput_scenario
+from repro.txn.summary import ThroughputSummary
+
+
+def _execute(
+    protocol: str,
+    spec: ThroughputSpec,
+    *,
+    spec_hash: str,
+    measures: Sequence[str] = (),
+) -> ThroughputSummary:
+    """Run one contended workload in a worker and keep only its summary."""
+    return run_throughput_scenario(protocol, spec, spec_hash=spec_hash).summary
+
+
+def _make_sink():
+    """The kind's default aggregate: the ``repro throughput`` table."""
+    from repro.txn.sink import ThroughputSink
+
+    return ThroughputSink()
+
+
+def _sample_task():
+    """One small contended workload (for the conformance suite)."""
+    from repro.engine.grid import SweepTask
+
+    return SweepTask(
+        protocol="two-phase-commit",
+        spec=ThroughputSpec(n_transactions=5, tx_rate=1.0, n_keys=4),
+    )
+
+
+THROUGHPUT_KIND = register_spec_kind(
+    SpecKind(
+        name="throughput",
+        spec_type=ThroughputSpec,
+        summary_type=ThroughputSummary,
+        execute=_execute,
+        decode=ThroughputSummary.from_json_dict,
+        json_tag="throughput",
+        make_sink=_make_sink,
+        sample_task=_sample_task,
+    )
+)

@@ -73,6 +73,149 @@ class TestSweepCli:
         assert "--refine cannot be combined" in capsys.readouterr().err
 
 
+class TestShardMergeCli:
+    SWEEP = ["--protocol", "two-phase-commit", "--times", "0.5", "1.5"]
+
+    def _shard_all(self, tmp_path, *extra):
+        spills = []
+        for index in range(3):
+            spill = tmp_path / f"shard-{index}.jsonl"
+            assert main(
+                [
+                    "shard",
+                    "--shard-index", str(index),
+                    "--shard-count", "3",
+                    "--out", str(spill),
+                    *self.SWEEP,
+                    *extra,
+                ]
+            ) == 0
+            spills.append(spill)
+        return spills
+
+    def test_merge_reproduces_the_single_machine_spill(self, capsys, tmp_path):
+        single = tmp_path / "single.jsonl"
+        assert main(["sweep", *self.SWEEP, "--stream", "--jsonl", str(single)]) == 0
+        single_table = capsys.readouterr().out.splitlines()[:3]
+        spills = self._shard_all(tmp_path)
+        capsys.readouterr()
+        merged = tmp_path / "merged.jsonl"
+        assert main(["merge", *map(str, spills), "--jsonl", str(merged)]) == 0
+        merge_out = capsys.readouterr().out
+        assert merged.read_bytes() == single.read_bytes()
+        # The aggregate table equals the single-shot one, line for line.
+        assert merge_out.splitlines()[:3] == single_table
+
+    def test_shards_and_single_runs_share_the_cache(self, capsys, tmp_path):
+        import json
+
+        self._shard_all(tmp_path, "--cache", str(tmp_path / "cache"))
+        stats = tmp_path / "stats.json"
+        assert main(
+            [
+                "sweep", *self.SWEEP,
+                "--cache", str(tmp_path / "cache"),
+                "--stats-json", str(stats),
+            ]
+        ) == 0
+        payload = json.loads(stats.read_text())
+        assert payload["executed"] == 0
+        assert payload["cache_hits"] == payload["total"] == 6
+
+    def test_throughput_stats_json_replaces_the_grep_smoke(self, capsys, tmp_path):
+        # The CI warm-cache assertion: parse `executed`, don't grep stdout.
+        import json
+
+        fast = [
+            "throughput",
+            "--transactions", "10",
+            "--protocols", "two-phase-commit",
+            "--cache", str(tmp_path / "cache"),
+            "--stats-json", str(tmp_path / "stats.json"),
+        ]
+        assert main(fast) == 0
+        cold = json.loads((tmp_path / "stats.json").read_text())
+        assert (cold["executed"], cold["cache_hits"]) == (1, 0)
+        assert main(fast) == 0
+        warm = json.loads((tmp_path / "stats.json").read_text())
+        assert (warm["executed"], warm["cache_hits"]) == (0, 1)
+        assert warm["command"] == "throughput"
+
+    def test_throughput_kind_shards_build_the_throughput_grid(self, capsys, tmp_path):
+        spill = tmp_path / "tput-0.jsonl"
+        assert main(
+            [
+                "shard",
+                "--kind", "throughput",
+                "--shard-index", "0",
+                "--shard-count", "1",
+                "--out", str(spill),
+                "--protocols", "two-phase-commit",
+                "--transactions", "10",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["merge", str(spill)]) == 0
+        assert "goodput (/T)" in capsys.readouterr().out
+
+    def test_incomplete_merge_names_the_missing_shard(self, capsys, tmp_path):
+        spills = self._shard_all(tmp_path)
+        capsys.readouterr()
+        assert main(["merge", str(spills[0]), str(spills[2])]) == 2
+        assert "missing shard(s) 1" in capsys.readouterr().err
+        assert main(
+            ["merge", str(spills[0]), str(spills[2]), "--allow-partial"]
+        ) == 0
+
+    def test_bad_shard_parameters_exit_2(self, capsys, tmp_path):
+        out = str(tmp_path / "s.jsonl")
+        base = ["shard", "--out", out, *self.SWEEP]
+        assert main(base + ["--shard-index", "3", "--shard-count", "3"]) == 2
+        assert "--shard-index" in capsys.readouterr().err
+        assert main(base + ["--shard-index", "0", "--shard-count", "0"]) == 2
+        assert "--shard-count" in capsys.readouterr().err
+        assert main(
+            base + ["--shard-index", "0", "--shard-count", "2", "--protocol", "nope"]
+        ) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_flags_of_the_other_grid_kind_are_rejected(self, capsys, tmp_path):
+        base = [
+            "shard", "--shard-index", "0", "--shard-count", "2",
+            "--out", str(tmp_path / "s.jsonl"),
+        ]
+        assert main(base + ["--protocols", "all"]) == 2
+        assert "--protocols applies to --kind throughput" in capsys.readouterr().err
+        assert main(base + ["--kind", "throughput", "--times", "0.5"]) == 2
+        assert "--times applies to --kind sweep" in capsys.readouterr().err
+        assert main(base + ["--kind", "throughput", "--protocol", "all"]) == 2
+        assert "--protocol applies to --kind sweep" in capsys.readouterr().err
+
+    def test_merging_a_non_spill_file_exits_2(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text("not json\n")
+        assert main(["merge", str(bogus)]) == 2
+        assert "merge failed" in capsys.readouterr().err
+
+    def test_merging_an_unregistered_kind_exits_2(self, capsys, tmp_path):
+        # A spill from a machine with an extra spec kind registered must
+        # fail cleanly here, not with an UnknownSpecKindError traceback.
+        import json
+
+        spill = tmp_path / "alien.jsonl"
+        header = {
+            "kind": "shard-header", "format": 1, "shard_index": 0,
+            "shard_count": 1, "total_tasks": 1, "shard_tasks": 1,
+            "spec_kinds": ["alien"],
+        }
+        record = {"index": 0, "summary": {"kind": "alien-kind"}}
+        spill.write_text(json.dumps(header) + "\n" + json.dumps(record) + "\n")
+        assert main(["merge", str(spill)]) == 2
+        err = capsys.readouterr().err
+        assert "merge failed" in err
+        assert "alien-kind" in err
+
+
 class TestBoundariesCli:
     def test_locates_the_commit_point_flip(self, capsys):
         assert main(

@@ -28,7 +28,13 @@ def test_every_module_has_a_docstring():
 
 
 def test_docs_tree_exists():
-    for name in ("architecture.md", "concurrency.md", "paper-map.md", "sweep-engine.md"):
+    for name in (
+        "architecture.md",
+        "concurrency.md",
+        "paper-map.md",
+        "sharding.md",
+        "sweep-engine.md",
+    ):
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
 

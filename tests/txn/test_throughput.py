@@ -9,7 +9,8 @@ executing a scenario.
 import pytest
 
 from repro.__main__ import main
-from repro.engine import JsonlSink, SweepEngine, SweepTask, ThroughputSink, read_jsonl
+from repro.engine import JsonlSink, SweepEngine, SweepTask, read_jsonl
+from repro.txn.sink import ThroughputSink
 from repro.experiments.throughput import (
     BLOCKING_PROTOCOLS,
     NONBLOCKING_PROTOCOLS,

@@ -1,0 +1,122 @@
+"""Write ``BENCH_sweep.json``: the per-commit sweep-engine perf snapshot.
+
+CI's benchmarks job runs this and uploads the JSON as an artifact, so the
+performance trajectory of the engine's three hot paths is tracked commit
+by commit:
+
+* **cold throughput** -- scenarios/s of a cold streaming sweep;
+* **warm cache** -- scenarios/s and hit rate of the identical re-sweep
+  (must be 100% hits, zero executions);
+* **shard-merge** -- seconds to fold a 3-shard spill set back into
+  aggregates, plus a byte-identity check against the single-machine spill.
+
+Run directly::
+
+    PYTHONPATH=src python tools/bench_sweep.py [--out BENCH_sweep.json]
+
+The grid is deliberately modest (hundreds of scenarios, seconds of wall
+clock) so the job stays cheap; the numbers are for *trajectory*, not
+absolute benchmarking (see benchmarks/ for those).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SHARD_COUNT = 3
+
+
+def build_tasks():
+    """The benchmark grid: 2 protocols x standard onsets x 3 simple splits."""
+    from repro.engine import ScenarioGrid
+
+    tasks = []
+    for protocol in ("two-phase-commit", "terminating-three-phase-commit"):
+        grid = ScenarioGrid.from_partition_sweep(
+            protocol, 3, times=[t * 0.25 for t in range(1, 17)]
+        )
+        tasks.extend(grid.tasks())
+    return tasks
+
+
+def main(argv=None) -> int:
+    """Run the three timed passes and write the JSON snapshot."""
+    from repro.engine import JsonlSink, SweepEngine, merge_shards, run_shard
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_sweep.json", metavar="PATH")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    tasks = build_tasks()
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as scratch:
+        scratch = pathlib.Path(scratch)
+        cache = scratch / "cache"
+        engine = SweepEngine(workers=args.workers, cache=cache)
+
+        cold = engine.run_streaming(tasks, sinks=JsonlSink(scratch / "cold.jsonl"))
+        warm = engine.run_streaming(tasks, sinks=JsonlSink(scratch / "warm.jsonl"))
+
+        spills = []
+        shard_started = time.perf_counter()
+        for index in range(SHARD_COUNT):
+            spill = scratch / f"shard-{index}.jsonl"
+            run_shard(
+                tasks,
+                index,
+                SHARD_COUNT,
+                spill,
+                engine=SweepEngine(workers=args.workers, cache=cache),
+            )
+            spills.append(spill)
+        shard_elapsed = time.perf_counter() - shard_started
+
+        merge_started = time.perf_counter()
+        result = merge_shards(spills, jsonl=scratch / "merged.jsonl")
+        merge_elapsed = time.perf_counter() - merge_started
+        byte_identical = (
+            (scratch / "merged.jsonl").read_bytes()
+            == (scratch / "cold.jsonl").read_bytes()
+        )
+
+    payload = {
+        "scenarios": cold.total,
+        "workers": args.workers,
+        "cold_elapsed_seconds": round(cold.elapsed, 4),
+        "cold_scenarios_per_second": round(cold.throughput, 1),
+        "warm_elapsed_seconds": round(warm.elapsed, 4),
+        "warm_scenarios_per_second": round(warm.throughput, 1),
+        "cache_hit_rate": round(warm.cache_hits / warm.total, 4) if warm.total else 0.0,
+        "warm_executed": warm.executed,
+        "shard_count": SHARD_COUNT,
+        "shard_run_seconds": round(shard_elapsed, 4),
+        "shard_merge_seconds": round(merge_elapsed, 4),
+        "merged_records": result.records,
+        "merged_byte_identical": byte_identical,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    failures = []
+    if warm.executed != 0:
+        failures.append(f"warm re-sweep executed {warm.executed} scenario(s)")
+    if not byte_identical:
+        failures.append("shard-merge spill differs from the single-machine spill")
+    if failures:
+        print("; ".join(failures), file=sys.stderr)
+        return 1
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
