@@ -17,6 +17,8 @@ Usage::
     python -m repro throughput --protocols all --transactions 200
     python -m repro throughput --protocols two-phase-commit \\
         --tx-rate 2.0 --read-fraction 0.5 --ops-per-site 2 --deadlock both
+    python -m repro throughput --arrival poisson --retries 3 --hotspot 0.2 \\
+        --crash-schedule 3:20:28 --deadlock both --lock-timeout 4
     python -m repro shard --shard-index 0 --shard-count 3 \\
         --out shard-0.jsonl --protocol all --cache .sweep-cache
     python -m repro merge shard-0.jsonl shard-1.jsonl shard-2.jsonl \\
@@ -65,7 +67,29 @@ EXPERIMENTS: dict[str, Callable[[], "ex.ExperimentReport"]] = {
     "MSG": ex.run_message_overhead,
     "MULTI": ex.run_multiple_partitioning,
     "TPUT": ex.run_throughput_comparison,
+    "RETRY": ex.run_retry_recovery_comparison,
 }
+
+
+def _parse_crash_schedule(values: list[str]):
+    """Each occurrence is ``SITE:AT[:RECOVER_AT]``; empty list = no crashes.
+
+    Returns a :class:`~repro.sim.failures.CrashSchedule` or ``None``;
+    raises :class:`ValueError` (with the offending token) on bad input.
+    """
+    from repro.sim.failures import CrashEvent, CrashSchedule
+
+    if not values:
+        return None
+    schedule = CrashSchedule()
+    for value in values:
+        parts = value.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"expected SITE:AT[:RECOVER_AT], got {value!r}")
+        site, at = int(parts[0]), float(parts[1])
+        recover_at = float(parts[2]) if len(parts) == 3 else None
+        schedule.add(CrashEvent(time=at, site=site, recover_at=recover_at))
+    return schedule
 
 
 def _parse_no_voters(values: list[str]) -> tuple[frozenset[int], ...]:
@@ -146,6 +170,20 @@ def _add_partition_axes(parser: argparse.ArgumentParser) -> None:
 # the sweep axes own the flag) so both always build the same grid.
 _TPUT_HEAL_DEFAULT = 8.0
 
+# Defaults of the throughput-only axes, keyed by argparse dest.  Single
+# source shared by the parser declarations and `shard --kind sweep`'s
+# cross-kind flag rejection, so changing a default can never desync the
+# "flag belongs to the other grid" detection.
+_TPUT_ONLY_DEFAULTS: dict = {
+    "protocols": None,
+    "arrival": "uniform",
+    "hotspot": 0.0,
+    "retries": 0,
+    "retry_backoff": 0.5,
+    "victim": "youngest",
+    "crash_schedule": None,
+}
+
 
 def _add_throughput_axes(
     parser: argparse.ArgumentParser, *, include_heal: bool = True
@@ -154,7 +192,7 @@ def _add_throughput_axes(
     parser.add_argument(
         "--protocols",
         action="append",
-        default=None,
+        default=_TPUT_ONLY_DEFAULTS["protocols"],
         metavar="NAME",
         help="protocol registry name (repeatable); 'all' runs every protocol",
     )
@@ -237,6 +275,49 @@ def _add_throughput_axes(
         default=10.0,
         metavar="DT",
         help="lock-wait timeout in T, for --deadlock timeout/both (default 10.0)",
+    )
+    parser.add_argument(
+        "--victim",
+        choices=("youngest", "oldest", "fewest-locks", "most-retries-wins"),
+        default=_TPUT_ONLY_DEFAULTS["victim"],
+        help="which waits-for cycle member the detector aborts (default youngest)",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=("uniform", "poisson"),
+        default=_TPUT_ONLY_DEFAULTS["arrival"],
+        help="arrival process: evenly spaced or open-loop seeded Poisson",
+    )
+    parser.add_argument(
+        "--hotspot",
+        type=float,
+        default=_TPUT_ONLY_DEFAULTS["hotspot"],
+        metavar="S",
+        help="zipf-like key-skew exponent; 0 = uniform keys (default 0)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=_TPUT_ONLY_DEFAULTS["retries"],
+        metavar="N",
+        help="retry budget: re-admit aborted victims up to N times (default 0)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=_TPUT_ONLY_DEFAULTS["retry_backoff"],
+        metavar="DT",
+        help="first-retry backoff in T, doubling per attempt (default 0.5)",
+    )
+    parser.add_argument(
+        "--crash-schedule",
+        action="append",
+        default=_TPUT_ONLY_DEFAULTS["crash_schedule"],
+        metavar="SITE:AT[:RECOVER_AT]",
+        help=(
+            "crash SITE at time AT, recovering at RECOVER_AT (omit for a "
+            "permanent crash); repeatable"
+        ),
     )
     parser.add_argument(
         "--seeds",
@@ -707,7 +788,7 @@ def _throughput_grid_tasks(args: argparse.Namespace):
     sharded runs execute exactly the grid a single-machine run would.
     """
     from repro.experiments.throughput import DEFAULT_PROTOCOLS, throughput_tasks
-    from repro.txn import DeadlockPolicy
+    from repro.txn import DeadlockPolicy, RetryPolicy, VictimPolicy
 
     # Every check names the offending flag so workload mistakes are
     # self-explanatory (the satellite contract of the txn subsystem).
@@ -723,6 +804,12 @@ def _throughput_grid_tasks(args: argparse.Namespace):
         (args.keys < 1, f"--keys must be >= 1, got {args.keys}"),
         (args.op_delay < 0, f"--op-delay must be >= 0, got {args.op_delay}"),
         (args.lock_timeout <= 0, f"--lock-timeout must be > 0, got {args.lock_timeout}"),
+        (args.hotspot < 0, f"--hotspot must be >= 0, got {args.hotspot}"),
+        (args.retries < 0, f"--retries must be >= 0, got {args.retries}"),
+        (
+            args.retry_backoff <= 0,
+            f"--retry-backoff must be > 0, got {args.retry_backoff}",
+        ),
         (
             not 0.0 < args.partition_at <= 1.0,
             f"--partition-at must be in (0, 1], got {args.partition_at}",
@@ -737,12 +824,27 @@ def _throughput_grid_tasks(args: argparse.Namespace):
         if failed:
             print(message, file=sys.stderr)
             return None
+    try:
+        crashes = _parse_crash_schedule(args.crash_schedule or [])
+    except ValueError as exc:
+        print(f"--crash-schedule: {exc}", file=sys.stderr)
+        return None
+    if crashes is not None:
+        try:
+            crashes.validate(args.sites)
+        except ValueError as exc:
+            print(f"--crash-schedule: {exc}", file=sys.stderr)
+            return None
     protocols = _resolve_protocol_names(args.protocols, default=list(DEFAULT_PROTOCOLS))
     if protocols is None:
         return None
     policy = DeadlockPolicy(
         detect_cycles=args.deadlock in ("cycles", "both"),
         wait_timeout=args.lock_timeout if args.deadlock in ("timeout", "both") else None,
+        victim=VictimPolicy(args.victim),
+    )
+    retry = RetryPolicy(
+        max_attempts=args.retries + 1, backoff=args.retry_backoff
     )
     return throughput_tasks(
         protocols,
@@ -755,7 +857,11 @@ def _throughput_grid_tasks(args: argparse.Namespace):
         operations_per_site=args.ops_per_site,
         n_keys=args.keys,
         op_delay=args.op_delay,
+        arrival=args.arrival,
+        hotspot=args.hotspot,
         deadlock=policy,
+        retry=retry,
+        crashes=crashes,
         seeds=args.seeds,
     )
 
@@ -809,13 +915,20 @@ def _run_shard(args: argparse.Namespace) -> int:
     # Flags belonging to the other grid would be silently ignored -- the
     # shard would quietly cover a different grid than the user asked for,
     # breaking the merge-vs-single-machine identity.  Name the mistake.
-    if args.kind == "sweep" and args.protocols is not None:
-        print(
-            "--protocols applies to --kind throughput; "
-            "the sweep grid takes --protocol",
-            file=sys.stderr,
-        )
-        return 2
+    if args.kind == "sweep":
+        throughput_only = [
+            "--" + dest.replace("_", "-")
+            for dest, default in _TPUT_ONLY_DEFAULTS.items()
+            if getattr(args, dest) != default
+        ]
+        if throughput_only:
+            print(
+                f"{', '.join(throughput_only)} appl"
+                f"{'y' if len(throughput_only) > 1 else 'ies'} to "
+                "--kind throughput; the sweep grid takes --protocol",
+                file=sys.stderr,
+            )
+            return 2
     if args.kind == "throughput":
         for provided, flag in (
             (args.protocol, "--protocol"),

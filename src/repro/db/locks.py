@@ -315,9 +315,26 @@ class LockManager:
         """Transaction ids currently holding at least one lock."""
         return {grant.owner for grants in self._locks.values() for grant in grants}
 
+    def held_count(self, owner: str) -> int:
+        """Number of locks ``owner`` currently holds at this site."""
+        return sum(
+            1
+            for grants in self._locks.values()
+            for grant in grants
+            if grant.owner == owner
+        )
+
     def queued(self, key: str) -> tuple[LockRequest, ...]:
         """Pending requests waiting on ``key``, in grant order."""
         return tuple(r for r in self._queues.get(key, ()) if r.pending)
+
+    def queued_keys(self) -> list[str]:
+        """Keys with at least one pending queued request, sorted."""
+        return sorted(
+            key
+            for key, queue in self._queues.items()
+            if any(request.pending for request in queue)
+        )
 
     def pending_owners(self) -> set[str]:
         """Transaction ids with at least one queued request."""

@@ -10,6 +10,7 @@ collection, and spells out dataclasses field by field.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import hashlib
 from typing import Any, Mapping
 
@@ -20,10 +21,14 @@ def canonical(value: Any) -> str:
     """A deterministic string form of ``value`` for hashing.
 
     Supports the vocabulary of :class:`~repro.protocols.runner.ScenarioSpec`:
-    primitives, sets/frozensets (sorted), mappings (sorted by key),
-    sequences, dataclasses (by field) and plain objects such as the latency
-    models (by class name + sorted ``__dict__``).
+    primitives, enums (by class and member name), sets/frozensets (sorted),
+    mappings (sorted by key), sequences, dataclasses (by field) and plain
+    objects such as the latency models (by class name + sorted ``__dict__``).
     """
+    if isinstance(value, enum.Enum):
+        # Before the primitive check: IntEnum-style members would otherwise
+        # collapse into their value and collide with plain ints.
+        return f"{type(value).__name__}.{value.name}"
     if value is None or isinstance(value, (bool, int, str)):
         return repr(value)
     if isinstance(value, float):

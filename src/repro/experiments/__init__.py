@@ -23,7 +23,10 @@ from repro.experiments.thm10_generalization import run_thm10_generalization
 from repro.experiments.availability import run_availability_comparison
 from repro.experiments.message_overhead import run_message_overhead
 from repro.experiments.multiple_partitioning import run_multiple_partitioning
-from repro.experiments.throughput import run_throughput_comparison
+from repro.experiments.throughput import (
+    run_retry_recovery_comparison,
+    run_throughput_comparison,
+)
 
 __all__ = [
     "ExperimentReport",
@@ -40,6 +43,7 @@ __all__ = [
     "run_lemma3_sweep",
     "run_message_overhead",
     "run_multiple_partitioning",
+    "run_retry_recovery_comparison",
     "run_sec3_counterexamples",
     "run_sec6_cases",
     "run_sec7_assumptions",

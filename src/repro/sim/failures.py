@@ -58,6 +58,27 @@ class CrashSchedule:
         """Sites named by any crash event."""
         return {event.site for event in self.events}
 
+    def validate(self, n_sites: int) -> None:
+        """Raise :class:`ValueError` when the schedule cannot run on
+        ``n_sites`` sites (unknown site id or a negative event time).
+
+        The single source of truth shared by
+        :class:`~repro.txn.runner.ThroughputSpec` validation and the CLI's
+        ``--crash-schedule`` checks, so both always reject the same inputs.
+        """
+        out_of_range = sorted(
+            site for site in self.sites() if not 1 <= site <= n_sites
+        )
+        if out_of_range:
+            raise ValueError(
+                f"crash schedule names site(s) {out_of_range} outside 1..{n_sites}"
+            )
+        past = sorted(event.time for event in self if event.time < 0)
+        if past:
+            raise ValueError(
+                f"crash schedule contains negative event time(s) {past}"
+            )
+
     def __len__(self) -> int:
         return len(self.events)
 

@@ -10,9 +10,14 @@ one shared cluster:
   timers);
 * :mod:`repro.txn.scheduler` -- the lock-contention scheduler: strict-2PL
   execution phase through FIFO lock queues, deadlock handling, one
-  coordinator role-set per in-flight transaction;
-* :mod:`repro.txn.deadlock` -- waits-for cycle detection and the
-  configurable :class:`~repro.txn.deadlock.DeadlockPolicy`;
+  coordinator role-set per in-flight transaction, crash write-offs and
+  WAL-replaying recovery;
+* :mod:`repro.txn.deadlock` -- waits-for cycle detection, pluggable
+  :class:`~repro.txn.deadlock.VictimPolicy` selection and the configurable
+  :class:`~repro.txn.deadlock.DeadlockPolicy`;
+* :mod:`repro.txn.retry` -- :class:`~repro.txn.retry.RetryPolicy` victim
+  re-admission with seeded exponential backoff, and the
+  :class:`~repro.txn.retry.AbortCause` accounting split;
 * :mod:`repro.txn.runner` / :mod:`repro.txn.summary` -- declarative
   :class:`~repro.txn.runner.ThroughputSpec` scenarios reduced to plain
   :class:`~repro.txn.summary.ThroughputSummary` records that flow through
@@ -28,15 +33,24 @@ The ``repro throughput`` CLI subcommand and
 load x read-fraction sweeps on top.
 """
 
-from repro.txn.deadlock import DeadlockPolicy, find_cycle, merge_waits_for
+from repro.txn.deadlock import (
+    DeadlockPolicy,
+    VictimPolicy,
+    find_cycle,
+    merge_waits_for,
+    select_victim,
+)
 from repro.txn.multiplex import SiteMultiplexer, VirtualNode
+from repro.txn.retry import AbortCause, RetryPolicy
 from repro.txn.runner import ThroughputRunResult, ThroughputSpec, run_throughput_scenario
 from repro.txn.scheduler import TransactionScheduler, TransactionState, TxnPhase
 from repro.txn.sink import ThroughputSink
 from repro.txn.summary import ThroughputSummary, TransactionOutcome, TransactionVerdict
 
 __all__ = [
+    "AbortCause",
     "DeadlockPolicy",
+    "RetryPolicy",
     "SiteMultiplexer",
     "ThroughputRunResult",
     "ThroughputSink",
@@ -47,8 +61,10 @@ __all__ = [
     "TransactionState",
     "TransactionVerdict",
     "TxnPhase",
+    "VictimPolicy",
     "VirtualNode",
     "find_cycle",
     "merge_waits_for",
     "run_throughput_scenario",
+    "select_victim",
 ]

@@ -7,23 +7,79 @@ remedies, individually or together, via :class:`DeadlockPolicy`:
 
 * **waits-for cycle detection** -- after every request that queues, the
   union of the per-site :meth:`~repro.db.locks.LockManager.waits_for`
-  graphs is searched for cycles; the *youngest* transaction in the cycle
-  (largest admission index) is aborted as the victim.  Youngest-victim is
-  deterministic and favours the transactions that have done the most work.
+  graphs is searched for cycles; one cycle member is aborted as the
+  victim, chosen by the configured :class:`VictimPolicy`.
 * **lock-wait timeouts** -- a transaction whose lock wait exceeds
   ``wait_timeout`` simulated time units is aborted, which also clears
   waiters stuck behind a *blocked* commit protocol's locks (the paper's
   availability cost, Section 1-2).
 
-:func:`find_cycle` is deterministic: nodes and successors are visited in
-sorted order, so the same graph always yields the same cycle and therefore
-the same victim -- a requirement for worker-count-independent sweeps.
+:func:`find_cycle` and :func:`select_victim` are deterministic: nodes and
+successors are visited in sorted order and every policy breaks ties by
+admission index, so the same graph always yields the same cycle and the
+same victim -- a requirement for worker-count-independent sweeps.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import AbstractSet, Mapping, Optional
+from typing import AbstractSet, Iterable, Mapping, Optional
+
+
+class VictimPolicy(enum.Enum):
+    """Which member of a waits-for cycle is aborted.
+
+    Every policy is deterministic (ties break towards the youngest
+    admission index) so sweeps stay byte-identical across worker counts:
+
+    * ``YOUNGEST`` -- largest admission index; favours the transactions
+      that have done the most work (the PR 3 default).
+    * ``OLDEST`` -- smallest admission index; starves long-runners but
+      bounds how long a lock chain can grow.
+    * ``FEWEST_LOCKS`` -- the member holding the fewest locks across all
+      sites forfeits the least acquired work.
+    * ``MOST_RETRIES_WINS`` -- the member with the fewest prior attempts
+      is sacrificed, so much-retried transactions eventually get through
+      instead of being victimized forever (anti-starvation under retry
+      storms).
+    """
+
+    YOUNGEST = "youngest"
+    OLDEST = "oldest"
+    FEWEST_LOCKS = "fewest-locks"
+    MOST_RETRIES_WINS = "most-retries-wins"
+
+
+def select_victim(
+    cycle: Iterable[str],
+    policy: VictimPolicy,
+    *,
+    index: Mapping[str, int],
+    locks_held: Mapping[str, int],
+    attempts: Mapping[str, int],
+) -> str:
+    """The cycle member :class:`VictimPolicy` sacrifices.
+
+    Args:
+        cycle: transaction ids forming the waits-for cycle.
+        index: admission index per transaction (unique, so every policy's
+            tiebreak is total).
+        locks_held: locks currently held across all sites, per transaction.
+        attempts: 1-based attempt number per transaction.
+    """
+    members = sorted(cycle)
+    if not members:
+        raise ValueError("cannot select a victim from an empty cycle")
+    if policy is VictimPolicy.YOUNGEST:
+        return max(members, key=lambda txn: index[txn])
+    if policy is VictimPolicy.OLDEST:
+        return min(members, key=lambda txn: index[txn])
+    if policy is VictimPolicy.FEWEST_LOCKS:
+        return min(members, key=lambda txn: (locks_held[txn], -index[txn]))
+    if policy is VictimPolicy.MOST_RETRIES_WINS:
+        return min(members, key=lambda txn: (attempts[txn], -index[txn]))
+    raise ValueError(f"unknown victim policy {policy!r}")
 
 
 @dataclass(frozen=True)
@@ -32,13 +88,15 @@ class DeadlockPolicy:
 
     Attributes:
         detect_cycles: run waits-for cycle detection after every queued
-            request and abort the youngest transaction of any cycle found.
+            request and abort one transaction of any cycle found.
         wait_timeout: abort a transaction whose current lock wait exceeds
             this many simulated time units (``None`` disables timeouts).
+        victim: which cycle member the detector aborts.
     """
 
     detect_cycles: bool = True
     wait_timeout: Optional[float] = None
+    victim: VictimPolicy = VictimPolicy.YOUNGEST
 
     def __post_init__(self) -> None:
         if self.wait_timeout is not None and self.wait_timeout <= 0:

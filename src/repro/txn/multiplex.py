@@ -155,6 +155,11 @@ class SiteMultiplexer:
         #: roles; the transaction scheduler uses this to fail lock waits
         #: that died with the site's lock table.
         self.crash_listeners: list[Any] = []
+        #: Called (with no arguments) *before* a recovery is fanned out to
+        #: the roles: the scheduler replays the site's WAL here, so roles
+        #: (and re-admitted lock requests) always observe the recovered
+        #: database state, never the pre-replay one.
+        self.recover_listeners: list[Any] = []
         node.attach(self)
 
     def register(self, transaction_id: str, virtual: VirtualNode) -> None:
@@ -224,7 +229,14 @@ class SiteMultiplexer:
             listener()
 
     def on_recover(self) -> None:
-        """Fan the recovery notification out to every transaction's role."""
+        """Fan the recovery notification out: listeners first, then roles.
+
+        Listener-before-role ordering is load-bearing -- the scheduler's
+        listener replays the WAL, and replay must complete before any role
+        (or re-admitted lock request) touches the recovered site.
+        """
+        for listener in list(self.recover_listeners):
+            listener()
         for transaction_id in sorted(self._virtuals):
             hook = getattr(self._virtuals[transaction_id].role, "on_recover", None)
             if hook is not None:

@@ -24,15 +24,19 @@ from repro.db.site import DatabaseSite
 from repro.protocols.base import ProtocolDefinition
 from repro.protocols.registry import create_protocol
 from repro.sim.cluster import Cluster
+from repro.sim.failures import CrashSchedule
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import OPTIMISTIC
 from repro.sim.partition import PartitionSchedule
 from repro.txn.deadlock import DeadlockPolicy
+from repro.txn.retry import AbortCause, RetryPolicy
 from repro.txn.scheduler import TransactionScheduler
 from repro.txn.summary import ThroughputSummary, TransactionVerdict
 from repro.workloads.transactions import (
+    ARRIVAL_PROCESSES,
     TransactionMix,
     WorkloadConfig,
+    generate_arrivals,
     generate_transactions,
 )
 
@@ -44,35 +48,50 @@ class ThroughputSpec:
     Attributes:
         n_sites: participating sites (site 1 masters every transaction).
         n_transactions: transactions offered over the run.
-        tx_rate: offered load, in transactions per ``T`` (arrivals are
-            evenly spaced ``T / tx_rate`` apart -- deterministic, so the
-            spec hash pins the whole arrival schedule).
+        tx_rate: offered load, in transactions per ``T`` (the mean
+            inter-arrival gap is ``T / tx_rate``).
+        arrival: arrival process -- ``"uniform"`` (evenly spaced, the
+            closed deterministic schedule) or ``"poisson"`` (open-loop
+            seeded exponential gaps); either way the spec hash pins the
+            whole arrival schedule.
         read_fraction / operations_per_site / n_keys /
         participants_per_transaction: workload shape (see
             :class:`~repro.workloads.transactions.WorkloadConfig`).
+        hotspot: zipf-like key-skew exponent (0 = uniform keys; larger
+            values concentrate traffic on a hot front of the keyspace).
         op_delay: simulated execution time per data operation; the gap
             between a transaction's successive lock requests.
         partition: partition / heal schedule (default: none).
+        crashes: site crash / recovery schedule (default: none).  At a
+            crash the site's waiters are written off and its lock table is
+            lost; at recovery the WAL replays before new lock requests are
+            admitted.
         latency: network latency model; its upper bound is the paper's ``T``.
         model: ``"optimistic"`` or ``"pessimistic"`` partition model.
-        deadlock: deadlock-handling policy.
+        deadlock: deadlock-handling policy (including victim selection).
+        retry: re-admission policy for aborted attempts (default: none).
         horizon: simulated-time limit; defaults to the admission span plus
             ``40 T`` of drain, far beyond every decision bound in the paper.
-        seed: seed for workload generation and the simulator RNG.
+        seed: seed for workload generation, arrivals, retry jitter and the
+            simulator RNG.
     """
 
     n_sites: int = 3
     n_transactions: int = 200
     tx_rate: float = 4.0
+    arrival: str = "uniform"
     read_fraction: float = 0.2
     operations_per_site: int = 1
     n_keys: int = 8
     participants_per_transaction: Optional[int] = None
+    hotspot: float = 0.0
     op_delay: float = 0.05
     partition: Optional[PartitionSchedule] = None
+    crashes: Optional[CrashSchedule] = None
     latency: Optional[LatencyModel] = None
     model: str = OPTIMISTIC
     deadlock: DeadlockPolicy = field(default_factory=DeadlockPolicy)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     horizon: Optional[float] = None
     seed: int = 0
 
@@ -83,13 +102,19 @@ class ThroughputSpec:
             raise ValueError(f"n_transactions must be >= 1, got {self.n_transactions}")
         if self.tx_rate <= 0:
             raise ValueError(f"tx_rate must be > 0, got {self.tx_rate}")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"arrival must be one of {ARRIVAL_PROCESSES}, got {self.arrival!r}"
+            )
         if self.n_keys < 1:
             raise ValueError(f"n_keys must be >= 1, got {self.n_keys}")
         if self.op_delay < 0:
             raise ValueError(f"op_delay must be >= 0, got {self.op_delay}")
+        if self.crashes is not None:
+            self.crashes.validate(self.n_sites)
         # Build the workload config eagerly (mix ranges, participant counts,
-        # master bounds) so bad specs fail at construction, not mid-sweep in
-        # a worker process.
+        # master bounds, hotspot exponent) so bad specs fail at
+        # construction, not mid-sweep in a worker process.
         self.workload_config()
 
     def effective_latency(self) -> LatencyModel:
@@ -108,13 +133,19 @@ class ThroughputSpec:
                 operations_per_site=self.operations_per_site,
             ),
             master=1,
+            hotspot=self.hotspot,
             seed=self.seed,
         )
 
     def arrival_times(self) -> list[float]:
-        """Deterministic admission instants: evenly spaced at the offered rate."""
+        """Deterministic admission instants for the configured process."""
         interval = self.effective_latency().upper_bound / self.tx_rate
-        return [index * interval for index in range(self.n_transactions)]
+        return generate_arrivals(
+            self.n_transactions,
+            mean_gap=interval,
+            process=self.arrival,
+            seed=self.seed,
+        )
 
     def effective_horizon(self) -> float:
         """The run horizon: explicit, or admission span plus ``40 T`` drain."""
@@ -166,11 +197,15 @@ def run_throughput_scenario(
         protocol,
         db_sites,
         policy=spec.deadlock,
+        retry=spec.retry,
         op_delay=spec.op_delay,
         timers=TerminationTimers(max_delay=latency.upper_bound),
+        seed=spec.seed,
     )
     if spec.partition is not None:
         cluster.apply_partition_schedule(spec.partition)
+    if spec.crashes is not None:
+        cluster.apply_crash_schedule(spec.crashes)
     scheduler.submit_all(
         generate_transactions(spec.workload_config()), arrivals=spec.arrival_times()
     )
@@ -189,20 +224,43 @@ def run_throughput_scenario(
         peak_waiting=scheduler.peak_waiting,
         deadlock_aborts=scheduler.deadlock_aborts,
         timeout_aborts=scheduler.timeout_aborts,
+        retries=scheduler.retries,
+        crashes=scheduler.crashes,
+        recoveries=scheduler.recoveries,
+        wal_redone=scheduler.wal_redone,
         lock_hold_total=scheduler.lock_hold_total(horizon),
         messages_sent=cluster.network.messages_sent,
         messages_delivered=cluster.network.messages_delivered,
         messages_bounced=cluster.network.messages_bounced,
         messages_dropped=cluster.network.messages_dropped,
     )
+    cause_fields = {
+        AbortCause.DEADLOCK.value: "aborted_deadlock",
+        AbortCause.TIMEOUT.value: "aborted_timeout",
+        AbortCause.CRASH.value: "aborted_crash",
+        AbortCause.PARTITION.value: "aborted_partition",
+    }
     for outcome in scheduler.outcomes():
         summary.offered += 1
         summary.lock_wait_total += outcome.lock_wait
         if outcome.verdict is TransactionVerdict.COMMITTED:
             summary.committed += 1
             summary.commit_latency_total += outcome.commit_latency or 0.0
+            if outcome.attempts == 1:
+                summary.committed_first_try += 1
+            else:
+                summary.committed_after_retry += 1
         elif outcome.verdict is TransactionVerdict.ABORTED:
             summary.aborted += 1
+            field_name = cause_fields.get(outcome.abort_cause)
+            if field_name is None:
+                # Loud, not silently misattributed: every abort path must
+                # tag its cause or the per-cause split would quietly lie.
+                raise ValueError(
+                    f"transaction {outcome.transaction_id} aborted with "
+                    f"unknown cause {outcome.abort_cause!r}"
+                )
+            setattr(summary, field_name, getattr(summary, field_name) + 1)
         elif outcome.verdict is TransactionVerdict.BLOCKED:
             summary.blocked += 1
         elif outcome.verdict is TransactionVerdict.STALLED:

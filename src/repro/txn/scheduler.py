@@ -24,6 +24,19 @@ end-to-end:
    through which a *blocked* protocol's retained locks throttle every
    transaction behind it, the Section 1-2 availability argument made
    measurable.
+4. **Retry.**  An aborted attempt (deadlock or timeout victim, crash
+   write-off, or a commit-phase protocol abort) re-enters the scheduler
+   as a fresh attempt after a seeded exponential backoff, until the
+   :class:`~repro.txn.retry.RetryPolicy` budget is exhausted -- the
+   open-loop behaviour real clients exhibit, and the mechanism by which
+   retry storms amplify a blocking protocol's goodput collapse.
+
+Site crashes are modelled end to end: a crash wipes the site's volatile
+lock table (:meth:`~repro.db.site.DatabaseSite.crash`) and writes off
+every execution-phase transaction touching the site; a recovery replays
+the WAL (:meth:`~repro.db.site.DatabaseSite.recover`) *before* any role
+or re-admitted lock request observes the site, then accepts new lock
+traffic on the fresh table.
 
 Everything is driven by the deterministic simulation kernel: given the
 same transactions, arrival times and seed, a run is bit-for-bit
@@ -49,8 +62,15 @@ from repro.db.transactions import OpKind, Transaction
 from repro.protocols.base import Decision, ProtocolContext, ProtocolDefinition, RoleBase
 from repro.sim.cluster import Cluster
 from repro.sim.events import Event
-from repro.txn.deadlock import DeadlockPolicy, find_cycle, merge_waits_for
+from repro.txn.deadlock import (
+    DeadlockPolicy,
+    VictimPolicy,
+    find_cycle,
+    merge_waits_for,
+    select_victim,
+)
 from repro.txn.multiplex import SiteMultiplexer, VirtualNode
+from repro.txn.retry import AbortCause, RetryPolicy, attempt_id
 from repro.txn.summary import TransactionOutcome, TransactionVerdict
 
 
@@ -83,6 +103,14 @@ class TransactionState:
     roles: dict[int, RoleBase] = field(default_factory=dict)
     verdict: Optional[TransactionVerdict] = None
     abort_reason: str = ""
+    #: :class:`~repro.txn.retry.AbortCause` value of this attempt's abort.
+    abort_cause: str = ""
+    #: Base (workload) transaction id shared by every attempt.
+    logical_id: str = ""
+    #: 1-based attempt number of this admission.
+    attempt: int = 1
+    #: True when a later attempt was scheduled to supersede this abort.
+    retried: bool = False
 
     @property
     def transaction_id(self) -> str:
@@ -98,11 +126,15 @@ class TransactionScheduler:
         protocol: commit-protocol definition used for every transaction.
         db_sites: one :class:`~repro.db.site.DatabaseSite` per cluster site.
         policy: deadlock handling configuration.
+        retry: re-admission policy for aborted attempts (default: none,
+            the PR 3 write-off behaviour).
         op_delay: simulated execution time of one data operation (the gap
             between successive lock requests of a transaction; values > 0
             let acquisition interleave, which is what makes lock cycles
             possible).
         timers: protocol timeout structure (defaults to the cluster's ``T``).
+        seed: seeds the retry-backoff jitter (the workload seed, so one
+            spec pins the whole retry schedule).
     """
 
     def __init__(
@@ -112,8 +144,10 @@ class TransactionScheduler:
         db_sites: dict[int, DatabaseSite],
         *,
         policy: Optional[DeadlockPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
         op_delay: float = 0.0,
         timers: Optional[TerminationTimers] = None,
+        seed: int = 0,
     ) -> None:
         if op_delay < 0:
             raise ValueError(f"op_delay must be >= 0, got {op_delay}")
@@ -121,8 +155,10 @@ class TransactionScheduler:
         self.protocol = protocol
         self.db_sites = db_sites
         self.policy = policy or DeadlockPolicy()
+        self.retry = retry or RetryPolicy()
         self.op_delay = op_delay
         self.timers = timers or TerminationTimers(max_delay=cluster.max_delay)
+        self.seed = seed
         self.multiplexers: dict[int, SiteMultiplexer] = {
             site: SiteMultiplexer(cluster.node(site)) for site in cluster.site_ids()
         }
@@ -130,18 +166,28 @@ class TransactionScheduler:
             multiplexer.crash_listeners.append(
                 lambda _site=site: self._on_site_crashed(_site)
             )
+            multiplexer.recover_listeners.append(
+                lambda _site=site: self._on_site_recovered(_site)
+            )
         for site, db in sorted(db_sites.items()):
             db.locks.on_grant = (
                 lambda request, _site=site: self._on_lock_granted(_site, request)
             )
         self.states: dict[str, TransactionState] = {}
         self._order: list[str] = []
+        self._logical_order: list[str] = []
+        self._attempts: dict[str, list[TransactionState]] = {}
         self.waiting = 0
         self.running = 0
         self.peak_waiting = 0
         self.peak_in_flight = 0
         self.deadlock_aborts = 0
         self.timeout_aborts = 0
+        self.crash_writeoffs = 0
+        self.retries = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.wal_redone = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -164,22 +210,44 @@ class TransactionScheduler:
         for transaction, at in zip(transactions, arrivals):
             self.submit(transaction, at=at)
 
+    @property
+    def admitted(self) -> int:
+        """Logical transactions admitted so far (attempts collapse to one)."""
+        return len(self._logical_order)
+
     def outcomes(self) -> list[TransactionOutcome]:
-        """Per-transaction outcomes in admission order (after a run)."""
+        """Per-*logical*-transaction outcomes in admission order.
+
+        Retries collapse: every attempt of a transaction contributes its
+        lock wait, the final attempt supplies the verdict and timestamps,
+        and ``attempts`` counts the admissions.  A transaction whose next
+        retry was scheduled but had not been re-admitted when the horizon
+        struck is still *in flight* -- reported stalled, not aborted.
+        """
         out = []
-        for transaction_id in self._order:
-            state = self.states[transaction_id]
+        for position, logical_id in enumerate(self._logical_order):
+            attempts = self._attempts[logical_id]
+            final = attempts[-1]
+            verdict = final.verdict or TransactionVerdict.STALLED
+            abort_reason = final.abort_reason
+            abort_cause = final.abort_cause
+            if final.retried:
+                verdict = TransactionVerdict.STALLED
+                abort_reason = f"retry {final.attempt + 1} pending at horizon"
+                abort_cause = ""
             out.append(
                 TransactionOutcome(
-                    transaction_id=transaction_id,
-                    index=state.index,
-                    verdict=state.verdict or TransactionVerdict.STALLED,
-                    admitted_at=state.admitted_at,
-                    all_granted_at=state.all_granted_at,
-                    started_at=state.started_at,
-                    finished_at=state.finished_at,
-                    lock_wait=state.lock_wait,
-                    abort_reason=state.abort_reason,
+                    transaction_id=logical_id,
+                    index=position,
+                    verdict=verdict,
+                    admitted_at=attempts[0].admitted_at,
+                    all_granted_at=final.all_granted_at,
+                    started_at=final.started_at,
+                    finished_at=final.finished_at,
+                    lock_wait=sum(state.lock_wait for state in attempts),
+                    abort_reason=abort_reason,
+                    abort_cause=abort_cause,
+                    attempts=len(attempts),
                 )
             )
         return out
@@ -187,18 +255,35 @@ class TransactionScheduler:
     # ------------------------------------------------------------------
     # admission + lock acquisition (execution phase)
     # ------------------------------------------------------------------
-    def _admit(self, transaction: Transaction) -> None:
+    def _admit(
+        self,
+        transaction: Transaction,
+        *,
+        logical_id: Optional[str] = None,
+        attempt: int = 1,
+    ) -> None:
         transaction_id = transaction.transaction_id
         if transaction_id in self.states:
             raise ValueError(f"transaction {transaction_id} already admitted")
+        logical = logical_id or transaction_id
         state = TransactionState(
             transaction=transaction,
             index=len(self._order),
             admitted_at=self.now,
             plan=self._lock_plan(transaction),
+            logical_id=logical,
+            attempt=attempt,
         )
         self.states[transaction_id] = state
         self._order.append(transaction_id)
+        if attempt == 1:
+            self._logical_order.append(logical)
+        else:
+            # Counted at admission, not when the retry is scheduled, so
+            # summary.retries == sum(attempts - 1): a re-admission the
+            # horizon cut off is in-flight, not a retry that happened.
+            self.retries += 1
+        self._attempts.setdefault(logical, []).append(state)
         self.waiting += 1
         self.peak_waiting = max(self.peak_waiting, self.waiting)
         self.cluster.trace.record(
@@ -231,7 +316,9 @@ class TransactionScheduler:
             if self.cluster.node(site).crashed or self.db_sites[site].state is SiteState.CRASHED:
                 # The execution phase cannot proceed at a crashed site;
                 # write the transaction off instead of raising mid-event.
-                self._abort_waiting(state, reason=f"site {site} crashed")
+                self._abort_waiting(
+                    state, cause=AbortCause.CRASH, reason=f"site {site} crashed"
+                )
                 return
             request = self.db_sites[site].request_lock(
                 state.transaction_id, key, mode, now=self.now
@@ -277,8 +364,15 @@ class TransactionScheduler:
     # ------------------------------------------------------------------
     # deadlock handling
     # ------------------------------------------------------------------
+    def _locks_held(self, transaction_id: str) -> int:
+        """Locks ``transaction_id`` currently holds across every site."""
+        return sum(
+            self.db_sites[site].locks.held_count(transaction_id)
+            for site in sorted(self.db_sites)
+        )
+
     def _break_deadlocks(self) -> None:
-        """Abort the youngest member of every waits-for cycle until none remain."""
+        """Abort one policy-chosen member of every waits-for cycle until none remain."""
         while True:
             graph = merge_waits_for(
                 {site: db.locks.waits_for() for site, db in self.db_sites.items()}
@@ -294,8 +388,21 @@ class TransactionScheduler:
                 # edges dissolve when the in-flight abort completes; the
                 # caller's loop (or the next queued request) re-checks.
                 return
-            victim = max(cycle, key=lambda txn: self.states[txn].index)
-            self.deadlock_aborts += 1
+            victim_policy = self.policy.victim
+            victim = select_victim(
+                cycle,
+                victim_policy,
+                index={txn: self.states[txn].index for txn in cycle},
+                # Lock counts scan every grant list of every site; only the
+                # one policy that ranks by them pays for that on the
+                # detection hot path.
+                locks_held=(
+                    {txn: self._locks_held(txn) for txn in cycle}
+                    if victim_policy is VictimPolicy.FEWEST_LOCKS
+                    else {}
+                ),
+                attempts={txn: self.states[txn].attempt for txn in cycle},
+            )
             self.cluster.trace.record(
                 self.now,
                 "deadlock",
@@ -304,23 +411,64 @@ class TransactionScheduler:
                 victim=victim,
             )
             self._abort_waiting(
-                self.states[victim], reason=f"deadlock victim (cycle of {len(cycle)})"
+                self.states[victim],
+                cause=AbortCause.DEADLOCK,
+                reason=f"deadlock victim (cycle of {len(cycle)})",
             )
 
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
     def _on_site_crashed(self, site: int) -> None:
-        """Fail the lock waits that died with a crashed site.
+        """Write off the execution-phase transactions that died with a site.
 
-        Invoked through the site multiplexer's crash fan-out: a transaction
-        whose current lock wait targets the crashed site can never be
-        granted (no role will release on its behalf), so it is written off
-        instead of stalling to the horizon.
+        Invoked through the site multiplexer's crash fan-out.  The site's
+        volatile lock table is lost (:meth:`~repro.db.site.DatabaseSite
+        .crash`), so every transaction still acquiring locks that touches
+        the site -- whether it was queued there, already held locks there,
+        or had yet to reach it -- can no longer commit under strict 2PL
+        and is written off (and, under a retry policy, re-admitted later).
+        Commit-phase transactions are left to their protocol roles.
         """
+        self.crashes += 1
+        db = self.db_sites[site]
+        if db.state is not SiteState.CRASHED:
+            db.crash()
         for transaction_id in list(self._order):
             state = self.states[transaction_id]
-            if state.phase is TxnPhase.WAITING and state.pending_site == site:
+            if (
+                state.phase is TxnPhase.WAITING
+                and site in state.transaction.participants
+            ):
                 self._abort_waiting(
-                    state, reason=f"site {site} crashed during lock wait"
+                    state,
+                    cause=AbortCause.CRASH,
+                    reason=f"site {site} crashed during lock acquisition",
                 )
+
+    def _on_site_recovered(self, site: int) -> None:
+        """Replay the WAL of a recovered site before re-admitting traffic.
+
+        Runs through the multiplexer's listener-before-roles recovery
+        fan-out: by the time any protocol role or re-admitted lock request
+        observes the site, replay has restored every durable decision
+        (committed writes redone idempotently, aborted ones discarded) and
+        the fresh lock table is accepting requests.
+        """
+        self.recoveries += 1
+        db = self.db_sites[site]
+        if db.state is not SiteState.CRASHED:
+            return
+        report = db.recover(now=self.now)
+        self.wal_redone += len(report.redone)
+        self.cluster.trace.record(
+            self.now,
+            "wal-replay",
+            site=site,
+            redone=len(report.redone),
+            already_applied=len(report.already_applied),
+            in_doubt=len(report.in_doubt),
+        )
 
     def _arm_wait_timeout(self, state: TransactionState) -> None:
         if self.policy.wait_timeout is None:
@@ -341,19 +489,28 @@ class TransactionScheduler:
     def _on_wait_timeout(self, state: TransactionState, request: LockRequest) -> None:
         if state.phase is not TxnPhase.WAITING or state.pending_request is not request:
             return
-        self.timeout_aborts += 1
         self.cluster.trace.record(
             self.now, "lock-wait-timeout", site=state.pending_site,
             transaction=state.transaction_id,
         )
-        self._abort_waiting(state, reason="lock-wait timeout")
+        self._abort_waiting(
+            state, cause=AbortCause.TIMEOUT, reason="lock-wait timeout"
+        )
 
-    def _abort_waiting(self, state: TransactionState, *, reason: str) -> None:
+    def _abort_waiting(
+        self, state: TransactionState, *, cause: AbortCause, reason: str
+    ) -> None:
         """Abort a transaction still in its execution phase (victim path)."""
         if state.phase is not TxnPhase.WAITING:
             # Reentrant call (promotion cascades during this victim's own
             # cleanup can re-trigger detection paths): already handled.
             return
+        if cause is AbortCause.DEADLOCK:
+            self.deadlock_aborts += 1
+        elif cause is AbortCause.TIMEOUT:
+            self.timeout_aborts += 1
+        elif cause is AbortCause.CRASH:
+            self.crash_writeoffs += 1
         if state.pending_request is not None:
             state.lock_wait += max(0.0, self.now - state.pending_request.enqueued_at)
             state.pending_request = None
@@ -362,6 +519,7 @@ class TransactionScheduler:
         state.phase = TxnPhase.DONE
         state.verdict = TransactionVerdict.ABORTED
         state.abort_reason = reason
+        state.abort_cause = cause.value
         state.finished_at = self.now
         self.waiting -= 1
         # The durable abort releases held locks and cancels queued requests
@@ -371,6 +529,42 @@ class TransactionScheduler:
             if self.db_sites[site].state is SiteState.CRASHED:
                 continue
             self.db_sites[site].abort(state.transaction_id, now=self.now)
+        self._maybe_retry(state)
+
+    # ------------------------------------------------------------------
+    # victim retries
+    # ------------------------------------------------------------------
+    def _maybe_retry(self, state: TransactionState) -> None:
+        """Re-admit an aborted attempt after backoff, while budget remains."""
+        if not self.retry.enabled or state.attempt >= self.retry.max_attempts:
+            return
+        delay = self.retry.delay(
+            failed_attempt=state.attempt,
+            transaction_id=state.logical_id,
+            seed=self.seed,
+        )
+        state.retried = True
+        next_attempt = state.attempt + 1
+        clone = Transaction.create(
+            state.transaction.master,
+            state.transaction.operations,
+            transaction_id=attempt_id(state.logical_id, next_attempt),
+        )
+        self.cluster.trace.record(
+            self.now,
+            "retry",
+            site=state.transaction.master,
+            transaction=state.logical_id,
+            attempt=next_attempt,
+            due=self.now + delay,
+        )
+        self.cluster.sim.schedule(
+            delay,
+            lambda txn=clone, lid=state.logical_id, att=next_attempt: self._admit(
+                txn, logical_id=lid, attempt=att
+            ),
+            label=f"retry {clone.transaction_id}",
+        )
 
     # ------------------------------------------------------------------
     # commit phase
@@ -421,11 +615,24 @@ class TransactionScheduler:
         elif decided == {Decision.ABORT}:
             state.verdict = TransactionVerdict.ABORTED
             state.abort_reason = state.abort_reason or "protocol abort"
+            # Commit-phase aborts are the protocol writing the transaction
+            # off.  Attribute by what is wrong at decision time: a crashed
+            # participant is a crash write-off, otherwise the partition
+            # (or its timeout aftermath) forced the abort.
+            crashed_participant = any(
+                self.cluster.node(site).crashed
+                or self.db_sites[site].state is SiteState.CRASHED
+                for site in state.transaction.participants
+            )
+            cause = AbortCause.CRASH if crashed_participant else AbortCause.PARTITION
+            state.abort_cause = cause.value
         else:
             state.verdict = TransactionVerdict.VIOLATED
         state.phase = TxnPhase.DONE
         state.finished_at = self.now
         self.running -= 1
+        if state.verdict is TransactionVerdict.ABORTED:
+            self._maybe_retry(state)
 
     # ------------------------------------------------------------------
     # horizon accounting

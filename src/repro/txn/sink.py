@@ -31,12 +31,16 @@ class ThroughputSink(SummarySink):
         "scenarios",
         "offered",
         "committed",
+        "committed_after_retry",
         "aborted",
         "blocked",
         "stalled",
         "violated",
+        "retries",
         "deadlocks",
         "lock_timeouts",
+        "crashes",
+        "recoveries",
         "lock_wait",
         "goodput",
         "peak_in_flight",
@@ -54,12 +58,16 @@ class ThroughputSink(SummarySink):
         totals["scenarios"] += 1
         totals["offered"] += summary.offered
         totals["committed"] += summary.committed
+        totals["committed_after_retry"] += summary.committed_after_retry
         totals["aborted"] += summary.aborted
         totals["blocked"] += summary.blocked
         totals["stalled"] += summary.stalled
         totals["violated"] += summary.violated
+        totals["retries"] += summary.retries
         totals["deadlocks"] += summary.deadlock_aborts
         totals["lock_timeouts"] += summary.timeout_aborts
+        totals["crashes"] += summary.crashes
+        totals["recoveries"] += summary.recoveries
         totals["lock_wait"] += summary.lock_wait_total / (summary.max_delay or 1.0)
         totals["goodput"] += summary.goodput
         totals["peak_in_flight"] = max(
@@ -84,11 +92,14 @@ class ThroughputSink(SummarySink):
                     "scenarios": int(totals["scenarios"]),
                     "offered": int(totals["offered"]),
                     "committed": int(totals["committed"]),
+                    "after retry": int(totals["committed_after_retry"]),
                     "aborted": int(totals["aborted"]),
                     "blocked": int(totals["blocked"] + totals["stalled"]),
                     "violations": int(totals["violated"]),
+                    "retries": int(totals["retries"]),
                     "deadlocks": int(totals["deadlocks"]),
                     "lock timeouts": int(totals["lock_timeouts"]),
+                    "crashes": int(totals["crashes"]),
                     "goodput (/T)": f"{self.goodput(protocol):.3f}",
                     "abort rate": f"{totals['aborted'] / offered:.1%}",
                     "mean lock wait (xT)": f"{totals['lock_wait'] / offered:.2f}",

@@ -56,6 +56,11 @@ class TransactionOutcome:
     finished_at: Optional[float] = None
     lock_wait: float = 0.0
     abort_reason: str = ""
+    #: :class:`~repro.txn.retry.AbortCause` value of the final abort
+    #: ("" while committed / unfinished).
+    abort_cause: str = ""
+    #: Total admissions of this logical transaction (1 = no retries).
+    attempts: int = 1
 
     @property
     def commit_latency(self) -> Optional[float]:
@@ -85,8 +90,26 @@ class ThroughputSummary:
     blocked: int = 0
     stalled: int = 0
     violated: int = 0
+    # Retry accounting: committed == committed_first_try +
+    # committed_after_retry; retries counts re-admissions (attempts - 1
+    # summed over every logical transaction that retried).
+    committed_first_try: int = 0
+    committed_after_retry: int = 0
+    retries: int = 0
+    # Final-abort split by cause: aborted == aborted_deadlock +
+    # aborted_timeout + aborted_crash + aborted_partition.  (PR 3 folded
+    # all four into the single `aborted` counter.)
+    aborted_deadlock: int = 0
+    aborted_timeout: int = 0
+    aborted_crash: int = 0
+    aborted_partition: int = 0
+    # Victim *events* (per attempt, so retried victims count again).
     deadlock_aborts: int = 0
     timeout_aborts: int = 0
+    # Crash / recovery schedule accounting.
+    crashes: int = 0
+    recoveries: int = 0
+    wal_redone: int = 0
     duration: float = 0.0
     max_delay: float = 1.0
     lock_wait_total: float = 0.0
@@ -142,6 +165,23 @@ class ThroughputSummary:
         return self.commit_latency_total / self.committed / (self.max_delay or 1.0)
 
     @property
+    def exhausted(self) -> int:
+        """Logical transactions that aborted with their attempt budget spent.
+
+        Every final abort is an exhausted budget (a budget of 1 exhausts
+        on the first abort), so this is an alias that names the open-loop
+        reading of :attr:`aborted`.
+        """
+        return self.aborted
+
+    @property
+    def retried_fraction(self) -> float:
+        """Fraction of committed transactions that needed a retry."""
+        if not self.committed:
+            return 0.0
+        return self.committed_after_retry / self.committed
+
+    @property
     def atomicity_violated(self) -> bool:
         """True when any transaction mixed commit and abort across sites."""
         return self.violated > 0
@@ -150,7 +190,8 @@ class ThroughputSummary:
         """One-line human-readable outcome."""
         return (
             f"{self.protocol}: {self.committed}/{self.offered} committed "
-            f"({self.goodput:.2f}/T), {self.aborted} aborted, "
+            f"({self.goodput:.2f}/T, {self.committed_after_retry} after retry), "
+            f"{self.aborted} aborted, "
             f"{self.blocked + self.stalled} blocked, "
             f"mean lock wait {self.mean_lock_wait:.2f} T"
         )
@@ -172,8 +213,18 @@ class ThroughputSummary:
             "blocked": self.blocked,
             "stalled": self.stalled,
             "violated": self.violated,
+            "committed_first_try": self.committed_first_try,
+            "committed_after_retry": self.committed_after_retry,
+            "retries": self.retries,
+            "aborted_deadlock": self.aborted_deadlock,
+            "aborted_timeout": self.aborted_timeout,
+            "aborted_crash": self.aborted_crash,
+            "aborted_partition": self.aborted_partition,
             "deadlock_aborts": self.deadlock_aborts,
             "timeout_aborts": self.timeout_aborts,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "wal_redone": self.wal_redone,
             "duration": self.duration,
             "max_delay": self.max_delay,
             "lock_wait_total": self.lock_wait_total,

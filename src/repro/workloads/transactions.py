@@ -4,16 +4,23 @@ The paper's motivating setting is a distributed database executing many
 concurrent update transactions; the cost of blocking is that other
 transactions cannot reach the data a blocked transaction holds locked.  The
 generators below build streams of update transactions over a configurable
-keyspace so the availability experiment can measure that cost.
+keyspace -- uniform or hot-spot skewed (zipf-like weights) -- plus the
+open-loop arrival processes (:func:`generate_arrivals`) that offer them,
+so the availability experiments can measure that cost under realistic
+load shapes.  Everything is a pure function of its config and seed.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 from repro.db.transactions import Operation, Transaction
+
+#: Supported open-loop arrival processes (see :func:`generate_arrivals`).
+ARRIVAL_PROCESSES: tuple[str, ...] = ("uniform", "poisson")
 
 
 @dataclass(frozen=True)
@@ -48,6 +55,10 @@ class WorkloadConfig:
             (``None`` means all of them).
         mix: read/write shape of each transaction.
         master: coordinating site for every transaction.
+        hotspot: zipf-like key-skew exponent.  0 draws keys uniformly (the
+            PR 3 behaviour); s > 0 weights the k-th key by ``1/(k+1)**s``,
+            concentrating traffic on the front of the keyspace (hot-spot
+            contention).
         seed: RNG seed; generation is deterministic given the config.
     """
 
@@ -57,6 +68,7 @@ class WorkloadConfig:
     participants_per_transaction: Optional[int] = None
     mix: TransactionMix = field(default_factory=TransactionMix)
     master: int = 1
+    hotspot: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -66,6 +78,8 @@ class WorkloadConfig:
             raise ValueError(f"n_transactions must be >= 0: {self.n_transactions}")
         if not self.keys:
             raise ValueError("keys must name at least one key")
+        if self.hotspot < 0:
+            raise ValueError(f"hotspot must be >= 0: {self.hotspot}")
         if not 1 <= self.master <= self.n_sites:
             raise ValueError(f"master {self.master} outside 1..{self.n_sites}")
         if (
@@ -80,16 +94,41 @@ class WorkloadConfig:
             )
 
 
+def key_weights(config: WorkloadConfig) -> Optional[list[float]]:
+    """Zipf-like selection weights for the keyspace (``None`` = uniform).
+
+    The k-th key (0-based) gets weight ``1/(k+1)**hotspot``; with the
+    default ``hotspot=0`` every key weighs 1 and the generator takes the
+    unweighted path, preserving PR 3's byte-exact random streams.
+    """
+    if config.hotspot == 0.0:
+        return None
+    return [1.0 / (rank + 1) ** config.hotspot for rank in range(len(config.keys))]
+
+
 def generate_transactions(config: WorkloadConfig) -> list[Transaction]:
     """Generate a deterministic list of transactions for ``config``."""
     rng = random.Random(config.seed)
+    # Hoisted out of the per-operation loop: the key list and (on the
+    # skewed path) the cumulative weight table are invariant across the
+    # whole stream, and rng.choices(cum_weights=...) consumes the RNG
+    # identically to the weights= form.
+    keys = list(config.keys)
+    weights = key_weights(config)
+    cum_weights = list(itertools.accumulate(weights)) if weights is not None else None
     transactions = []
     for index in range(config.n_transactions):
-        transactions.append(_one_transaction(config, rng, index))
+        transactions.append(_one_transaction(config, rng, index, keys, cum_weights))
     return transactions
 
 
-def _one_transaction(config: WorkloadConfig, rng: random.Random, index: int) -> Transaction:
+def _one_transaction(
+    config: WorkloadConfig,
+    rng: random.Random,
+    index: int,
+    keys: list[str],
+    cum_weights: Optional[list[float]] = None,
+) -> Transaction:
     sites = list(range(1, config.n_sites + 1))
     if config.participants_per_transaction is None or config.participants_per_transaction >= len(sites):
         participants = sites
@@ -100,7 +139,10 @@ def _one_transaction(config: WorkloadConfig, rng: random.Random, index: int) -> 
     operations: list[Operation] = []
     for site in participants:
         for _ in range(config.mix.operations_per_site):
-            key = rng.choice(list(config.keys))
+            if cum_weights is None:
+                key = rng.choice(keys)
+            else:
+                key = rng.choices(keys, cum_weights=cum_weights, k=1)[0]
             if rng.random() < config.mix.read_fraction:
                 operations.append(Operation.read(site, key))
             else:
@@ -109,6 +151,37 @@ def _one_transaction(config: WorkloadConfig, rng: random.Random, index: int) -> 
         config.master,
         operations,
         transaction_id=f"workload-txn-{index + 1}",
+    )
+
+
+def generate_arrivals(
+    n: int, *, mean_gap: float, process: str = "uniform", seed: int = 0
+) -> list[float]:
+    """Admission instants for an ``n``-transaction stream.
+
+    ``"uniform"`` spaces arrivals exactly ``mean_gap`` apart (the closed
+    deterministic schedule PR 3 used); ``"poisson"`` draws exponential
+    inter-arrival gaps with the same mean from a string-seeded RNG --
+    open-loop load whose bursts are a pure function of ``seed``, so the
+    schedule is part of the spec hash and byte-identical across workers
+    and shards.  Both processes start at t=0.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if mean_gap <= 0:
+        raise ValueError(f"mean_gap must be > 0, got {mean_gap}")
+    if process == "uniform":
+        return [index * mean_gap for index in range(n)]
+    if process == "poisson":
+        rng = random.Random(f"arrivals:{seed}")
+        arrivals: list[float] = []
+        now = 0.0
+        for _ in range(n):
+            arrivals.append(now)
+            now += rng.expovariate(1.0 / mean_gap)
+        return arrivals
+    raise ValueError(
+        f"unknown arrival process {process!r} (expected one of {ARRIVAL_PROCESSES})"
     )
 
 

@@ -26,7 +26,8 @@ from repro.engine import (
     shard_tasks,
 )
 from repro.engine.sink import VerdictCounterSink
-from repro.txn import ThroughputSpec
+from repro.sim.failures import CrashSchedule
+from repro.txn import DeadlockPolicy, RetryPolicy, ThroughputSpec
 from repro.txn.sink import ThroughputSink
 
 N_SHARDS = 3
@@ -46,15 +47,34 @@ def sweep_tasks():
 
 @pytest.fixture(scope="module")
 def tput_tasks():
-    """2 protocols x 2 seeds of a small contended workload."""
-    return [
-        SweepTask(
-            protocol=protocol,
-            spec=ThroughputSpec(n_transactions=10, tx_rate=1.0, seed=seed),
-        )
-        for protocol in ("two-phase-commit", "terminating-three-phase-commit")
-        for seed in (0, 1)
-    ]
+    """2 protocols x (closed-loop + open-loop retry/Poisson/crash) x 2 seeds."""
+    tasks = []
+    for protocol in ("two-phase-commit", "terminating-three-phase-commit"):
+        for seed in (0, 1):
+            tasks.append(
+                SweepTask(
+                    protocol=protocol,
+                    spec=ThroughputSpec(n_transactions=10, tx_rate=1.0, seed=seed),
+                )
+            )
+            tasks.append(
+                SweepTask(
+                    protocol=protocol,
+                    spec=ThroughputSpec(
+                        n_transactions=10,
+                        tx_rate=2.0,
+                        arrival="poisson",
+                        hotspot=1.0,
+                        n_keys=3,
+                        op_delay=0.2,
+                        seed=seed,
+                        crashes=CrashSchedule.single(2, 4.0, recover_at=8.0),
+                        deadlock=DeadlockPolicy(wait_timeout=3.0),
+                        retry=RetryPolicy(max_attempts=2, backoff=0.5),
+                    ),
+                )
+            )
+    return tasks
 
 
 class TestShardPartition:

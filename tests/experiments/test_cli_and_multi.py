@@ -190,6 +190,13 @@ class TestShardMergeCli:
         assert "--times applies to --kind sweep" in capsys.readouterr().err
         assert main(base + ["--kind", "throughput", "--protocol", "all"]) == 2
         assert "--protocol applies to --kind sweep" in capsys.readouterr().err
+        # The open-loop flags are throughput-only too: a sweep shard must
+        # not silently cover a different grid than the user asked for.
+        assert main(base + ["--retries", "3", "--crash-schedule", "2:20:26"]) == 2
+        err = capsys.readouterr().err
+        assert "--retries, --crash-schedule apply to --kind throughput" in err
+        assert main(base + ["--arrival", "poisson"]) == 2
+        assert "--arrival applies to --kind throughput" in capsys.readouterr().err
 
     def test_merging_a_non_spill_file_exits_2(self, capsys, tmp_path):
         bogus = tmp_path / "bogus.jsonl"

@@ -14,18 +14,27 @@ from repro.txn.sink import ThroughputSink
 from repro.experiments.throughput import (
     BLOCKING_PROTOCOLS,
     NONBLOCKING_PROTOCOLS,
+    run_retry_recovery_comparison,
     run_throughput_comparison,
     throughput_tasks,
 )
+from repro.sim.failures import CrashSchedule
 from repro.sim.partition import PartitionSchedule
-from repro.txn import ThroughputSpec, ThroughputSummary, run_throughput_scenario
+from repro.txn import (
+    DeadlockPolicy,
+    RetryPolicy,
+    ThroughputSpec,
+    ThroughputSummary,
+    run_throughput_scenario,
+)
 
 
 @pytest.fixture(scope="module")
 def tasks():
-    """2 protocols x 2 seeds of a partitioned 30-transaction workload."""
+    """The determinism matrix: closed-loop partitioned workloads plus
+    open-loop retry + Poisson + hot-spot + crash/recovery scenarios."""
     partition = PartitionSchedule.transient(10.0, 18.0, [1, 2], [3])
-    return [
+    closed = [
         SweepTask(
             protocol=protocol,
             spec=ThroughputSpec(
@@ -35,6 +44,27 @@ def tasks():
         for protocol in ("two-phase-commit", "terminating-three-phase-commit")
         for seed in (0, 1)
     ]
+    open_loop = [
+        SweepTask(
+            protocol=protocol,
+            spec=ThroughputSpec(
+                n_transactions=30,
+                tx_rate=2.0,
+                arrival="poisson",
+                hotspot=0.8,
+                n_keys=4,
+                op_delay=0.2,
+                seed=seed,
+                partition=partition,
+                crashes=CrashSchedule.single(2, 14.0, recover_at=20.0),
+                deadlock=DeadlockPolicy(detect_cycles=True, wait_timeout=4.0),
+                retry=RetryPolicy(max_attempts=3, backoff=0.5),
+            ),
+        )
+        for protocol in ("two-phase-commit", "terminating-three-phase-commit")
+        for seed in (0, 1)
+    ]
+    return closed + open_loop
 
 
 class TestRunner:
@@ -46,8 +76,51 @@ class TestRunner:
         summary = result.summary
         assert summary.offered == 20
         assert summary.committed == 20
+        assert summary.committed_first_try == 20
+        assert summary.committed_after_retry == summary.retries == 0
         assert summary.blocked == summary.stalled == summary.violated == 0
         assert summary.goodput > 0
+
+    def test_abort_counter_splits_exactly_by_cause(self):
+        # Partition write-offs are no longer conflated with deadlock /
+        # timeout victims: the cause split partitions the abort counter.
+        partition = PartitionSchedule.transient(5.0, 13.0, [1, 2], [3])
+        summary = run_throughput_scenario(
+            "terminating-three-phase-commit",
+            ThroughputSpec(n_transactions=20, tx_rate=2.0, partition=partition),
+        ).summary
+        assert summary.aborted > 0
+        assert summary.aborted_partition > 0
+        assert summary.aborted == (
+            summary.aborted_deadlock + summary.aborted_timeout
+            + summary.aborted_crash + summary.aborted_partition
+        )
+        assert summary.aborted_deadlock == summary.aborted_timeout == 0
+
+    def test_crash_writeoffs_count_as_crash_cause(self):
+        summary = run_throughput_scenario(
+            "terminating-three-phase-commit",
+            ThroughputSpec(
+                n_transactions=10, tx_rate=1.0,
+                crashes=CrashSchedule.single(2, 3.0),
+            ),
+        ).summary
+        assert summary.crashes == 1
+        assert summary.aborted_crash > 0
+
+    def test_crash_only_run_attributes_no_partition_aborts(self):
+        # Commit-phase aborts forced by a crashed participant must land in
+        # aborted_crash, not masquerade as partition write-offs.
+        summary = run_throughput_scenario(
+            "terminating-three-phase-commit",
+            ThroughputSpec(
+                n_transactions=12, tx_rate=4.0, seed=0,
+                crashes=CrashSchedule.single(2, 2.0, recover_at=8.0),
+            ),
+        ).summary
+        assert summary.aborted > 0
+        assert summary.aborted_crash == summary.aborted
+        assert summary.aborted_partition == 0
 
     def test_summary_json_round_trips(self):
         summary = run_throughput_scenario(
@@ -156,6 +229,59 @@ class TestThroughputTasks:
         )
         assert task.spec.partition is None
 
+    def test_open_loop_axes_reach_the_spec_and_the_hash(self):
+        (plain,) = throughput_tasks(["two-phase-commit"], n_transactions=10)
+        (open_loop,) = throughput_tasks(
+            ["two-phase-commit"],
+            n_transactions=10,
+            arrival="poisson",
+            hotspot=0.5,
+            retry=RetryPolicy(max_attempts=3),
+            crashes=CrashSchedule.single(2, 5.0, recover_at=9.0),
+        )
+        assert open_loop.spec.arrival == "poisson"
+        assert open_loop.spec.retry.max_attempts == 3
+        assert open_loop.spec.crashes is not None
+        assert plain.spec_hash != open_loop.spec_hash
+
+
+class TestRetryRecoveryExperiment:
+    """The RETRY panel's acceptance bar: committed-after-retry goodput
+    recovers post-heal for the terminating protocols while the blocking
+    protocols' backlog grows."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_retry_recovery_comparison(
+            protocols=BLOCKING_PROTOCOLS + NONBLOCKING_PROTOCOLS,
+            n_transactions=100,
+        )
+
+    def test_terminating_protocols_drain_their_backlog_after_heal(self, report):
+        after_retry = report.details["committed_after_retry"]
+        assert min(after_retry[p] for p in NONBLOCKING_PROTOCOLS) > max(
+            after_retry[p] for p in BLOCKING_PROTOCOLS
+        )
+
+    def test_blocking_protocols_backlog_grows(self, report):
+        unserved = report.details["unserved_backlog"]
+        assert min(unserved[p] for p in BLOCKING_PROTOCOLS) > max(
+            unserved[p] for p in NONBLOCKING_PROTOCOLS
+        )
+
+    def test_retry_storms_burn_the_budget_for_blocking_protocols(self, report):
+        totals = report.details["totals"]
+        for protocol in BLOCKING_PROTOCOLS:
+            assert totals[protocol]["retries"] > 0
+        assert report.headline
+        assert "after retry" in {k for row in report.table for k in row}
+
+    def test_run_retry_experiment_id(self, capsys):
+        assert main(["run", "RETRY"]) == 0
+        out = capsys.readouterr().out
+        assert "RETRY" in out
+        assert "after retry" in out
+
 
 class TestThroughputCli:
     FAST = [
@@ -201,11 +327,34 @@ class TestThroughputCli:
             (["--lock-timeout", "0"], "--lock-timeout"),
             (["--partition-at", "2.0"], "--partition-at"),
             (["--no-partition", "--permanent"], "--no-partition"),
+            (["--hotspot", "-0.5"], "--hotspot"),
+            (["--retries", "-1"], "--retries"),
+            (["--retry-backoff", "0"], "--retry-backoff"),
+            (["--crash-schedule", "nonsense"], "--crash-schedule"),
+            (["--crash-schedule", "9:5.0"], "--crash-schedule"),
+            (["--crash-schedule", "2:-5"], "--crash-schedule"),
         ],
     )
     def test_validation_errors_name_the_flag(self, capsys, flags, flag_name):
         assert main(["throughput", *flags]) == 2
         assert flag_name in capsys.readouterr().err
+
+    def test_open_loop_flags_run_end_to_end(self, capsys):
+        assert main([
+            "throughput",
+            "--transactions", "20",
+            "--protocols", "terminating-three-phase-commit",
+            "--arrival", "poisson",
+            "--retries", "2",
+            "--hotspot", "0.5",
+            "--victim", "fewest-locks",
+            "--crash-schedule", "3:10:16",
+            "--deadlock", "both",
+            "--lock-timeout", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "after retry" in out
+        assert "crashes" in out
 
     def test_unknown_protocol_lists_available(self, capsys):
         assert main(["throughput", "--protocols", "nope"]) == 2

@@ -12,7 +12,9 @@ from repro.workloads.sweeps import ParameterSweep, cartesian
 from repro.workloads.transactions import (
     TransactionMix,
     WorkloadConfig,
+    generate_arrivals,
     generate_transactions,
+    key_weights,
     transaction_stream,
 )
 
@@ -102,6 +104,65 @@ class TestGenerateTransactions:
         assert [t.transaction_id for t in transaction_stream(config)] == [
             t.transaction_id for t in generate_transactions(config)
         ]
+
+
+class TestHotspotSkew:
+    def test_zero_hotspot_preserves_the_uniform_stream(self):
+        # hotspot=0 must keep PR 3's byte-exact random draws.
+        uniform = generate_transactions(WorkloadConfig(n_transactions=10, seed=3))
+        skewless = generate_transactions(
+            WorkloadConfig(n_transactions=10, seed=3, hotspot=0.0)
+        )
+        assert [t.operations for t in uniform] == [t.operations for t in skewless]
+        assert key_weights(WorkloadConfig(hotspot=0.0)) is None
+
+    def test_weights_are_zipf_like(self):
+        weights = key_weights(WorkloadConfig(hotspot=1.0, keys=("a", "b", "c", "d")))
+        assert weights == [1.0, 0.5, pytest.approx(1 / 3), 0.25]
+
+    def test_skew_concentrates_traffic_on_the_hot_key(self):
+        keys = tuple(f"k{i}" for i in range(8))
+        def hot_share(hotspot):
+            config = WorkloadConfig(
+                n_transactions=200, keys=keys, hotspot=hotspot, seed=1
+            )
+            ops = [
+                op for t in generate_transactions(config) for op in t.operations
+            ]
+            return sum(1 for op in ops if op.key == "k0") / len(ops)
+        assert hot_share(2.0) > hot_share(0.8) > hot_share(0.0)
+        assert hot_share(2.0) > 0.5
+
+    def test_rejects_negative_hotspot(self):
+        with pytest.raises(ValueError, match="hotspot"):
+            WorkloadConfig(hotspot=-0.1)
+
+
+class TestArrivalProcesses:
+    def test_uniform_is_evenly_spaced(self):
+        assert generate_arrivals(4, mean_gap=0.5) == [0.0, 0.5, 1.0, 1.5]
+
+    def test_poisson_is_seed_deterministic_and_open_loop(self):
+        a = generate_arrivals(20, mean_gap=1.0, process="poisson", seed=5)
+        b = generate_arrivals(20, mean_gap=1.0, process="poisson", seed=5)
+        other = generate_arrivals(20, mean_gap=1.0, process="poisson", seed=6)
+        assert a == b
+        assert a != other
+        assert a[0] == 0.0
+        assert a == sorted(a)
+        gaps = [later - earlier for earlier, later in zip(a, a[1:])]
+        assert min(gaps) != max(gaps)  # genuinely bursty, not uniform
+
+    def test_poisson_mean_gap_is_roughly_right(self):
+        arrivals = generate_arrivals(2000, mean_gap=0.5, process="poisson", seed=0)
+        mean = arrivals[-1] / (len(arrivals) - 1)
+        assert 0.4 < mean < 0.6
+
+    def test_rejects_unknown_process_and_bad_gap(self):
+        with pytest.raises(ValueError, match="arrival process"):
+            generate_arrivals(3, mean_gap=1.0, process="bursty")
+        with pytest.raises(ValueError, match="mean_gap"):
+            generate_arrivals(3, mean_gap=0.0)
 
 
 class TestRandomPartitions:

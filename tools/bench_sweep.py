@@ -8,7 +8,10 @@ by commit:
 * **warm cache** -- scenarios/s and hit rate of the identical re-sweep
   (must be 100% hits, zero executions);
 * **shard-merge** -- seconds to fold a 3-shard spill set back into
-  aggregates, plus a byte-identity check against the single-machine spill.
+  aggregates, plus a byte-identity check against the single-machine spill;
+* **open-loop txn throughput** -- simulated transactions/s of the
+  concurrent-transaction scheduler under Poisson arrivals, hot-spot skew,
+  victim retries and a crash/recovery schedule (the RETRY workload shape).
 
 Run directly::
 
@@ -32,6 +35,41 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 SHARD_COUNT = 3
+
+
+def openloop_txn_pass():
+    """Time the scheduler on the RETRY-shaped open-loop workload.
+
+    Returns ``(transactions, elapsed_seconds, committed)`` for one
+    contended 200-transaction run with Poisson arrivals, hot-spot skew,
+    a retry budget, lock-wait timeouts and a mid-run crash/recovery --
+    the open-loop txn/s figure tracked per commit.
+    """
+    from repro.sim.failures import CrashSchedule
+    from repro.txn import (
+        DeadlockPolicy,
+        RetryPolicy,
+        ThroughputSpec,
+        run_throughput_scenario,
+    )
+
+    spec = ThroughputSpec(
+        n_sites=3,
+        n_transactions=200,
+        tx_rate=2.0,
+        arrival="poisson",
+        hotspot=1.0,
+        n_keys=8,
+        op_delay=0.1,
+        crashes=CrashSchedule.single(2, 60.0, recover_at=68.0),
+        deadlock=DeadlockPolicy(detect_cycles=True, wait_timeout=4.0),
+        retry=RetryPolicy(max_attempts=3, backoff=1.0),
+        seed=7,
+    )
+    started = time.perf_counter()
+    summary = run_throughput_scenario("terminating-three-phase-commit", spec).summary
+    elapsed = time.perf_counter() - started
+    return summary.offered, elapsed, summary.committed
 
 
 def build_tasks():
@@ -87,6 +125,8 @@ def main(argv=None) -> int:
             == (scratch / "cold.jsonl").read_bytes()
         )
 
+    openloop_offered, openloop_elapsed, openloop_committed = openloop_txn_pass()
+
     payload = {
         "scenarios": cold.total,
         "workers": args.workers,
@@ -101,6 +141,12 @@ def main(argv=None) -> int:
         "shard_merge_seconds": round(merge_elapsed, 4),
         "merged_records": result.records,
         "merged_byte_identical": byte_identical,
+        "openloop_transactions": openloop_offered,
+        "openloop_committed": openloop_committed,
+        "openloop_elapsed_seconds": round(openloop_elapsed, 4),
+        "openloop_txn_per_second": round(openloop_offered / openloop_elapsed, 1)
+        if openloop_elapsed
+        else 0.0,
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
