@@ -108,6 +108,12 @@ def test_bench_sweep_parallel_speedup():
         f"workers=4: {parallel_elapsed:.2f}s ({len(tasks) / parallel_elapsed:.0f} runs/s)\n"
         f"speedup: {speedup:.2f}x\n"
     )
+    if cpus < 4:
+        text += (
+            f"note: 4 workers on {cpus} usable cpu(s) measures process "
+            "time-slicing, not parallel speedup; the workers=4 line is not "
+            "an engine regression signal on this host\n"
+        )
     results_dir = pathlib.Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)
     (results_dir / "sweep-speedup.txt").write_text(text, encoding="utf-8")

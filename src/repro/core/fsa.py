@@ -16,6 +16,7 @@ slaves run the same automaton, a protocol is specified by two role automata
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -50,6 +51,9 @@ class ReadSpec:
     def __post_init__(self) -> None:
         if self.source not in (OPERATOR, MASTER, ANY_SLAVE, EACH_SLAVE):
             raise ProtocolSpecError(f"unknown read source: {self.source!r}")
+        # Interned kinds make the simulator's received-message dict lookups
+        # and kind comparisons pointer-identity checks.
+        object.__setattr__(self, "kind", sys.intern(self.kind))
 
     def __str__(self) -> str:
         return f"{self.kind}<-{self.source}"
@@ -70,6 +74,7 @@ class SendSpec:
     def __post_init__(self) -> None:
         if self.target not in (OPERATOR, MASTER, ALL_SLAVES):
             raise ProtocolSpecError(f"unknown send target: {self.target!r}")
+        object.__setattr__(self, "kind", sys.intern(self.kind))
 
     def __str__(self) -> str:
         return f"{self.kind}->{self.target}"
@@ -83,6 +88,12 @@ class Transition:
     read: ReadSpec
     sends: tuple[SendSpec, ...]
     target: str
+
+    def __post_init__(self) -> None:
+        # State names are compared and used as dict keys on every delivery;
+        # interning makes those comparisons pointer-identity checks.
+        object.__setattr__(self, "source", sys.intern(self.source))
+        object.__setattr__(self, "target", sys.intern(self.target))
 
     def __str__(self) -> str:
         sends = ", ".join(str(send) for send in self.sends) or "-"

@@ -284,6 +284,10 @@ class LockManager:
             else:
                 del self._locks[key]
             affected.append(key)
+        if not self._queues:
+            # Nothing queued anywhere (the single-transaction sweep case):
+            # no requests to cancel and no promotions possible.
+            return released
         for key, queue in list(self._queues.items()):
             dirty = False
             for request in queue:

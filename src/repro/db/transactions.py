@@ -58,6 +58,11 @@ class Operation:
 
 _transaction_counter = itertools.count(1)
 
+#: ``simple_update`` operation tuples, keyed by (participants, key, value).
+#: Sweeps build the same one-write-per-site workload for every scenario;
+#: Operation is frozen, so sharing the tuple across transactions is safe.
+_simple_update_ops: dict[tuple[Any, ...], tuple[Operation, ...]] = {}
+
 
 @dataclass
 class Transaction:
@@ -108,7 +113,14 @@ class Transaction:
         This is the canonical workload of the paper's experiments: the same
         logical update must be installed at all participating sites or none.
         """
-        operations = [Operation.write(site, key, value) for site in sorted(set(participants))]
+        sites = tuple(sorted(set(participants)))
+        try:
+            operations = _simple_update_ops.get((sites, key, value))
+            if operations is None:
+                operations = tuple(Operation.write(site, key, value) for site in sites)
+                _simple_update_ops[(sites, key, value)] = operations
+        except TypeError:  # unhashable value: build without memoizing
+            operations = tuple(Operation.write(site, key, value) for site in sites)
         return cls.create(master, operations, transaction_id=transaction_id)
 
     # ------------------------------------------------------------------

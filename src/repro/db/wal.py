@@ -14,7 +14,6 @@ real 3PC implementations journal their protocol state.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Optional
 
 
@@ -29,19 +28,51 @@ class LogRecordKind(enum.Enum):
     APPLY = "apply"
 
 
-@dataclass(frozen=True)
 class LogRecord:
-    """One entry in a site's write-ahead log."""
+    """One entry in a site's write-ahead log.
 
-    lsn: int
-    kind: LogRecordKind
-    transaction_id: str
-    time: float
-    payload: Mapping[str, Any] = field(default_factory=dict)
+    A ``__slots__`` record rather than a dataclass: every prepare/commit/
+    abort of every simulated run appends several of these, putting
+    construction cost on the sweep hot path.
+    """
+
+    __slots__ = ("lsn", "kind", "transaction_id", "time", "payload")
+
+    def __init__(
+        self,
+        lsn: int,
+        kind: LogRecordKind,
+        transaction_id: str,
+        time: float = 0.0,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.lsn = lsn
+        self.kind = kind
+        self.transaction_id = transaction_id
+        self.time = time
+        self.payload = {} if payload is None else payload
 
     def get(self, key: str, default: Any = None) -> Any:
         """Accessor into the record payload."""
         return self.payload.get(key, default)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogRecord):
+            return NotImplemented
+        return (
+            self.lsn == other.lsn
+            and self.kind == other.kind
+            and self.transaction_id == other.transaction_id
+            and self.time == other.time
+            and self.payload == other.payload
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogRecord(lsn={self.lsn}, kind={self.kind}, "
+            f"transaction_id={self.transaction_id!r}, time={self.time}, "
+            f"payload={self.payload!r})"
+        )
 
 
 class WriteAheadLog:
@@ -63,13 +94,8 @@ class WriteAheadLog:
         **payload: Any,
     ) -> LogRecord:
         """Append a record and return it (the new record is durable at once)."""
-        record = LogRecord(
-            lsn=len(self._records) + 1,
-            kind=kind,
-            transaction_id=transaction_id,
-            time=time,
-            payload=dict(payload),
-        )
+        # `payload` is this call's own kwargs dict -- no defensive copy needed.
+        record = LogRecord(len(self._records) + 1, kind, transaction_id, time, payload)
         self._records.append(record)
         return record
 

@@ -82,9 +82,18 @@ class ResultCache:
 
     def put(self, summary: RunSummary) -> pathlib.Path:
         """Store ``summary`` (atomic write; last writer wins)."""
-        path = self.path(summary.spec_hash, summary.seed)
+        return self.put_bytes(summary.spec_hash, summary.seed, summary.to_json_bytes())
+
+    def put_bytes(self, spec_hash: str, seed: int, data: bytes) -> pathlib.Path:
+        """Store pre-encoded canonical summary bytes (atomic write).
+
+        The engine's parallel path uses this to persist the byte frames its
+        workers already serialized, skipping a decode/re-encode round trip;
+        ``data`` must be the summary's :meth:`~RunSummary.to_json_bytes`
+        output so cache entries stay byte-identical to :meth:`put`'s.
+        """
+        path = self.path(spec_hash, seed)
         path.parent.mkdir(parents=True, exist_ok=True)
-        data = summary.to_json_bytes()
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:

@@ -47,13 +47,20 @@ from repro.engine.grid import ScenarioGrid, SweepTask
 from repro.engine.measures import resolve_measures
 from repro.engine.registry import kind_for_spec
 from repro.engine.sink import SummarySink
-from repro.engine.summary import RunSummary
+from repro.engine.summary import RunSummary, summary_from_json_bytes
 from repro.protocols.runner import ScenarioSpec
 
 TaskBatch = Union[ScenarioGrid, Iterable[SweepTask], Iterable[tuple[str, ScenarioSpec]]]
 
 # One chunk ships as (measure names, [(index, protocol, spec, spec_hash), ...]).
 _ChunkPayload = tuple[tuple[str, ...], list[tuple[int, str, ScenarioSpec, str]]]
+
+# One chunk result returns as a single batched frame: the task indices plus
+# the newline-joined canonical JSON bytes of their summaries, in the same
+# order.  Shipping one bytes object per chunk (instead of pickling every
+# summary's object graph) keeps the parent's IPC cost flat in the chunk size,
+# and the frames are exactly what the result cache stores.
+_ChunkFrame = tuple[tuple[int, ...], bytes]
 
 
 def execute_task(
@@ -74,13 +81,23 @@ def execute_task(
     return kind.execute(protocol, spec, spec_hash=spec_hash, measures=measures)
 
 
-def _execute_chunk(payload: _ChunkPayload) -> list[tuple[int, RunSummary]]:
-    """Top-level (picklable) chunk executor run inside pool workers."""
+def _execute_chunk(payload: _ChunkPayload) -> _ChunkFrame:
+    """Top-level (picklable) chunk executor run inside pool workers.
+
+    Summaries are serialized to their canonical JSON bytes *in the worker*
+    and returned as one batched frame; the parent decodes them with
+    :func:`~repro.engine.summary.summary_from_json_bytes` (and can hand the
+    bytes straight to the cache).  Canonical JSON is single-line, so the
+    newline join is unambiguous.
+    """
     measures, items = payload
-    return [
-        (index, execute_task(protocol, spec, spec_hash=spec_hash, measures=measures))
-        for index, protocol, spec, spec_hash in items
-    ]
+    indices = []
+    frames = []
+    for index, protocol, spec, spec_hash in items:
+        summary = execute_task(protocol, spec, spec_hash=spec_hash, measures=measures)
+        indices.append(index)
+        frames.append(summary.to_json_bytes())
+    return tuple(indices), b"\n".join(frames)
 
 
 @dataclass
@@ -328,12 +345,19 @@ class SweepEngine:
                         partial[index] = hit
                     pending.append((index, task, key))
 
-        def finish(index: int, summary: RunSummary) -> RunSummary:
+        def finish(
+            index: int, summary: RunSummary, data: Optional[bytes] = None
+        ) -> RunSummary:
             stale = partial.pop(index, None)
             if stale is not None:
                 summary.metrics = {**stale.metrics, **summary.metrics}
             if self.cache is not None:
-                self.cache.put(summary)
+                if data is not None and stale is None:
+                    # A worker frame already holds the canonical bytes of this
+                    # exact summary: store them verbatim.
+                    self.cache.put_bytes(summary.spec_hash, summary.seed, data)
+                else:
+                    self.cache.put(summary)
             return summary
 
         buffered: dict[int, RunSummary] = {}
@@ -393,8 +417,11 @@ class SweepEngine:
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    for index, summary in future.result():
-                        buffered[index] = finish(index, summary)
+                    indices, frame = future.result()
+                    for index, data in zip(indices, frame.split(b"\n")):
+                        buffered[index] = finish(
+                            index, summary_from_json_bytes(data), data
+                        )
                     stats.max_buffered = max(stats.max_buffered, len(buffered))
                     yield from drain()
         yield from drain()

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.analysis.scenarios import simple_partition_schedules
@@ -36,9 +37,15 @@ class SweepTask:
     protocol: str
     spec: ScenarioSpec
 
-    @property
+    @cached_property
     def spec_hash(self) -> str:
-        """Stable hash of this task (see :mod:`repro.engine.hashing`)."""
+        """Stable hash of this task (see :mod:`repro.engine.hashing`).
+
+        Cached: the engine consults it several times per task (cache probe,
+        cache store, result labelling) and canonicalization walks the whole
+        spec.  ``cached_property`` writes straight into ``__dict__``, which
+        a frozen dataclass permits.
+        """
         return spec_hash(self.protocol, self.spec)
 
 

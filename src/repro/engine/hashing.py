@@ -16,6 +16,19 @@ from typing import Any, Mapping
 
 from repro.protocols.runner import ScenarioSpec
 
+#: Per-dataclass field-name cache: ``dataclasses.fields()`` rebuilds its
+#: tuple on every call, and canonicalization visits the same few spec
+#: classes thousands of times per sweep.  Values are ``(names, frozen)``;
+#: frozen dataclasses are additionally safe to memoize by value below.
+_FIELD_NAMES: dict[type, tuple[tuple[str, ...], bool]] = {}
+
+#: Canonical forms of frozen, hashable dataclass values.  A partition sweep
+#: shares the same ``PartitionSpec``/``PartitionSchedule`` structures across
+#: many tasks, so their canonical text is computed once.  Bounded so a
+#: pathological sweep cannot grow it without limit.
+_FROZEN_MEMO: dict[Any, str] = {}
+_FROZEN_MEMO_MAX = 4096
+
 
 def canonical(value: Any) -> str:
     """A deterministic string form of ``value`` for hashing.
@@ -25,16 +38,29 @@ def canonical(value: Any) -> str:
     mappings (sorted by key), sequences, dataclasses (by field) and plain
     objects such as the latency models (by class name + sorted ``__dict__``).
     """
-    if isinstance(value, enum.Enum):
-        # Before the primitive check: IntEnum-style members would otherwise
-        # collapse into their value and collide with plain ints.
-        return f"{type(value).__name__}.{value.name}"
-    if value is None or isinstance(value, (bool, int, str)):
+    # Exact-type checks first: the bulk of any spec is primitives, and an
+    # exact int/str/float/bool is never an Enum, so this is both the fast
+    # path and semantically identical to the isinstance cascade below
+    # (which still handles subclasses).
+    tv = type(value)
+    if tv is str or tv is int or tv is bool:
         return repr(value)
-    if isinstance(value, float):
+    if tv is float:
         # Integral floats collapse to their int form so numerically equal
         # specs (horizon=8 vs horizon=8.0) share one cache key; repr()
         # round-trips every other float exactly.
+        if value.is_integer():
+            return repr(int(value))
+        return repr(value)
+    if value is None:
+        return "None"
+    if isinstance(value, enum.Enum):
+        # Before the primitive check: IntEnum-style members would otherwise
+        # collapse into their value and collide with plain ints.
+        return f"{tv.__name__}.{value.name}"
+    if isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
         if value.is_integer():
             return repr(int(value))
         return repr(value)
@@ -45,18 +71,37 @@ def canonical(value: Any) -> str:
         return "m{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
     if isinstance(value, (list, tuple)):
         return "[" + ",".join(canonical(v) for v in value) + "]"
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = ",".join(
-            f"{f.name}={canonical(getattr(value, f.name))}"
-            for f in dataclasses.fields(value)
-        )
-        return f"{type(value).__name__}({fields})"
+    entry = _FIELD_NAMES.get(tv)
+    if entry is None and dataclasses.is_dataclass(value) and not isinstance(value, type):
+        names = tuple(f.name for f in dataclasses.fields(value))
+        entry = (names, bool(tv.__dataclass_params__.frozen))
+        _FIELD_NAMES[tv] = entry
+    if entry is not None:
+        names, frozen = entry
+        if frozen:
+            # Frozen dataclasses cannot change after construction, and their
+            # generated __eq__ never matches a different class, so the value
+            # itself is a sound memo key (unhashable fields opt out).
+            try:
+                cached = _FROZEN_MEMO.get(value)
+            except TypeError:
+                frozen = False
+            else:
+                if cached is not None:
+                    return cached
+        fields = ",".join(f"{name}={canonical(getattr(value, name))}" for name in names)
+        text = f"{tv.__name__}({fields})"
+        if frozen:
+            if len(_FROZEN_MEMO) >= _FROZEN_MEMO_MAX:
+                _FROZEN_MEMO.clear()
+            _FROZEN_MEMO[value] = text
+        return text
     # Plain objects (latency models): class name plus public-ish state.
     state = getattr(value, "__dict__", None)
     if state is not None:
         items = sorted((k, canonical(v)) for k, v in state.items())
         body = ",".join(f"{k}={v}" for k, v in items)
-        return f"{type(value).__name__}({body})"
+        return f"{tv.__name__}({body})"
     raise TypeError(f"cannot canonicalize {value!r} for hashing")
 
 

@@ -29,8 +29,16 @@ def _execute(
     spec_hash: str,
     measures: Sequence[str] = (),
 ) -> RunSummary:
-    """Run one scenario in a worker and reduce it to a summary."""
-    result = run_scenario(create_protocol(protocol), spec)
+    """Run one scenario in a worker and reduce it to a summary.
+
+    The trace is collected only when a measure needs it: summaries read
+    protocol-role and database state, never the trace, so measure-free runs
+    (the common sweep case) skip per-event record construction entirely.
+    """
+    measures = tuple(measures)
+    result = run_scenario(
+        create_protocol(protocol), spec, collect_trace=bool(measures)
+    )
     metrics = apply_measures(result, measures)
     return RunSummary.from_result(result, spec_hash=spec_hash, metrics=metrics)
 

@@ -11,7 +11,8 @@ it to the database site, and broadcasting decisions when asked to.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Iterable, Optional, Protocol as TypingProtocol
 
 from repro.core.termination import TerminationTimers
@@ -28,9 +29,11 @@ class Decision(enum.Enum):
     ABORT = "abort"
 
 
-@dataclass(frozen=True)
 class ProtocolMessage:
     """A commit-protocol message exchanged between sites.
+
+    A ``__slots__`` record (one is allocated per send, which makes this the
+    most-constructed protocol object in a sweep).
 
     Attributes:
         kind: message kind (see :mod:`repro.core.messages`).
@@ -40,13 +43,42 @@ class ProtocolMessage:
             messages, the probing slave's id for ``probe`` messages, ...).
     """
 
-    kind: str
-    transaction_id: str
-    sender: int
-    payload: Any = None
+    __slots__ = ("kind", "transaction_id", "sender", "payload")
+
+    def __init__(
+        self,
+        kind: str,
+        transaction_id: str,
+        sender: int,
+        payload: Any = None,
+    ) -> None:
+        self.kind = kind
+        self.transaction_id = transaction_id
+        self.sender = sender
+        self.payload = payload
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProtocolMessage):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.transaction_id == other.transaction_id
+            and self.sender == other.sender
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.transaction_id, self.sender))
 
     def __str__(self) -> str:
         return f"{self.kind}({self.transaction_id})@{self.sender}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProtocolMessage(kind={self.kind!r}, "
+            f"transaction_id={self.transaction_id!r}, sender={self.sender}, "
+            f"payload={self.payload!r})"
+        )
 
 
 @dataclass
@@ -79,14 +111,14 @@ class ProtocolContext:
         """The site this context belongs to."""
         return self.node.node_id
 
-    @property
+    @cached_property
     def slaves(self) -> tuple[int, ...]:
-        """Participants other than the master."""
+        """Participants other than the master (cached; both are immutable)."""
         return tuple(s for s in self.participants if s != self.master)
 
-    @property
+    @cached_property
     def others(self) -> tuple[int, ...]:
-        """Participants other than this site."""
+        """Participants other than this site (cached; both are immutable)."""
         return tuple(s for s in self.participants if s != self.site)
 
     @property
@@ -107,6 +139,15 @@ class RoleBase:
         self.ctx = ctx
         self.node = ctx.node
         self.db = ctx.db
+        # Hot identity lookups, resolved once: the property chains
+        # (ctx.node.node_id, ctx.transaction.transaction_id, node.sim) are
+        # walked on every message/transition otherwise.
+        self.site = ctx.node.node_id
+        self.transaction_id = ctx.transaction.transaction_id
+        self._sim = ctx.node.sim
+        # Mirrors Node._tracing: skips building the note() kwargs entirely
+        # on the engine's trace-free path.
+        self._tracing = ctx.node._tracing
         self.state = initial_state
         self.decision: Optional[Decision] = None
         self.decided_at: Optional[float] = None
@@ -123,24 +164,14 @@ class RoleBase:
     # identity helpers
     # ------------------------------------------------------------------
     @property
-    def site(self) -> int:
-        """The site this role runs on."""
-        return self.ctx.site
-
-    @property
     def transaction(self) -> Transaction:
         """The transaction being terminated."""
         return self.ctx.transaction
 
     @property
-    def transaction_id(self) -> str:
-        """Shortcut for the transaction id."""
-        return self.ctx.transaction.transaction_id
-
-    @property
     def now(self) -> float:
         """Current simulated time."""
-        return self.node.sim.now
+        return self._sim.clock._now
 
     @property
     def decided(self) -> bool:
@@ -154,13 +185,14 @@ class RoleBase:
         """Move to ``new_state`` and record it in the trace."""
         previous = self.state
         self.state = new_state
-        self.node.note(
-            "transition",
-            transaction=self.transaction_id,
-            source=previous,
-            target=new_state,
-            reason=reason,
-        )
+        if self._tracing:
+            self.node.note(
+                "transition",
+                transaction=self.transaction_id,
+                source=previous,
+                target=new_state,
+                reason=reason,
+            )
 
     def decide(self, decision: Decision, *, reason: str = "") -> None:
         """Reach the local decision ``decision`` (idempotent, first one wins).
@@ -173,13 +205,14 @@ class RoleBase:
         if self.decision is not None:
             if self.decision is not decision:
                 self.conflicting_decisions += 1
-                self.node.note(
-                    "conflicting-decision",
-                    transaction=self.transaction_id,
-                    first=self.decision.value,
-                    second=decision.value,
-                    reason=reason,
-                )
+                if self._tracing:
+                    self.node.note(
+                        "conflicting-decision",
+                        transaction=self.transaction_id,
+                        first=self.decision.value,
+                        second=decision.value,
+                        reason=reason,
+                    )
             return
         self.decision = decision
         self.decided_at = self.now
@@ -188,13 +221,14 @@ class RoleBase:
         else:
             self.db.abort(self.transaction_id, now=self.now)
         self.node.cancel_all_timers()
-        self.node.note(
-            "decision",
-            transaction=self.transaction_id,
-            outcome=decision.value,
-            state=self.state,
-            reason=reason,
-        )
+        if self._tracing:
+            self.node.note(
+                "decision",
+                transaction=self.transaction_id,
+                outcome=decision.value,
+                state=self.state,
+                reason=reason,
+            )
         for listener in list(self.decision_listeners):
             listener(self, decision)
 
@@ -205,10 +239,12 @@ class RoleBase:
         """Execute the transaction locally and produce this site's vote."""
         if self.site in self.ctx.no_voters:
             self.vote = "no"
-            self.node.note("vote", transaction=self.transaction_id, vote="no", forced=True)
+            if self._tracing:
+                self.node.note("vote", transaction=self.transaction_id, vote="no", forced=True)
             return "no"
         self.vote = self.db.execute(self.transaction, now=self.now)
-        self.node.note("vote", transaction=self.transaction_id, vote=self.vote, forced=False)
+        if self._tracing:
+            self.node.note("vote", transaction=self.transaction_id, vote=self.vote, forced=False)
         return self.vote
 
     # ------------------------------------------------------------------
@@ -216,10 +252,9 @@ class RoleBase:
     # ------------------------------------------------------------------
     def send(self, destination: int, kind: str, payload: Any = None) -> None:
         """Send a protocol message to ``destination``."""
-        message = ProtocolMessage(
-            kind=kind, transaction_id=self.transaction_id, sender=self.site, payload=payload
+        self.node.send(
+            destination, ProtocolMessage(kind, self.transaction_id, self.site, payload)
         )
-        self.node.send(destination, message)
 
     def broadcast(self, destinations: Iterable[int], kind: str, payload: Any = None) -> None:
         """Send the same protocol message to several sites."""
@@ -257,9 +292,14 @@ class RoleBase:
         Messages belonging to other transactions return ``(None, ...)`` and
         are ignored by the roles.
         """
-        undeliverable = isinstance(payload, Undeliverable)
+        # Exact-type fast paths first; the isinstance fallbacks keep
+        # subclasses working.
+        tp = type(payload)
+        undeliverable = tp is Undeliverable or (
+            tp is not ProtocolMessage and isinstance(payload, Undeliverable)
+        )
         inner = payload.payload if undeliverable else payload
-        if not isinstance(inner, ProtocolMessage):
+        if type(inner) is not ProtocolMessage and not isinstance(inner, ProtocolMessage):
             return None, undeliverable
         if inner.transaction_id != self.transaction_id:
             return None, undeliverable

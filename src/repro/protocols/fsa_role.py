@@ -38,6 +38,10 @@ _PROMOTION_KINDS = frozenset({m.PREPARE, m.PRE_COMMIT})
 
 _STATE_TIMER = "state-timeout"
 
+#: Shared empty sender set used as the miss default in `_satisfied`, so the
+#: (very common) "no messages of this kind yet" path allocates nothing.
+_NO_SENDERS: frozenset[int] = frozenset()
+
 
 def _final_action_to_decision(action: FinalAction) -> Decision:
     return Decision.COMMIT if action is FinalAction.COMMIT else Decision.ABORT
@@ -59,7 +63,15 @@ class FSARole(RoleBase):
         self.automaton: RoleAutomaton = spec.automaton(role)
         self.augmentation = augmentation
         self.received: dict[str, set[int]] = {}
-        super().__init__(ctx, initial_state=self.automaton.initial)
+        # The automaton is immutable, so index its transitions by source
+        # state once: `transitions_from` rescans every transition per call,
+        # and `_try_fire` runs on every delivery.
+        automaton = self.automaton
+        self._transitions_from: dict[str, tuple[Transition, ...]] = {
+            state: automaton.transitions_from(state) for state in automaton.states
+        }
+        self._final_states = automaton.commit_states | automaton.abort_states
+        super().__init__(ctx, initial_state=automaton.initial)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -78,7 +90,7 @@ class FSARole(RoleBase):
             self.broadcast_decision(Decision.ABORT)
             return
         # Consume the external "request": take the operator transition.
-        for transition in self.automaton.transitions_from(self.state):
+        for transition in self._transitions_from[self.state]:
             if transition.read.source == OPERATOR:
                 self._fire(transition, reason="request received")
                 return
@@ -107,7 +119,7 @@ class FSARole(RoleBase):
             return
         vote = self.cast_vote()
         wanted = m.YES if vote == "yes" else m.NO
-        for transition in self.automaton.transitions_from(self.state):
+        for transition in self._transitions_from[self.state]:
             if transition.read.kind != m.XACT:
                 continue
             if any(send.kind == wanted for send in transition.sends):
@@ -137,7 +149,7 @@ class FSARole(RoleBase):
     def _arm_state_timer(self) -> None:
         if self.augmentation is None or self.decided:
             return
-        if self.automaton.is_final(self.state):
+        if self.state in self._final_states:
             return
         duration = (
             self.ctx.timers.master_vote_timeout
@@ -166,7 +178,7 @@ class FSARole(RoleBase):
         progressed = True
         while progressed and not self.decided:
             progressed = False
-            for transition in self.automaton.transitions_from(self.state):
+            for transition in self._transitions_from[self.state]:
                 if self._satisfied(transition):
                     self._consume(transition)
                     self._fire(transition, reason=f"received {transition.read.kind}")
@@ -175,7 +187,7 @@ class FSARole(RoleBase):
 
     def _satisfied(self, transition: Transition) -> bool:
         read = transition.read
-        senders = self.received.get(read.kind, set())
+        senders = self.received.get(read.kind, _NO_SENDERS)
         if read.source == MASTER:
             return self.ctx.master in senders
         if read.source == ANY_SLAVE:

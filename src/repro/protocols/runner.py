@@ -22,7 +22,11 @@ from repro.sim.failures import CrashSchedule
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import OPTIMISTIC
 from repro.sim.partition import PartitionSchedule
-from repro.sim.trace import Trace
+from repro.sim.trace import NullTrace, Trace
+
+#: Shared default latency model (stateless, so one instance serves every
+#: spec); building one per effective_latency() call showed up in sweeps.
+_DEFAULT_LATENCY = ConstantLatency(1.0)
 
 
 @dataclass
@@ -59,7 +63,7 @@ class ScenarioSpec:
 
     def effective_latency(self) -> LatencyModel:
         """The latency model, defaulting to a constant delay of 1 (= T)."""
-        return self.latency or ConstantLatency(1.0)
+        return self.latency or _DEFAULT_LATENCY
 
     def effective_horizon(self) -> float:
         """The run horizon, defaulting to ``40 T``."""
@@ -173,12 +177,20 @@ class TransactionRunResult:
 def run_scenario(
     protocol: ProtocolDefinition,
     spec: Optional[ScenarioSpec] = None,
+    *,
+    collect_trace: bool = True,
     **overrides: Any,
 ) -> TransactionRunResult:
     """Run one transaction under ``protocol`` in the scenario ``spec``.
 
     Keyword overrides are applied on top of ``spec`` (or on a default spec),
     so callers can write ``run_scenario(protocol, n_sites=4, partition=...)``.
+
+    ``collect_trace=False`` substitutes a :class:`~repro.sim.trace.NullTrace`
+    so no per-event records are built.  Scheduling is unaffected -- the run's
+    outcome (decisions, timings, message counts, lock stats) is identical --
+    but ``result.trace`` stays empty, so only callers that never read the
+    trace (e.g. the sweep engine when no measure is requested) may use it.
     """
     if spec is None:
         spec = ScenarioSpec()
@@ -187,7 +199,13 @@ def run_scenario(
 
     latency = spec.effective_latency()
     timers = TerminationTimers(max_delay=latency.upper_bound)
-    cluster = Cluster(spec.n_sites, latency=latency, model=spec.model, seed=spec.seed)
+    cluster = Cluster(
+        spec.n_sites,
+        latency=latency,
+        model=spec.model,
+        seed=spec.seed,
+        trace=None if collect_trace else NullTrace(),
+    )
     participants = tuple(cluster.site_ids())
     transaction = Transaction.simple_update(
         1, participants, spec.write_key, spec.write_value

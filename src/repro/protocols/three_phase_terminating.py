@@ -92,13 +92,14 @@ class TerminatingMasterRole(RoleBase):
 
     def _on_undeliverable(self, message: ProtocolMessage, wrapper: Undeliverable) -> None:
         intended = wrapper.intended_destination
-        self.node.note(
-            "undeliverable-received",
-            transaction=self.transaction_id,
-            kind=message.kind,
-            intended=intended,
-            state=self.state,
-        )
+        if self._tracing:
+            self.node.note(
+                "undeliverable-received",
+                transaction=self.transaction_id,
+                kind=message.kind,
+                intended=intended,
+                state=self.state,
+            )
         if self.decided:
             return
         if message.kind == m.XACT and self.state == _W:
@@ -245,12 +246,13 @@ class TerminatingSlaveRole(RoleBase):
             self._on_protocol_message(message)
 
     def _on_undeliverable(self, message: ProtocolMessage) -> None:
-        self.node.note(
-            "undeliverable-received",
-            transaction=self.transaction_id,
-            kind=message.kind,
-            state=self.state,
-        )
+        if self._tracing:
+            self.node.note(
+                "undeliverable-received",
+                transaction=self.transaction_id,
+                kind=message.kind,
+                state=self.state,
+            )
         if self.decided:
             return
         if message.kind == m.YES and self.state == _W:
@@ -353,13 +355,15 @@ class TerminatingSlaveRole(RoleBase):
             # w_i (1): wait a further 6T for a commit or an abort.
             self.timed_out_in_w = True
             self.node.set_timer(_WAIT_IN_W, self.ctx.timers.wait_in_w)
-            self.node.note("timed-out-in-w", transaction=self.transaction_id)
+            if self._tracing:
+                self.node.note("timed-out-in-w", transaction=self.transaction_id)
         elif self.state == _P:
             # p_i (1): probe the master and wait.
             self.timed_out_in_p = True
             self.probed = True
             self.send(self.ctx.master, m.PROBE, self.site)
-            self.node.note("timed-out-in-p", transaction=self.transaction_id)
+            if self._tracing:
+                self.node.note("timed-out-in-p", transaction=self.transaction_id)
             if self.ctx.transient_rule:
                 self.node.set_timer(_WAIT_IN_P, self.ctx.timers.wait_in_p)
 

@@ -31,6 +31,8 @@ class Cluster:
         model: partition model, ``"optimistic"`` (return undeliverable
             messages) or ``"pessimistic"`` (lose them).
         seed: seed for the simulator's random number generator.
+        trace: shared trace to use (default: a fresh :class:`Trace`; pass a
+            :class:`~repro.sim.trace.NullTrace` to skip trace collection).
     """
 
     def __init__(
@@ -40,12 +42,13 @@ class Cluster:
         latency: Optional[LatencyModel] = None,
         model: str = OPTIMISTIC,
         seed: int = 0,
+        trace: Optional[Trace] = None,
     ) -> None:
         if n_sites < 1:
             raise ValueError(f"need at least one site, got {n_sites}")
         self.n_sites = n_sites
         self.sim = Simulator(seed=seed)
-        self.trace = Trace()
+        self.trace = trace if trace is not None else Trace()
         self.partitions = PartitionManager()
         self.network = Network(
             self.sim,

@@ -9,10 +9,16 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from typing import Optional
 
 
 class LatencyModel(ABC):
     """Samples one-way message delays bounded by ``T``."""
+
+    #: When every delay equals one fixed value regardless of link and rng,
+    #: the model sets this to that value; the network then skips both the
+    #: per-message :meth:`sample` call and the simulator's rng entirely.
+    constant_delay: Optional[float] = None
 
     @property
     @abstractmethod
@@ -39,6 +45,7 @@ class ConstantLatency(LatencyModel):
         if delay <= 0:
             raise ValueError(f"latency must be positive: {delay}")
         self._delay = float(delay)
+        self.constant_delay = self._delay
 
     @property
     def upper_bound(self) -> float:

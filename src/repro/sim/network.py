@@ -11,12 +11,16 @@ quoted in Section 2 of the paper:
 * **pessimistic** -- undeliverable messages are silently dropped.  The paper
   proves no protocol can be resilient in this model; we keep it for the
   negative experiments.
+
+The send/deliver path is the hottest code in a sweep, so the message records
+are ``__slots__`` classes, delivery events carry the envelope as an event
+argument (no closure per send), and envelope ids are a per-``Network``
+counter -- a run's trace is therefore identical no matter what ran earlier
+in the same process.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional, TYPE_CHECKING
 
 from repro.sim.events import Event, EventKind
@@ -31,18 +35,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 OPTIMISTIC = "optimistic"
 PESSIMISTIC = "pessimistic"
 
-_envelope_ids = itertools.count(1)
 
-
-@dataclass(frozen=True)
 class Envelope:
     """A message in transit from ``source`` to ``destination``."""
 
-    envelope_id: int
-    source: int
-    destination: int
-    payload: Any
-    sent_at: float
+    __slots__ = ("envelope_id", "source", "destination", "payload", "sent_at")
+
+    def __init__(
+        self,
+        envelope_id: int,
+        source: int,
+        destination: int,
+        payload: Any,
+        sent_at: float,
+    ) -> None:
+        self.envelope_id = envelope_id
+        self.source = source
+        self.destination = destination
+        self.payload = payload
+        self.sent_at = sent_at
 
     def __str__(self) -> str:
         return (
@@ -50,8 +61,10 @@ class Envelope:
             f"{self.payload})"
         )
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.__str__()
 
-@dataclass(frozen=True)
+
 class Undeliverable:
     """The paper's ``UD(msg)``: a message returned to its sender.
 
@@ -59,7 +72,10 @@ class Undeliverable:
         original: the envelope whose delivery failed.
     """
 
-    original: Envelope
+    __slots__ = ("original",)
+
+    def __init__(self, original: Envelope) -> None:
+        self.original = original
 
     @property
     def payload(self) -> Any:
@@ -74,15 +90,26 @@ class Undeliverable:
     def __str__(self) -> str:
         return f"UD({self.original.payload} -> site {self.original.destination})"
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.__str__()
 
-@dataclass
+
 class DeliveryReceipt:
     """Bookkeeping for a message the network has accepted but not yet resolved."""
 
-    envelope: Envelope
-    event: Event
-    deliver_at: float
-    resolved: bool = False
+    __slots__ = ("envelope", "event", "deliver_at", "resolved")
+
+    def __init__(
+        self,
+        envelope: Envelope,
+        event: Event,
+        deliver_at: float,
+        resolved: bool = False,
+    ) -> None:
+        self.envelope = envelope
+        self.event = event
+        self.deliver_at = deliver_at
+        self.resolved = resolved
 
 
 class Network:
@@ -109,11 +136,21 @@ class Network:
             raise ValueError(f"unknown partition model: {model!r}")
         self.sim = sim
         self.latency = latency or ConstantLatency(1.0)
+        # Fixed-delay models advertise constant_delay; caching it here lets
+        # send/bounce skip the per-message sample() call and never touch the
+        # simulator's (lazily built) rng.
+        self._constant_delay: Optional[float] = getattr(
+            self.latency, "constant_delay", None
+        )
         self.partitions = partitions or PartitionManager()
         self.model = model
         self.trace = trace if trace is not None else Trace()
+        # Cached so the hot send/deliver paths can skip both the record and
+        # the describe_payload() / kwargs work that feeds it.
+        self._tracing: bool = self.trace.enabled
         self._nodes: Dict[int, "Node"] = {}
         self._in_flight: Dict[int, DeliveryReceipt] = {}
+        self._next_envelope_id = 1
         self._sent = 0
         self._delivered = 0
         self._bounced = 0
@@ -180,37 +217,39 @@ class Network:
         delivered, bounced or dropped depends on the partition state now and
         while it is in flight.
         """
-        envelope = Envelope(
-            envelope_id=next(_envelope_ids),
-            source=source,
-            destination=destination,
-            payload=payload,
-            sent_at=self.sim.now,
-        )
+        sim = self.sim
+        now = sim.clock._now
+        envelope_id = self._next_envelope_id
+        self._next_envelope_id = envelope_id + 1
+        envelope = Envelope(envelope_id, source, destination, payload, now)
         self._sent += 1
-        self.trace.record(
-            self.sim.now,
-            "send",
-            site=source,
-            destination=destination,
-            payload=describe_payload(payload),
-            envelope_id=envelope.envelope_id,
-        )
-        if self.partitions.separated(source, destination):
+        if self._tracing:
+            self.trace.record(
+                now,
+                "send",
+                site=source,
+                destination=destination,
+                payload=describe_payload(payload),
+                envelope_id=envelope_id,
+            )
+        # Inlined PartitionManager.separated (source != destination always
+        # holds for protocol traffic; spec.separated handles a == b anyway).
+        current = self.partitions._current
+        if current is not None and current.separated(source, destination):
             # The destination is unreachable right now: bounce or drop
             # immediately (after a propagation delay for the bounce itself).
             self._fail_delivery(envelope, reason="partitioned-at-send")
             return envelope
-        delay = self.latency.sample(self.sim.rng, source, destination)
-        deliver_at = self.sim.now + delay
-        event = self.sim.schedule(
-            delay,
-            lambda env=envelope: self._deliver(env),
-            kind=EventKind.MESSAGE_DELIVERY,
-            label=f"deliver {envelope}",
+        delay = self._constant_delay
+        if delay is None:
+            delay = self.latency.sample(sim.rng, source, destination)
+        # Inlined sim.schedule(): latency models guarantee positive delays,
+        # so the negative-delay guard is redundant on this hottest path.
+        event = sim._push(
+            now + delay, self._deliver, EventKind.MESSAGE_DELIVERY, "deliver", 0, envelope
         )
-        self._in_flight[envelope.envelope_id] = DeliveryReceipt(
-            envelope=envelope, event=event, deliver_at=deliver_at
+        self._in_flight[envelope_id] = DeliveryReceipt(
+            envelope=envelope, event=event, deliver_at=now + delay
         )
         return envelope
 
@@ -225,105 +264,117 @@ class Network:
         receipt = self._in_flight.pop(envelope.envelope_id, None)
         if receipt is not None:
             receipt.resolved = True
-        if self.partitions.separated(envelope.source, envelope.destination):
+        current = self.partitions._current
+        if current is not None and current.separated(envelope.source, envelope.destination):
             # Partition occurred while the message was in flight and is still
             # in force at the (attempted) delivery instant.
             self._fail_delivery(envelope, reason="partitioned-in-flight")
             return
+        now = self.sim.clock._now
         node = self._nodes.get(envelope.destination)
         if node is None:
             self._dropped += 1
-            self.trace.record(
-                self.sim.now,
-                "drop",
-                site=envelope.destination,
-                reason="unknown-destination",
-                payload=describe_payload(envelope.payload),
-            )
+            if self._tracing:
+                self.trace.record(
+                    now,
+                    "drop",
+                    site=envelope.destination,
+                    reason="unknown-destination",
+                    payload=describe_payload(envelope.payload),
+                )
             return
         if node.crashed:
             self._dropped += 1
-            self.trace.record(
-                self.sim.now,
-                "drop",
-                site=envelope.destination,
-                reason="destination-crashed",
-                payload=describe_payload(envelope.payload),
-            )
+            if self._tracing:
+                self.trace.record(
+                    now,
+                    "drop",
+                    site=envelope.destination,
+                    reason="destination-crashed",
+                    payload=describe_payload(envelope.payload),
+                )
             return
         self._delivered += 1
-        self.trace.record(
-            self.sim.now,
-            "deliver",
-            site=envelope.destination,
-            source=envelope.source,
-            payload=describe_payload(envelope.payload),
-            envelope_id=envelope.envelope_id,
-            latency=self.sim.now - envelope.sent_at,
-        )
+        if self._tracing:
+            self.trace.record(
+                now,
+                "deliver",
+                site=envelope.destination,
+                source=envelope.source,
+                payload=describe_payload(envelope.payload),
+                envelope_id=envelope.envelope_id,
+                latency=now - envelope.sent_at,
+            )
         node.deliver(envelope)
 
     def _fail_delivery(self, envelope: Envelope, *, reason: str) -> None:
         """Handle a message that cannot reach its destination."""
         if self.model == PESSIMISTIC:
             self._dropped += 1
-            self.trace.record(
-                self.sim.now,
-                "drop",
-                site=envelope.destination,
-                source=envelope.source,
-                reason=reason,
-                payload=describe_payload(envelope.payload),
-            )
+            if self._tracing:
+                self.trace.record(
+                    self.sim.clock._now,
+                    "drop",
+                    site=envelope.destination,
+                    source=envelope.source,
+                    reason=reason,
+                    payload=describe_payload(envelope.payload),
+                )
             return
         # Optimistic model: return the message to the sender.  The bounce
         # itself takes a propagation delay back to the source.
-        delay = self.latency.sample(self.sim.rng, envelope.destination, envelope.source)
-        undeliverable = Undeliverable(envelope)
-        self.sim.schedule(
-            delay,
-            lambda ud=undeliverable: self._deliver_bounce(ud),
-            kind=EventKind.MESSAGE_BOUNCE,
-            label=f"bounce {envelope}",
-        )
-        self.trace.record(
-            self.sim.now,
+        sim = self.sim
+        delay = self._constant_delay
+        if delay is None:
+            delay = self.latency.sample(sim.rng, envelope.destination, envelope.source)
+        sim._push(
+            sim.clock._now + delay,
+            self._deliver_bounce,
+            EventKind.MESSAGE_BOUNCE,
             "bounce",
-            site=envelope.source,
-            destination=envelope.destination,
-            reason=reason,
-            payload=describe_payload(envelope.payload),
-            envelope_id=envelope.envelope_id,
+            0,
+            Undeliverable(envelope),
         )
+        if self._tracing:
+            self.trace.record(
+                self.sim.clock._now,
+                "bounce",
+                site=envelope.source,
+                destination=envelope.destination,
+                reason=reason,
+                payload=describe_payload(envelope.payload),
+                envelope_id=envelope.envelope_id,
+            )
 
     def _deliver_bounce(self, undeliverable: Undeliverable) -> None:
         envelope = undeliverable.original
         node = self._nodes.get(envelope.source)
         self._bounced += 1
+        now = self.sim.clock._now
         if node is None or node.crashed:
             self._dropped += 1
-            self.trace.record(
-                self.sim.now,
-                "drop",
-                site=envelope.source,
-                reason="bounce-target-crashed",
-                payload=describe_payload(envelope.payload),
-            )
+            if self._tracing:
+                self.trace.record(
+                    now,
+                    "drop",
+                    site=envelope.source,
+                    reason="bounce-target-crashed",
+                    payload=describe_payload(envelope.payload),
+                )
             return
-        self.trace.record(
-            self.sim.now,
-            "deliver-undeliverable",
-            site=envelope.source,
-            payload=describe_payload(envelope.payload),
-            intended=envelope.destination,
-            envelope_id=envelope.envelope_id,
-        )
+        if self._tracing:
+            self.trace.record(
+                now,
+                "deliver-undeliverable",
+                site=envelope.source,
+                payload=describe_payload(envelope.payload),
+                intended=envelope.destination,
+                envelope_id=envelope.envelope_id,
+            )
+        envelope_id = self._next_envelope_id
+        self._next_envelope_id = envelope_id + 1
         bounce_envelope = Envelope(
-            envelope_id=next(_envelope_ids),
-            source=envelope.destination,
-            destination=envelope.source,
-            payload=undeliverable,
-            sent_at=self.sim.now,
+            envelope_id, envelope.destination, envelope.source, undeliverable, now
         )
         node.deliver(bounce_envelope)
 
@@ -348,9 +399,11 @@ class Network:
 
 def describe_payload(payload: Any) -> str:
     """Short human-readable description of a message payload for traces."""
-    if isinstance(payload, Undeliverable):
-        return f"UD({describe_payload(payload.original.payload)})"
+    # Hot path first: protocol messages carry a string `kind` attribute
+    # (Undeliverable deliberately does not, so the order is safe).
     kind = getattr(payload, "kind", None)
     if kind is not None:
-        return str(kind)
-    return type(payload).__name__ if not isinstance(payload, str) else payload
+        return kind if type(kind) is str else str(kind)
+    if isinstance(payload, Undeliverable):
+        return f"UD({describe_payload(payload.original.payload)})"
+    return payload if isinstance(payload, str) else type(payload).__name__

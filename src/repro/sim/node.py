@@ -4,15 +4,19 @@ A :class:`Node` is one site of the distributed database: it owns a mailbox
 (fed by the network), a set of named timers, and a crash flag.  Protocol
 logic is supplied by a *role* object attached with :meth:`Node.attach`; the
 node forwards deliveries, timeouts and crash/recovery notifications to it.
+
+Delivery and timer dispatch are on the sweep hot path, so the role's
+``on_message`` / ``on_timeout`` hooks are resolved once at :meth:`attach`
+time instead of per event, and timer events carry the timer name as the
+event argument (no closure per (re)arm).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Optional, Protocol, runtime_checkable
 
 from repro.sim.events import Event, EventKind
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.network import Envelope, Network, Undeliverable, describe_payload
 from repro.sim.trace import Trace
 
@@ -41,15 +45,24 @@ class Role(Protocol):
         """Called when the node recovers from a crash."""
 
 
-@dataclass
 class Timer:
     """A named timer owned by a node."""
 
-    name: str
-    owner: int
-    deadline: float
-    event: Event
-    payload: Any = None
+    __slots__ = ("name", "owner", "deadline", "event", "payload")
+
+    def __init__(
+        self,
+        name: str,
+        owner: int,
+        deadline: float,
+        event: Event,
+        payload: Any = None,
+    ) -> None:
+        self.name = name
+        self.owner = owner
+        self.deadline = deadline
+        self.event = event
+        self.payload = payload
 
     @property
     def cancelled(self) -> bool:
@@ -59,6 +72,9 @@ class Timer:
     def cancel(self) -> None:
         """Cancel the timer (no-op if it already fired)."""
         self.event.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer(name={self.name!r}, owner={self.owner}, deadline={self.deadline})"
 
 
 class Node:
@@ -84,8 +100,12 @@ class Node:
         self.sim = sim
         self.network = network
         self.trace = trace if trace is not None else network.trace
+        # Cached so note() / timer fires skip disabled-trace records.
+        self._tracing: bool = self.trace.enabled
         self.crashed = False
         self.role: Optional[Role] = None
+        self._on_message: Optional[Any] = None
+        self._on_timeout: Optional[Any] = None
         self._timers: dict[str, Timer] = {}
         self._started = False
         network.register(self)
@@ -97,8 +117,15 @@ class Node:
     # role wiring
     # ------------------------------------------------------------------
     def attach(self, role: Role) -> None:
-        """Attach the protocol role driving this node."""
+        """Attach the protocol role driving this node.
+
+        The hot dispatch hooks (``on_message`` / ``on_timeout``) are resolved
+        here, once, so deliveries and timer fires skip the per-event
+        ``getattr``.
+        """
         self.role = role
+        self._on_message = getattr(role, "on_message", None)
+        self._on_timeout = getattr(role, "on_timeout", None)
 
     def start(self) -> None:
         """Schedule the role's ``on_start`` hook at the current time."""
@@ -131,9 +158,9 @@ class Node:
 
     def deliver(self, envelope: Envelope) -> None:
         """Called by the network when a message (or bounce) arrives."""
-        if self.crashed or self.role is None:
+        if self.crashed:
             return
-        handler = getattr(self.role, "on_message", None)
+        handler = self._on_message
         if handler is not None:
             handler(envelope.payload, envelope)
 
@@ -147,20 +174,20 @@ class Node:
         how the protocol's "reset timer 5T" steps are expressed.
         """
         self.cancel_timer(name)
+        sim = self.sim
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past: delay={delay}")
+        deadline = sim.clock._now + delay
         # Timers fire *after* message deliveries scheduled for the same
-        # instant: a timeout of exactly "2T" must not preempt a message that
-        # arrives exactly at the 2T mark (the paper's bounds are inclusive).
-        event = self.sim.schedule(
-            delay,
-            lambda timer_name=name: self._fire_timer(timer_name),
-            kind=EventKind.TIMER,
-            label=f"timer {name}@site{self.node_id}",
-            priority=10,
-        )
+        # instant (priority 10): a timeout of exactly "2T" must not preempt a
+        # message that arrives exactly at the 2T mark (the paper's bounds are
+        # inclusive).  Inlined sim.schedule() -- timers are re-armed on every
+        # protocol round, making this one of the hottest scheduling sites.
+        event = sim._push(deadline, self._fire_timer, EventKind.TIMER, name, 10, name)
         timer = Timer(
             name=name,
             owner=self.node_id,
-            deadline=self.sim.now + delay,
+            deadline=deadline,
             event=event,
             payload=payload,
         )
@@ -171,12 +198,15 @@ class Node:
         """Cancel the named timer if it is armed."""
         timer = self._timers.pop(name, None)
         if timer is not None:
-            timer.cancel()
+            timer.event.cancel()
 
     def cancel_all_timers(self) -> None:
         """Cancel every armed timer."""
-        for name in list(self._timers):
-            self.cancel_timer(name)
+        timers = self._timers
+        if timers:
+            for timer in timers.values():
+                timer.event.cancel()
+            timers.clear()
 
     def timer_armed(self, name: str) -> bool:
         """True when the named timer is armed and has not fired."""
@@ -185,10 +215,13 @@ class Node:
 
     def _fire_timer(self, name: str) -> None:
         timer = self._timers.pop(name, None)
-        if timer is None or timer.cancelled or self.crashed or self.role is None:
+        if timer is None or timer.event.cancelled or self.crashed:
             return
-        self.trace.record(self.sim.now, "timeout", site=self.node_id, timer=name)
-        handler = getattr(self.role, "on_timeout", None)
+        if self._tracing:
+            self.trace.record(
+                self.sim.clock._now, "timeout", site=self.node_id, timer=name
+            )
+        handler = self._on_timeout
         if handler is not None:
             handler(timer)
 
@@ -223,7 +256,10 @@ class Node:
     # ------------------------------------------------------------------
     def note(self, category: str, **detail: Any) -> None:
         """Record a role-level trace entry attributed to this site."""
-        self.trace.record(self.sim.now, category, site=self.node_id, **detail)
+        if self._tracing:
+            self.trace.record(
+                self.sim.clock._now, category, site=self.node_id, **detail
+            )
 
     @staticmethod
     def describe(payload: Any) -> str:

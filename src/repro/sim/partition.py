@@ -32,6 +32,7 @@ class PartitionSpec:
         if not self.groups:
             raise PartitionError("a partition needs at least one group")
         seen: set[int] = set()
+        index: dict[int, frozenset[int]] = {}
         for group in self.groups:
             if not group:
                 raise PartitionError("empty partition group")
@@ -39,6 +40,13 @@ class PartitionSpec:
             if overlap:
                 raise PartitionError(f"sites {sorted(overlap)} appear in two groups")
             seen.update(group)
+            for site in group:
+                index[site] = group
+        # Site -> group index: the network asks separated() for every send
+        # and delivery, so group membership must not be a linear scan.  Not a
+        # dataclass field (object.__setattr__ sidesteps frozen), so equality,
+        # hashing and spec-hash canonicalization see only `groups`.
+        object.__setattr__(self, "_group_index", index)
 
     @classmethod
     def of(cls, *groups: Iterable[int]) -> "PartitionSpec":
@@ -70,10 +78,7 @@ class PartitionSpec:
 
     def group_of(self, site: int) -> Optional[frozenset[int]]:
         """Group containing ``site`` or ``None`` if the site is not named."""
-        for group in self.groups:
-            if site in group:
-                return group
-        return None
+        return self._group_index.get(site)
 
     def separated(self, a: int, b: int) -> bool:
         """True when ``a`` and ``b`` cannot exchange messages under this spec.
@@ -81,8 +86,9 @@ class PartitionSpec:
         Sites not named by the spec are treated as belonging to the first
         group; in practice callers always name every site.
         """
-        group_a = self.group_of(a) or self.groups[0]
-        group_b = self.group_of(b) or self.groups[0]
+        index = self._group_index
+        group_a = index.get(a) or self.groups[0]
+        group_b = index.get(b) or self.groups[0]
         return group_a is not group_b
 
     def master_partition(self, master: int) -> frozenset[int]:

@@ -9,13 +9,15 @@ code free of measurement concerns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One trace entry.
+
+    A ``__slots__`` record rather than a dataclass: traces are written on
+    every send/deliver/transition of every simulated run, so construction
+    cost is on the sweep hot path.
 
     Attributes:
         time: simulated time of the occurrence.
@@ -25,21 +27,52 @@ class TraceRecord:
         detail: free-form payload describing the occurrence.
     """
 
-    time: float
-    category: str
-    site: Optional[int]
-    detail: dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "category", "site", "detail")
+
+    def __init__(
+        self,
+        time: float,
+        category: str,
+        site: Optional[int] = None,
+        detail: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.category = category
+        self.site = site
+        self.detail = {} if detail is None else detail
 
     def get(self, key: str, default: Any = None) -> Any:
         """Convenience accessor into :attr:`detail`."""
         return self.detail.get(key, default)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.category == other.category
+            and self.site == other.site
+            and self.detail == other.detail
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceRecord(time={self.time}, category={self.category!r}, "
+            f"site={self.site}, detail={self.detail!r})"
+        )
+
 
 class Trace:
     """An append-only list of :class:`TraceRecord` with query helpers."""
 
+    #: Writers on hot paths (network, node) consult this flag to skip the
+    #: record *and* the cost of building its detail payload; see
+    #: :class:`NullTrace`.
+    enabled = True
+
     def __init__(self) -> None:
         self._records: list[TraceRecord] = []
+        self._append = self._records.append
 
     def record(
         self,
@@ -49,8 +82,8 @@ class Trace:
         **detail: Any,
     ) -> TraceRecord:
         """Append a record and return it."""
-        entry = TraceRecord(time=time, category=category, site=site, detail=detail)
-        self._records.append(entry)
+        entry = TraceRecord(time, category, site, detail)
+        self._append(entry)
         return entry
 
     # ------------------------------------------------------------------
@@ -125,5 +158,32 @@ class Trace:
         for other in others:
             records.extend(other.records())
         records.sort(key=lambda r: r.time)
-        merged._records = records
+        # Extend rather than rebind: the bound-append fast path must keep
+        # pointing at the live list.
+        merged._records.extend(records)
         return merged
+
+
+class NullTrace(Trace):
+    """A trace that records nothing.
+
+    Used by the sweep engine when no trace-derived measure was requested:
+    a :class:`~repro.engine.summary.RunSummary` is computed entirely from
+    protocol-role and database state, so the per-run trace is write-only
+    ballast.  Substituting a ``NullTrace`` (and having the hot writers check
+    :attr:`enabled` before building record payloads) removes that cost
+    without touching scheduling -- the event sequence, and therefore every
+    summary, is byte-for-byte identical either way.
+    """
+
+    enabled = False
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        site: Optional[int] = None,
+        **detail: Any,
+    ) -> None:
+        """Discard the record (writers may also skip the call entirely)."""
+        return None

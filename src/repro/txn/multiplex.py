@@ -24,7 +24,6 @@ against the node surface (:meth:`send`, :meth:`set_timer`, :meth:`note`,
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Optional
 
 from repro.sim.network import Undeliverable, describe_payload
@@ -49,6 +48,8 @@ class VirtualNode:
         self.transaction_id = transaction_id
         self.role: Optional[Any] = None
         self._timer_names: set[str] = set()
+        # Part of the node surface: roles read this to skip trace notes.
+        self._tracing = node._tracing
 
     # ------------------------------------------------------------------
     # node surface shared with the real Node
@@ -215,7 +216,15 @@ class SiteMultiplexer:
         virtual._timer_names.discard(name)
         handler = getattr(virtual.role, "on_timeout", None)
         if handler is not None:
-            handler(dataclasses.replace(timer, name=name))
+            handler(
+                Timer(
+                    name=name,
+                    owner=timer.owner,
+                    deadline=timer.deadline,
+                    event=timer.event,
+                    payload=timer.payload,
+                )
+            )
 
     def on_crash(self) -> None:
         """Fan the crash notification out to every transaction's role."""

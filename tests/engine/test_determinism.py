@@ -47,6 +47,35 @@ class TestWorkerCountDeterminism:
         assert small_chunks.summaries == big_chunks.summaries
 
 
+class TestChunkFrameTransport:
+    """Workers return summaries as canonical-JSON frames; nothing may drift."""
+
+    def test_parallel_frames_decode_to_byte_identical_summaries(self, grid):
+        serial = SweepEngine(workers=1).run(grid, measures=MEASURES)
+        parallel = SweepEngine(workers=4, chunk_size=3).run(grid, measures=MEASURES)
+        # Equality of the decoded summaries is necessary but not sufficient:
+        # the cache stores the encoded bytes verbatim, so the serialized form
+        # itself must round-trip without reordering or float drift.
+        assert [s.to_json_bytes() for s in serial] == [
+            s.to_json_bytes() for s in parallel
+        ]
+
+    def test_parallel_populated_cache_matches_serial_populated_cache(self, grid, tmp_path):
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        SweepEngine(workers=1, cache=serial_dir).run(grid, measures=MEASURES)
+        SweepEngine(workers=4, cache=parallel_dir).run(grid, measures=MEASURES)
+        serial_files = {
+            path.relative_to(serial_dir): path.read_bytes()
+            for path in sorted(serial_dir.glob("*/*.json"))
+        }
+        parallel_files = {
+            path.relative_to(parallel_dir): path.read_bytes()
+            for path in sorted(parallel_dir.glob("*/*.json"))
+        }
+        assert serial_files == parallel_files
+        assert len(serial_files) == len(grid)
+
+
 class TestCacheDeterminism:
     def test_warm_cache_is_byte_identical_and_executes_nothing(self, grid, tmp_path):
         cache_dir = tmp_path / "cache"

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import tempfile
@@ -85,20 +86,82 @@ def build_tasks():
     return tasks
 
 
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; CI containers and cgroup limits
+    often allow far fewer.  A multi-worker "speedup" measured with more
+    workers than usable CPUs is time-slicing, not parallelism -- the
+    snapshot records this number so such comparisons are annotated rather
+    than misread as engine regressions.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
+def check_against_baseline(payload: dict, baseline_path: pathlib.Path, tolerance: float):
+    """Compare the single-core rate against a committed baseline snapshot.
+
+    Returns an error string when ``serial_scenarios_per_second`` regressed
+    by more than ``tolerance`` (a fraction, e.g. ``0.2``), ``None`` when
+    within bounds.  Only the serial rate is gated: it is the one number
+    that is meaningful regardless of how many CPUs the runner happens to
+    expose.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    reference = baseline.get("serial_scenarios_per_second")
+    if not reference:
+        return f"baseline {baseline_path} has no serial_scenarios_per_second"
+    current = payload["serial_scenarios_per_second"]
+    floor = reference * (1.0 - tolerance)
+    if current < floor:
+        return (
+            f"single-core regression: {current:.1f} scenarios/s is more than "
+            f"{tolerance:.0%} below the baseline {reference:.1f} "
+            f"(floor {floor:.1f}, from {baseline_path})"
+        )
+    return None
+
+
 def main(argv=None) -> int:
-    """Run the three timed passes and write the JSON snapshot."""
+    """Run the timed passes and write the JSON snapshot."""
     from repro.engine import JsonlSink, SweepEngine, merge_shards, run_shard
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_sweep.json", metavar="PATH")
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="compare serial scenarios/s against this committed BENCH_sweep.json "
+        "and fail on regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional regression for --check (default 0.2 = 20%%)",
+    )
     args = parser.parse_args(argv)
 
+    cpus = usable_cpus()
     tasks = build_tasks()
     with tempfile.TemporaryDirectory(prefix="bench-sweep-") as scratch:
         scratch = pathlib.Path(scratch)
         cache = scratch / "cache"
         engine = SweepEngine(workers=args.workers, cache=cache)
+
+        # Serial pass first, uncached: the one rate comparable across any
+        # runner, and the number the perf-smoke --check gates on.
+        serial = SweepEngine(workers=1).run_streaming(
+            tasks, sinks=JsonlSink(scratch / "serial.jsonl")
+        )
 
         cold = engine.run_streaming(tasks, sinks=JsonlSink(scratch / "cold.jsonl"))
         warm = engine.run_streaming(tasks, sinks=JsonlSink(scratch / "warm.jsonl"))
@@ -127,9 +190,16 @@ def main(argv=None) -> int:
 
     openloop_offered, openloop_elapsed, openloop_committed = openloop_txn_pass()
 
+    parallel_meaningful = args.workers <= cpus
     payload = {
         "scenarios": cold.total,
         "workers": args.workers,
+        "usable_cpus": cpus,
+        "serial_elapsed_seconds": round(serial.elapsed, 4),
+        "serial_scenarios_per_second": round(serial.throughput, 1),
+        # False when workers exceed usable CPUs: the cold-vs-serial ratio is
+        # then time-slicing overhead, not a parallel speedup measurement.
+        "parallel_comparison_meaningful": parallel_meaningful,
         "cold_elapsed_seconds": round(cold.elapsed, 4),
         "cold_scenarios_per_second": round(cold.throughput, 1),
         "warm_elapsed_seconds": round(warm.elapsed, 4),
@@ -151,12 +221,22 @@ def main(argv=None) -> int:
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
+    if not parallel_meaningful:
+        print(
+            f"note: workers={args.workers} exceeds usable_cpus={cpus}; "
+            "multi-worker numbers measure time-slicing, not parallel speedup",
+            file=sys.stderr,
+        )
 
     failures = []
     if warm.executed != 0:
         failures.append(f"warm re-sweep executed {warm.executed} scenario(s)")
     if not byte_identical:
         failures.append("shard-merge spill differs from the single-machine spill")
+    if args.check is not None:
+        error = check_against_baseline(payload, pathlib.Path(args.check), args.tolerance)
+        if error is not None:
+            failures.append(error)
     if failures:
         print("; ".join(failures), file=sys.stderr)
         return 1

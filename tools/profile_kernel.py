@@ -1,0 +1,226 @@
+"""Profile the simulation hot path: per-phase timers plus cProfile.
+
+The sweep engine's throughput is the product of several layers -- scenario
+construction, the event kernel, the protocol roles, result harvesting and
+summarization/caching.  A flat cProfile listing mixes them together, so this
+harness reports both views:
+
+* **phase timers** -- wall-clock per phase of a scenario run (spec
+  enumeration + hashing, cluster/db/role setup, the simulation itself,
+  result harvest, summarization), totalled over the benchmark grid.  This is
+  the view that says *which layer* to attack.
+* **cProfile** -- the classic per-function listing over a full engine sweep
+  (sorted by tottime and cumtime), for drilling into one layer.
+
+Run directly::
+
+    PYTHONPATH=src python tools/profile_kernel.py              # phase timers
+    PYTHONPATH=src python tools/profile_kernel.py --cprofile   # + cProfile
+    PYTHONPATH=src python tools/profile_kernel.py --scenarios 500 --top 40
+
+The grid is the same 200-scenario partition sweep the throughput benchmark
+uses (``benchmarks/bench_simulator_throughput.py``), so numbers line up with
+``BENCH_sweep.json`` and the CI perf-smoke step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pathlib
+import pstats
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def benchmark_tasks(n_scenarios: int):
+    """The benchmark grid: a deterministic partition sweep (see benchmarks/)."""
+    from repro.engine import ScenarioGrid
+
+    grid = ScenarioGrid.from_partition_sweep(
+        "terminating-three-phase-commit",
+        4,
+        times=[round(0.25 * i, 2) for i in range(1, 13)],
+        no_voter_options=(frozenset(), frozenset({2}), frozenset({4})),
+    )
+    tasks = list(grid.tasks())
+    while len(tasks) < n_scenarios:
+        tasks = tasks + tasks
+    return tasks[:n_scenarios]
+
+
+def run_phases(tasks, *, with_trace: bool = False) -> dict[str, float]:
+    """Run every task once, timing each phase of the scenario pipeline.
+
+    The phases replicate ``run_scenario`` + ``RunSummary.from_result`` step
+    by step so each layer is timed in isolation; the split must be kept in
+    sync with ``repro.protocols.runner.run_scenario`` if that changes.
+
+    By default runs trace-free (a ``NullTrace``), mirroring the engine's
+    measure-free path; pass ``with_trace=True`` to time trace collection too.
+    """
+    from repro.core.termination import TerminationTimers
+    from repro.db.site import DatabaseSite
+    from repro.db.transactions import Transaction
+    from repro.engine.summary import RunSummary
+    from repro.protocols.base import ProtocolContext
+    from repro.protocols.registry import create_protocol
+    from repro.protocols.runner import TransactionRunResult
+    from repro.sim.cluster import Cluster
+    from repro.sim.trace import NullTrace
+
+    phases = {
+        "hashing": 0.0,  # spec_hash of every task (cache-key cost)
+        "setup": 0.0,  # cluster + db sites + roles + schedules
+        "simulate": 0.0,  # cluster.start_all + run to horizon
+        "harvest": 0.0,  # TransactionRunResult construction
+        "summarize": 0.0,  # RunSummary.from_result + to_json_bytes
+    }
+    clock = time.perf_counter
+
+    for task in tasks:
+        t0 = clock()
+        _ = task.spec_hash
+        t1 = clock()
+
+        spec = task.spec
+        protocol = create_protocol(task.protocol)
+        latency = spec.effective_latency()
+        timers = TerminationTimers(max_delay=latency.upper_bound)
+        cluster = Cluster(
+            spec.n_sites,
+            latency=latency,
+            model=spec.model,
+            seed=spec.seed,
+            trace=None if with_trace else NullTrace(),
+        )
+        participants = tuple(cluster.site_ids())
+        transaction = Transaction.simple_update(
+            1, participants, spec.write_key, spec.write_value
+        )
+        db_sites = {
+            site: DatabaseSite(site, initial_data=spec.initial_data)
+            for site in participants
+        }
+        roles = {}
+        for site in participants:
+            ctx = ProtocolContext(
+                node=cluster.node(site),
+                db=db_sites[site],
+                transaction=transaction,
+                participants=participants,
+                master=1,
+                timers=timers,
+                no_voters=frozenset(spec.no_voters),
+            )
+            builder = protocol.coordinator if site == 1 else protocol.participant
+            roles[site] = builder(ctx)
+        if spec.partition is not None:
+            cluster.apply_partition_schedule(spec.partition)
+        if spec.crashes is not None:
+            cluster.apply_crash_schedule(spec.crashes)
+        t2 = clock()
+
+        cluster.start_all()
+        cluster.run(until=spec.effective_horizon())
+        t3 = clock()
+
+        result = TransactionRunResult(
+            protocol=task.protocol,
+            spec=spec,
+            transaction=transaction,
+            trace=cluster.trace,
+            db_sites=db_sites,
+            messages_sent=cluster.network.messages_sent,
+            messages_delivered=cluster.network.messages_delivered,
+            messages_bounced=cluster.network.messages_bounced,
+            messages_dropped=cluster.network.messages_dropped,
+            finished_at=cluster.sim.now,
+        )
+        txn_id = transaction.transaction_id
+        for site in participants:
+            role = roles[site]
+            result.decisions[site] = role.decision.value if role.decision else None
+            result.decision_times[site] = role.decided_at
+            result.votes[site] = role.vote
+            result.states[site] = role.state
+            result.conflicting_decisions[site] = role.conflicting_decisions
+            result.locks_held_at_end[site] = db_sites[site].holds_locks(txn_id)
+            result.values_at_end[site] = db_sites[site].value(spec.write_key)
+        t4 = clock()
+
+        summary = RunSummary.from_result(result, spec_hash=task.spec_hash)
+        summary.to_json_bytes()
+        t5 = clock()
+
+        phases["hashing"] += t1 - t0
+        phases["setup"] += t2 - t1
+        phases["simulate"] += t3 - t2
+        phases["harvest"] += t4 - t3
+        phases["summarize"] += t5 - t4
+    return phases
+
+
+def print_phases(phases: dict[str, float], n_scenarios: int) -> None:
+    total = sum(phases.values())
+    print(f"\n== per-phase wall clock over {n_scenarios} scenarios ==")
+    for name, seconds in sorted(phases.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * seconds / total if total else 0.0
+        per = 1e6 * seconds / n_scenarios
+        print(f"  {name:<10} {seconds:8.3f}s  {share:5.1f}%  ({per:8.1f} us/scenario)")
+    print(f"  {'total':<10} {total:8.3f}s         ({n_scenarios / total:8.0f} scenarios/s)")
+
+
+def run_cprofile(tasks, top: int) -> None:
+    """cProfile a full engine sweep over ``tasks`` (workers=1, no cache)."""
+    from repro.engine import SweepEngine
+
+    engine = SweepEngine(workers=1)
+    engine.run(tasks[: max(10, len(tasks) // 10)])  # warm imports/caches
+    profiler = cProfile.Profile()
+    profiler.enable()
+    engine.run(tasks)
+    profiler.disable()
+    for sort in ("tottime", "cumulative"):
+        out = io.StringIO()
+        stats = pstats.Stats(profiler, stream=out).sort_stats(sort)
+        stats.print_stats(top)
+        print(f"\n== cProfile (sorted by {sort}) ==")
+        print(out.getvalue())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenarios", type=int, default=200, help="grid size (default 200)"
+    )
+    parser.add_argument(
+        "--cprofile", action="store_true", help="also run the cProfile sweep"
+    )
+    parser.add_argument(
+        "--top", type=int, default=25, help="rows per cProfile listing"
+    )
+    parser.add_argument(
+        "--with-trace",
+        action="store_true",
+        help="collect traces during the phase run (the engine's measure path)",
+    )
+    args = parser.parse_args(argv)
+
+    tasks = benchmark_tasks(args.scenarios)
+    run_phases(tasks[: max(10, len(tasks) // 10)])  # warm imports/caches
+    # Fresh tasks so the timed hashing phase is not pre-cached.
+    tasks = benchmark_tasks(args.scenarios)
+    phases = run_phases(tasks, with_trace=args.with_trace)
+    print_phases(phases, len(tasks))
+    if args.cprofile:
+        run_cprofile(benchmark_tasks(args.scenarios), args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
