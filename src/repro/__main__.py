@@ -19,6 +19,9 @@ Usage::
         --tx-rate 2.0 --read-fraction 0.5 --ops-per-site 2 --deadlock both
     python -m repro throughput --arrival poisson --retries 3 --hotspot 0.2 \\
         --crash-schedule 3:20:28 --deadlock both --lock-timeout 4
+    python -m repro modelcheck --protocol all --sites 3
+    python -m repro modelcheck --protocol two-phase-commit \\
+        --faults single-crash --no-voters 3 --jsonl modelcheck.jsonl
     python -m repro shard --shard-index 0 --shard-count 3 \\
         --out shard-0.jsonl --protocol all --cache .sweep-cache
     python -m repro merge shard-0.jsonl shard-1.jsonl shard-2.jsonl \\
@@ -30,8 +33,12 @@ materialized); ``sweep --refine`` and the ``boundaries`` subcommand locate
 the onset times where the verdict class flips by adaptive bisection instead
 of a uniform grid; ``throughput`` offers a contended multi-transaction
 workload per protocol and compares goodput / abort rate / lock-wait under
-a mid-run partition.  ``shard`` runs one deterministic slice of a sweep or
-throughput grid to a self-describing JSONL spill and ``merge`` folds any
+a mid-run partition.  ``modelcheck`` replaces sampled schedules with
+bounded-exhaustive exploration: every reachable global state of a protocol
+under a fault envelope is enumerated and the paper's invariants checked,
+printing minimal counterexample traces for the ones that fail.  ``shard``
+runs one deterministic slice of a sweep, throughput or modelcheck
+grid to a self-describing JSONL spill and ``merge`` folds any
 set of shard spills back into aggregates byte-identical to a
 single-machine run -- the distribution surface the matrix-sharded CI
 pipeline drives.  Every mode reports cache hit/miss counts and
@@ -68,6 +75,8 @@ EXPERIMENTS: dict[str, Callable[[], "ex.ExperimentReport"]] = {
     "MULTI": ex.run_multiple_partitioning,
     "TPUT": ex.run_throughput_comparison,
     "RETRY": ex.run_retry_recovery_comparison,
+    "MODELCHECK": ex.run_modelcheck_verification,
+    "DIFF": ex.run_differential_validation,
 }
 
 
@@ -183,6 +192,41 @@ _TPUT_ONLY_DEFAULTS: dict = {
     "victim": "youngest",
     "crash_schedule": None,
 }
+
+
+# Defaults of the modelcheck-only axes, keyed by argparse dest.  Same
+# single-source contract as _TPUT_ONLY_DEFAULTS: the parser declarations
+# and the shard cross-kind flag rejection both read from here.
+_MC_ONLY_DEFAULTS: dict = {
+    "faults": None,
+    "max_states": 200_000,
+    "max_depth": None,
+}
+
+
+def _add_modelcheck_axes(parser: argparse.ArgumentParser) -> None:
+    """The model-checking grid axes (shared by ``modelcheck`` and ``shard``)."""
+    parser.add_argument(
+        "--faults",
+        action="append",
+        default=_MC_ONLY_DEFAULTS["faults"],
+        choices=("failure-free", "single-crash", "partition", "all"),
+        help="fault envelope to explore (repeatable; default: all three)",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=_MC_ONLY_DEFAULTS["max_states"],
+        metavar="N",
+        help="abort exploration beyond N global states (default 200000)",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=_MC_ONLY_DEFAULTS["max_depth"],
+        metavar="D",
+        help="truncate exploration at depth D (default: unbounded)",
+    )
 
 
 def _add_throughput_axes(
@@ -402,6 +446,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="spill every scenario summary to PATH as JSON lines",
     )
 
+    modelcheck = sub.add_parser(
+        "modelcheck",
+        help="exhaustively model-check protocols against the paper's invariants",
+        description=(
+            "Enumerate every reachable global state of each protocol under "
+            "a fault envelope (failure-free, a single crash, or a simple "
+            "partition at any point) and check the paper's invariants -- "
+            "same-decision, no-commit-after-abort, commit-requires-votes "
+            "and non-blocking -- over all interleavings, printing a "
+            "minimal counterexample trace for every violated invariant."
+        ),
+    )
+    modelcheck.add_argument(
+        "--sites", type=int, default=3, help="number of sites (default 3)"
+    )
+    modelcheck.add_argument(
+        "--protocol",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="protocol to check (repeatable); 'all' checks every checkable one",
+    )
+    modelcheck.add_argument(
+        "--no-voters",
+        action="append",
+        default=None,
+        metavar="SITES",
+        help="comma-separated no-voting slave sites; repeatable, 'none' = all yes",
+    )
+    _add_modelcheck_axes(modelcheck)
+    _add_engine_options(modelcheck, chunk_size=True)
+    modelcheck.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="spill every checker summary to PATH as JSON lines",
+    )
+    modelcheck.add_argument(
+        "--no-traces",
+        action="store_true",
+        help="suppress counterexample traces (table and stats only)",
+    )
+
     shard = sub.add_parser(
         "shard",
         help="run one deterministic shard of a grid to a JSONL spill",
@@ -436,13 +523,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     shard.add_argument(
         "--kind",
-        choices=("sweep", "throughput"),
+        choices=("sweep", "throughput", "modelcheck"),
         default="sweep",
-        help="which grid to shard: the partition sweep or the throughput grid",
+        help="which grid to shard: partition sweep, throughput or modelcheck",
     )
     shard.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
     _add_partition_axes(shard)
     _add_throughput_axes(shard, include_heal=False)
+    _add_modelcheck_axes(shard)
     _add_engine_options(shard, chunk_size=True)
 
     merge = sub.add_parser(
@@ -892,6 +980,126 @@ def _run_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _modelcheck_grid_tasks(args: argparse.Namespace):
+    """The model-checking grid's task list, or ``None`` after a printed error.
+
+    Shared by ``repro modelcheck`` and ``repro shard --kind modelcheck`` so
+    sharded runs explore exactly the grid a single-machine run would.
+    """
+    from repro.experiments.modelcheck import DEFAULT_FAULTS, modelcheck_tasks
+    from repro.modelcheck.protocols import checkable_protocols
+
+    checks = [
+        (args.sites < 2, f"--sites must be >= 2, got {args.sites}"),
+        (
+            args.max_states < 1,
+            f"--max-states must be >= 1, got {args.max_states}",
+        ),
+        (
+            args.max_depth is not None and args.max_depth < 1,
+            f"--max-depth must be >= 1, got {args.max_depth}",
+        ),
+    ]
+    for failed, message in checks:
+        if failed:
+            print(message, file=sys.stderr)
+            return None
+    protocols = args.protocol or ["all"]
+    if any(p == "all" for p in protocols):
+        protocols = checkable_protocols()
+    unknown = [p for p in protocols if p not in checkable_protocols()]
+    if unknown:
+        print(f"uncheckable protocol(s): {', '.join(unknown)}", file=sys.stderr)
+        print(
+            f"checkable (FSA-modelled): {', '.join(checkable_protocols())}",
+            file=sys.stderr,
+        )
+        return None
+    faults = args.faults or ["all"]
+    if any(f == "all" for f in faults):
+        faults = list(DEFAULT_FAULTS)
+    else:
+        faults = list(dict.fromkeys(faults))
+    no_voter_options = _resolve_no_voters(args)
+    if no_voter_options is None:
+        return None
+    if any(1 in option for option in no_voter_options):
+        print(
+            "--no-voters cannot include site 1: a no-voting master aborts "
+            "unilaterally before any message is sent, so there is no "
+            "protocol execution to check",
+            file=sys.stderr,
+        )
+        return None
+    return modelcheck_tasks(
+        protocols,
+        n_sites=args.sites,
+        faults=faults,
+        no_voter_options=no_voter_options,
+        max_states=args.max_states,
+        max_depth=args.max_depth,
+    )
+
+
+def _run_modelcheck(args: argparse.Namespace) -> int:
+    from repro.core.reachability import ExplorationError
+    from repro.engine import JsonlSink, SweepEngine
+    from repro.engine.sink import SummarySink
+    from repro.metrics.reporting import format_table
+    from repro.modelcheck.sink import ModelCheckSink
+    from repro.modelcheck.summary import ModelCheckSummary
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(f"--chunk-size must be >= 1, got {args.chunk_size}", file=sys.stderr)
+        return 2
+    tasks = _modelcheck_grid_tasks(args)
+    if tasks is None:
+        return 2
+    engine = SweepEngine(
+        workers=args.workers, cache=args.cache, chunk_size=args.chunk_size
+    )
+
+    refuted: list[ModelCheckSummary] = []
+
+    class _CounterexampleCollector(SummarySink):
+        """Keeps the summaries that carry counterexample traces."""
+
+        def accept(self, index: int, summary) -> None:
+            if isinstance(summary, ModelCheckSummary) and summary.counterexamples:
+                refuted.append(summary)
+
+    sinks: list = [ModelCheckSink(), _CounterexampleCollector()]
+    if args.jsonl is not None:
+        sinks.append(JsonlSink(args.jsonl))
+    try:
+        stats = engine.run_streaming(tasks, sinks=sinks)
+    except ExplorationError as exc:
+        print(
+            f"exploration budget exceeded: {exc} "
+            "(raise --max-states, or bound the graph with --max-depth)",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_table(sinks[0].rows()))
+    if not args.no_traces:
+        for summary in refuted:
+            print()
+            print(summary.summary())
+            for name in sorted(summary.counterexamples):
+                print(f"counterexample [{name}]:")
+                print(summary.format_counterexample(name))
+    if args.jsonl is not None:
+        print(f"spilled {sinks[2].count} summaries to {args.jsonl}")
+    _print_stats(stats, args.workers, engine.cache)
+    _write_stats_json(
+        args.stats_json, _run_stats_payload("modelcheck", stats, engine.cache)
+    )
+    return 0
+
+
 def _run_shard(args: argparse.Namespace) -> int:
     from repro.engine import SweepEngine
     from repro.engine.shard import run_shard
@@ -912,20 +1120,26 @@ def _run_shard(args: argparse.Namespace) -> int:
         if failed:
             print(message, file=sys.stderr)
             return 2
-    # Flags belonging to the other grid would be silently ignored -- the
+    # Flags belonging to another grid would be silently ignored -- the
     # shard would quietly cover a different grid than the user asked for,
     # breaking the merge-vs-single-machine identity.  Name the mistake.
-    if args.kind == "sweep":
-        throughput_only = [
+    def _foreign_flags(defaults: dict) -> list[str]:
+        return [
             "--" + dest.replace("_", "-")
-            for dest, default in _TPUT_ONLY_DEFAULTS.items()
+            for dest, default in defaults.items()
             if getattr(args, dest) != default
         ]
-        if throughput_only:
+
+    foreign_by_owner = {
+        "throughput": _foreign_flags(_TPUT_ONLY_DEFAULTS),
+        "modelcheck": _foreign_flags(_MC_ONLY_DEFAULTS),
+    }
+    for owner, foreign in foreign_by_owner.items():
+        if owner != args.kind and foreign:
             print(
-                f"{', '.join(throughput_only)} appl"
-                f"{'y' if len(throughput_only) > 1 else 'ies'} to "
-                "--kind throughput; the sweep grid takes --protocol",
+                f"{', '.join(foreign)} appl"
+                f"{'y' if len(foreign) > 1 else 'ies'} to "
+                f"--kind {owner}, not --kind {args.kind}",
                 file=sys.stderr,
             )
             return 2
@@ -937,8 +1151,20 @@ def _run_shard(args: argparse.Namespace) -> int:
         ):
             if provided is not None:
                 print(
-                    f"{flag} applies to --kind sweep; "
+                    f"{flag} applies to --kind sweep/modelcheck; "
                     f"the throughput grid takes --protocols",
+                    file=sys.stderr,
+                )
+                return 2
+    if args.kind == "modelcheck":
+        for provided, flag in (
+            (args.times, "--times"),
+            (args.heal_after, "--heal-after"),
+        ):
+            if provided is not None:
+                print(
+                    f"{flag} applies to --kind sweep; "
+                    f"the modelcheck grid has no timing axis",
                     file=sys.stderr,
                 )
                 return 2
@@ -947,6 +1173,10 @@ def _run_shard(args: argparse.Namespace) -> int:
         if built is None:
             return 2
         tasks = built[0]
+    elif args.kind == "modelcheck":
+        tasks = _modelcheck_grid_tasks(args)
+        if tasks is None:
+            return 2
     else:
         # The shard parser leaves --heal-after unset by default (the sweep
         # axes own the flag); apply the throughput subcommand's default so
@@ -1132,6 +1362,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_sweep(args)
     if args.command == "throughput":
         return _run_throughput(args)
+    if args.command == "modelcheck":
+        return _run_modelcheck(args)
     if args.command == "shard":
         return _run_shard(args)
     if args.command == "merge":

@@ -1,4 +1,4 @@
-"""Exhaustive exploration of a commit protocol's failure-free executions.
+"""Exhaustive exploration of a commit protocol's global state graph.
 
 The concurrency set, sender set and committable-state definitions of
 Sections 2-3 all quantify over the *reachable global states* of the
@@ -10,13 +10,34 @@ states plus the set of outstanding messages; we additionally carry a
 "has voted yes" flag per site so that the committable-state classification
 ("occupancy ... implies that all sites have voted yes") can be verified
 mechanically rather than trusted.
+
+Two exploration surfaces share one engine:
+
+* :func:`explore` -- the original failure-free enumeration consumed by the
+  concurrency analysis (:mod:`repro.core.concurrency`).
+* :func:`explore_model` -- the model checker's generalization: a *fault
+  envelope* (:data:`FAILURE_FREE`, :data:`SINGLE_CRASH`,
+  :data:`PARTITION`) adds crash / partition-onset pseudo-transitions, and
+  an optional Rule (a)/(b) augmentation adds the timeout and
+  undeliverable-message decisions of
+  :class:`~repro.core.rules.AugmentedProtocol`, mirroring the timed
+  semantics of :mod:`repro.protocols.fsa_role` (timeouts decide and, at
+  the master, broadcast; bounced messages decide per Rule (b)).  Budgets
+  (``max_states``, ``max_depth``), deterministic visit order, parent
+  pointers and breadth-first minimal counterexample paths come with it.
+
+Everything about the exploration is deterministic: site order, transition
+declaration order and an explicit total order over outstanding messages fix
+the successor enumeration, so two runs (in different processes, with
+different ``PYTHONHASHSEED``) produce identical visit orders, edge lists
+and counterexample traces.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Any, Iterator, Optional, Union
 
 from repro.core import messages as msg
 from repro.core.fsa import (
@@ -33,9 +54,31 @@ from repro.core.fsa import (
 
 OPERATOR_SITE = 0  # pseudo-site the external "request" message comes from
 
+# --- fault envelopes of the model checker ----------------------------------
+FAILURE_FREE = "failure-free"    # no faults: the original Sections 2-3 graph
+SINGLE_CRASH = "single-crash"    # at most one site crash, at any global state
+PARTITION = "partition"          # one simple partition onset, at any global state
+
+FAULT_ENVELOPES = (FAILURE_FREE, SINGLE_CRASH, PARTITION)
+
+# BFS explores shortest-first, so counterexample paths are minimal; DFS
+# exists to property-test order-independence of the reachable state set.
+BFS = "bfs"
+DFS = "dfs"
+
 
 class ExplorationError(RuntimeError):
-    """Raised when exploration exceeds its safety limits."""
+    """Raised when exploration would exceed its state budget.
+
+    Raised *before* the over-budget state is recorded, so a graph with
+    exactly ``max_states`` reachable states completes and the partial
+    result's visit order is a prefix of an unbudgeted run's.  The partial
+    :class:`ReachabilityResult` is attached as :attr:`partial`.
+    """
+
+    def __init__(self, message: str, partial: Optional["ReachabilityResult"] = None):
+        super().__init__(message)
+        self.partial = partial
 
 
 @dataclass(frozen=True)
@@ -45,6 +88,13 @@ class TaggedMessage:
     The tag is what makes sender sets ``S(s)`` computable: when a site in
     local state ``s`` consumes the message, the tagged state is by definition
     a member of ``S(s)``.
+
+    ``returned`` marks an undeliverable-message notification: the optimistic
+    network model (the paper's assumption 1) bounced the original message
+    back to its sender, where a Rule (b) transition may consume it.  For a
+    returned message ``sender`` is the site that could not be reached and
+    ``receiver`` is the original sender; the role/state tag still describes
+    the original send.
     """
 
     kind: str
@@ -52,34 +102,115 @@ class TaggedMessage:
     receiver: int
     sender_role: str
     sender_state: str
+    returned: bool = False
+
+    def sort_key(self) -> tuple:
+        """Total order used everywhere a message set is iterated."""
+        return (self.kind, self.sender, self.receiver, self.sender_state, self.returned)
 
     def __str__(self) -> str:
-        return f"{self.kind}[{self.sender}->{self.receiver}]"
+        mark = "!" if self.returned else ""
+        return f"{mark}{self.kind}[{self.sender}->{self.receiver}]"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A pseudo-transition of the fault envelope (not a protocol transition).
+
+    Attributes:
+        action: ``"crash"``, ``"partition"``, ``"timeout"`` or
+            ``"undeliverable"``.
+        site: the acting / affected site (0 for a partition onset, which
+            belongs to the network).
+        target: resulting local state of ``site`` (empty when the local
+            state is unchanged, e.g. a crash).
+        detail: human-readable annotation for counterexample traces.
+    """
+
+    action: str
+    site: int
+    target: str = ""
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" -> {self.target}" if self.target else ""
+        return f"{self.action}({self.detail}){suffix}"
 
 
 @dataclass(frozen=True)
 class GlobalState:
-    """One global state: local-state vector + outstanding messages + vote flags."""
+    """One global state: local-state vector + outstanding messages + vote flags.
+
+    The model checker's fault envelopes add two (defaulted, so failure-free
+    exploration is unchanged) components: the set of crashed sites (a
+    crashed site keeps its last local state as decision evidence but takes
+    no further transitions) and the active simple partition, canonically
+    encoded as a tuple of sorted site-tuples (``None`` = fully connected).
+    """
 
     locals: tuple[str, ...]
     outstanding: frozenset[TaggedMessage]
     voted: tuple[bool, ...]
+    crashed: frozenset[int] = frozenset()
+    partition: Optional[tuple[tuple[int, ...], ...]] = None
 
     @property
     def n_sites(self) -> int:
         """Number of participating sites."""
         return len(self.locals)
 
+    @property
+    def fault_fired(self) -> bool:
+        """True once the envelope's crash or partition has struck."""
+        return bool(self.crashed) or self.partition is not None
+
     def local(self, site: int) -> str:
         """Local state of ``site`` (1-based)."""
         return self.locals[site - 1]
 
+    def alive(self, site: int) -> bool:
+        """True when ``site`` has not crashed."""
+        return site not in self.crashed
+
+    def separated(self, a: int, b: int) -> bool:
+        """True when the active partition cuts sites ``a`` and ``b`` apart.
+
+        The operator pseudo-site is treated as co-located with the master
+        (its only message is the initial request to site 1).
+        """
+        if self.partition is None or a == b:
+            return False
+
+        def group_of(site: int) -> int:
+            if site == OPERATOR_SITE:
+                site = 1
+            for index, group in enumerate(self.partition):
+                if site in group:
+                    return index
+            return 0
+
+        return group_of(a) != group_of(b)
+
     def messages_to(self, site: int, kind: Optional[str] = None) -> tuple[TaggedMessage, ...]:
-        """Outstanding messages addressed to ``site`` (optionally of one kind)."""
+        """Outstanding messages addressed to ``site``, in canonical order."""
         return tuple(
-            message
-            for message in self.outstanding
-            if message.receiver == site and (kind is None or message.kind == kind)
+            sorted(
+                (
+                    message
+                    for message in self.outstanding
+                    if message.receiver == site and (kind is None or message.kind == kind)
+                ),
+                key=TaggedMessage.sort_key,
+            )
+        )
+
+    def returned_messages(self) -> tuple[TaggedMessage, ...]:
+        """Outstanding undeliverable notifications, in canonical order."""
+        return tuple(
+            sorted(
+                (message for message in self.outstanding if message.returned),
+                key=TaggedMessage.sort_key,
+            )
         )
 
     def all_voted(self) -> bool:
@@ -89,22 +220,63 @@ class GlobalState:
     def __str__(self) -> str:
         vector = ", ".join(self.locals)
         pending = ", ".join(sorted(str(m) for m in self.outstanding)) or "-"
-        return f"<({vector}) | {pending}>"
+        marks = []
+        if self.crashed:
+            marks.append("x" + ",".join(map(str, sorted(self.crashed))))
+        if self.partition is not None:
+            marks.append("|".join("{" + ",".join(map(str, g)) + "}" for g in self.partition))
+        suffix = f" [{' '.join(marks)}]" if marks else ""
+        return f"<({vector}) | {pending}>{suffix}"
 
 
 @dataclass(frozen=True)
 class GlobalTransition:
-    """An edge of the global state graph."""
+    """An edge of the global state graph.
+
+    ``transition`` is either a protocol :class:`~repro.core.fsa.Transition`
+    (a site consumed messages and moved) or a :class:`FaultEvent` (a crash,
+    partition onset, timeout decision or undeliverable-message decision).
+    """
 
     source: GlobalState
     site: int
-    transition: Transition
+    transition: Union[Transition, FaultEvent]
     target: GlobalState
+
+    @property
+    def is_fault(self) -> bool:
+        """True when the edge is a fault-envelope pseudo-transition."""
+        return isinstance(self.transition, FaultEvent)
+
+    def describe(self) -> str:
+        """One-line rendering used in counterexample traces."""
+        actor = "network" if self.site == OPERATOR_SITE else f"site {self.site}"
+        return f"{actor}: {self.transition}"
 
 
 @dataclass
 class ReachabilityResult:
-    """Everything the concurrency analysis needs about a protocol instance."""
+    """Everything the concurrency analysis and the model checker need.
+
+    Attributes:
+        spec: the explored protocol.
+        n_sites: instantiation size (site 1 is the master).
+        initial: the initial global state.
+        states: every visited global state.
+        edges: every explored edge, in deterministic discovery order.
+        receptions: (receiver_role, receiver_state) -> set of
+            (sender_role, sender_state) pairs, for sender sets.
+        visit_order: states in first-discovery order (the deterministic
+            frontier order; a budgeted run's ``visit_order`` is a prefix of
+            the unbudgeted one).
+        depth: discovery depth per state (edges from the initial state).
+        parents: first-discovery edge per non-initial state -- the spanning
+            tree that :meth:`path_to` walks to extract (under BFS, minimal)
+            counterexample paths.
+        unexpanded: states whose outgoing edges were skipped because the
+            ``max_depth`` budget truncated the exploration there.
+        complete: False when ``max_depth`` truncation skipped any successor.
+    """
 
     spec: CommitProtocolSpec
     n_sites: int
@@ -113,10 +285,19 @@ class ReachabilityResult:
     edges: list[GlobalTransition] = field(default_factory=list)
     # (receiver_role, receiver_state) -> set of (sender_role, sender_state)
     receptions: dict[tuple[str, str], set[tuple[str, str]]] = field(default_factory=dict)
+    visit_order: list[GlobalState] = field(default_factory=list)
+    depth: dict[GlobalState, int] = field(default_factory=dict)
+    parents: dict[GlobalState, GlobalTransition] = field(default_factory=dict)
+    unexpanded: set[GlobalState] = field(default_factory=set)
+    complete: bool = True
 
     def role_of(self, site: int) -> str:
         """Role played by ``site`` (site 1 is the master)."""
         return MASTER_ROLE if site == 1 else SLAVE_ROLE
+
+    def automaton_of(self, site: int) -> RoleAutomaton:
+        """The role automaton executed by ``site``."""
+        return _automaton_for(self.spec, site)
 
     def occupancies(self) -> dict[tuple[str, str], list[GlobalState]]:
         """Map (role, local state) -> global states in which some site occupies it."""
@@ -128,14 +309,46 @@ class ReachabilityResult:
         return result
 
     def final_states(self) -> list[GlobalState]:
-        """Global states with no outgoing edges."""
+        """Global states with no outgoing edges, in visit order.
+
+        States whose expansion the ``max_depth`` budget skipped are
+        excluded: without their successors, "no outgoing edges" would be an
+        artifact of the truncation rather than a property of the graph.
+        """
         sources = {edge.source for edge in self.edges}
-        return [state for state in self.states if state not in sources]
+        ordered = self.visit_order if self.visit_order else sorted(self.states, key=str)
+        return [
+            state
+            for state in ordered
+            if state not in sources and state not in self.unexpanded
+        ]
+
+    def path_to(self, state: GlobalState) -> list[GlobalTransition]:
+        """The first-discovery path from the initial state to ``state``.
+
+        Under BFS exploration this is a shortest path, which is what makes
+        the checker's counterexamples minimal.
+        """
+        path: list[GlobalTransition] = []
+        current = state
+        while current != self.initial:
+            edge = self.parents.get(current)
+            if edge is None:
+                raise KeyError(f"state {current} was not discovered by this exploration")
+            path.append(edge)
+            current = edge.source
+        path.reverse()
+        return path
 
     @property
     def state_count(self) -> int:
         """Number of distinct reachable global states."""
         return len(self.states)
+
+    @property
+    def frontier_depth(self) -> int:
+        """Largest discovery depth reached by the exploration."""
+        return max(self.depth.values(), default=0)
 
 
 def _automaton_for(spec: CommitProtocolSpec, site: int) -> RoleAutomaton:
@@ -162,13 +375,13 @@ def _initial_state(spec: CommitProtocolSpec, n_sites: int) -> GlobalState:
 
 def _sends_for(
     transition: Transition, site: int, role: str, n_sites: int
-) -> frozenset[TaggedMessage]:
+) -> list[TaggedMessage]:
     """Messages written by ``transition`` when taken by ``site``."""
-    produced: set[TaggedMessage] = set()
+    produced: list[TaggedMessage] = []
     slaves = [s for s in range(2, n_sites + 1)]
     for send in transition.sends:
         if send.target == MASTER:
-            produced.add(
+            produced.append(
                 TaggedMessage(
                     kind=send.kind,
                     sender=site,
@@ -183,7 +396,7 @@ def _sends_for(
             for slave in slaves:
                 if slave == site:
                     continue
-                produced.add(
+                produced.append(
                     TaggedMessage(
                         kind=send.kind,
                         sender=site,
@@ -192,7 +405,7 @@ def _sends_for(
                         sender_state=transition.source,
                     )
                 )
-    return frozenset(produced)
+    return produced
 
 
 def _enabled_consumptions(
@@ -202,28 +415,32 @@ def _enabled_consumptions(
 
     Returns an empty list when the read cannot be satisfied; several entries
     when the read is satisfiable in more than one way (``any_slave`` with
-    messages from multiple slaves outstanding).
+    messages from multiple slaves outstanding).  Returned (bounced) messages
+    never satisfy a protocol read -- only the Rule (b) pseudo-transitions of
+    the model checker consume them.
     """
     read = transition.read
     if read.source == OPERATOR:
         candidates = [
             message
             for message in state.messages_to(site, read.kind)
-            if message.sender == OPERATOR_SITE
+            if message.sender == OPERATOR_SITE and not message.returned
         ]
         return [frozenset({candidate}) for candidate in candidates]
     if read.source == MASTER:
         candidates = [
             message
             for message in state.messages_to(site, read.kind)
-            if message.sender == 1
+            if message.sender == 1 and not message.returned
         ]
         return [frozenset({candidate}) for candidate in candidates]
     if read.source == ANY_SLAVE:
         candidates = [
             message
             for message in state.messages_to(site, read.kind)
-            if message.sender != 1 and message.sender != OPERATOR_SITE
+            if message.sender != 1
+            and message.sender != OPERATOR_SITE
+            and not message.returned
         ]
         return [frozenset({candidate}) for candidate in candidates]
     if read.source == EACH_SLAVE:
@@ -233,7 +450,7 @@ def _enabled_consumptions(
             matches = [
                 message
                 for message in state.messages_to(site, read.kind)
-                if message.sender == slave
+                if message.sender == slave and not message.returned
             ]
             if not matches:
                 return []
@@ -242,13 +459,507 @@ def _enabled_consumptions(
     raise ValueError(f"unknown read source {read.source!r}")
 
 
+def simple_splits(n_sites: int) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Every simple partition split as canonical ``(G1, G2)`` tuples.
+
+    ``G1`` always contains the master; ``G2`` ranges over the non-empty
+    proper subsets of the slaves, enumerated smallest-first so the partition
+    pseudo-transitions have a fixed order.  Mirrors
+    :func:`repro.analysis.scenarios.split_choices` without importing the
+    simulator layer into ``core``.
+    """
+    sites = list(range(1, n_sites + 1))
+    slaves = sites[1:]
+    splits: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    for size in range(1, len(slaves) + 1):
+        from itertools import combinations
+
+        for combo in combinations(slaves, size):
+            g2 = tuple(sorted(combo))
+            g1 = tuple(sorted(set(sites) - set(combo)))
+            splits.append((g1, g2))
+    return splits
+
+
+class _ModelExplorer:
+    """Deterministic successor enumeration for one exploration setup.
+
+    ``augmentation`` is duck-typed (anything exposing ``timeout_action`` and
+    ``undeliverable_action`` dicts keyed by ``(role, state)``) so this
+    module never imports :mod:`repro.core.rules`, which sits above the
+    concurrency analysis that imports us.
+    """
+
+    def __init__(
+        self,
+        spec: CommitProtocolSpec,
+        n_sites: int,
+        *,
+        augmentation: Optional[Any] = None,
+        fault: str = FAILURE_FREE,
+        no_voters: Optional[frozenset[int]] = None,
+    ) -> None:
+        if n_sites < 2:
+            raise ValueError(
+                f"a distributed transaction needs at least 2 sites, got {n_sites}"
+            )
+        if fault not in FAULT_ENVELOPES:
+            raise ValueError(
+                f"unknown fault envelope {fault!r}; expected one of {FAULT_ENVELOPES}"
+            )
+        self.spec = spec
+        self.n_sites = n_sites
+        self.augmentation = augmentation
+        self.fault = fault
+        self.no_voters = no_voters
+        self._splits = simple_splits(n_sites)
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def role_of(self, site: int) -> str:
+        """Role of ``site`` (site 1 is the master)."""
+        return MASTER_ROLE if site == 1 else SLAVE_ROLE
+
+    def automaton(self, site: int) -> RoleAutomaton:
+        """Automaton of ``site``."""
+        return _automaton_for(self.spec, site)
+
+    def _vote_allowed(self, site: int, transition: Transition) -> bool:
+        """Apply the scripted vote pattern (``no_voters``) to a slave transition.
+
+        With ``no_voters=None`` both vote branches are explored (the
+        exhaustive envelope); with a set, slaves in it must take the
+        no-vote transition and everyone else the yes-vote one, matching one
+        scripted simulator scenario exactly.
+        """
+        if self.no_voters is None or site == 1:
+            return True
+        sends_yes = any(send.kind == msg.YES for send in transition.sends)
+        sends_no = any(send.kind == msg.NO for send in transition.sends)
+        if sends_yes and site in self.no_voters:
+            return False
+        if sends_no and site not in self.no_voters:
+            return False
+        return True
+
+    def _route(
+        self, produced: list[TaggedMessage], state: GlobalState
+    ) -> list[TaggedMessage]:
+        """Deliverability filter for freshly sent messages.
+
+        Messages to crashed or partition-separated receivers bounce: under
+        an augmentation they come back as returned notifications to the
+        sender (the optimistic network model), otherwise they are dropped.
+        """
+        routed: list[TaggedMessage] = []
+        for message in produced:
+            unreachable = (
+                message.receiver in state.crashed
+                or state.separated(message.sender, message.receiver)
+            )
+            if not unreachable:
+                routed.append(message)
+            elif self.augmentation is not None:
+                routed.append(
+                    TaggedMessage(
+                        kind=message.kind,
+                        sender=message.receiver,
+                        receiver=message.sender,
+                        sender_role=message.sender_role,
+                        sender_state=message.sender_state,
+                        returned=True,
+                    )
+                )
+        return routed
+
+    def _canonical_final(self, automaton: RoleAutomaton, action: Any) -> str:
+        """The final state a Rule (a)/(b) decision moves a role into."""
+        states = (
+            automaton.commit_states
+            if getattr(action, "value", action) == "commit"
+            else automaton.abort_states
+        )
+        return min(states)
+
+    def _decision_broadcast(
+        self, site: int, action: Any, source_state: str, state: GlobalState
+    ) -> list[TaggedMessage]:
+        """The master's decision broadcast after a timeout / Rule (b) decision.
+
+        Mirrors :meth:`repro.protocols.fsa_role.FSARole.on_timeout`: a
+        deciding master broadcasts commit/abort to every slave; slaves
+        decide silently.
+        """
+        if site != 1:
+            return []
+        kind = msg.COMMIT if getattr(action, "value", action) == "commit" else msg.ABORT
+        produced = [
+            TaggedMessage(
+                kind=kind,
+                sender=1,
+                receiver=slave,
+                sender_role=MASTER_ROLE,
+                sender_state=source_state,
+            )
+            for slave in range(2, self.n_sites + 1)
+        ]
+        return self._route(produced, state)
+
+    def _decide(
+        self,
+        state: GlobalState,
+        site: int,
+        action: Any,
+        *,
+        consumed: frozenset[TaggedMessage] = frozenset(),
+    ) -> tuple[str, GlobalState]:
+        """Apply a Rule (a)/(b) decision at ``site``; returns (target, successor)."""
+        automaton = self.automaton(site)
+        target = self._canonical_final(automaton, action)
+        new_locals = list(state.locals)
+        new_locals[site - 1] = target
+        new_voted = list(state.voted)
+        if target in automaton.yes_vote_states:
+            new_voted[site - 1] = True
+        produced = self._decision_broadcast(site, action, state.local(site), state)
+        successor = GlobalState(
+            locals=tuple(new_locals),
+            outstanding=(state.outstanding - consumed) | frozenset(produced),
+            voted=tuple(new_voted),
+            crashed=state.crashed,
+            partition=state.partition,
+        )
+        return target, successor
+
+    def _all_final(self, state: GlobalState) -> bool:
+        return all(
+            self.automaton(site).is_final(state.local(site))
+            for site in range(1, self.n_sites + 1)
+            if state.alive(site)
+        )
+
+    # ------------------------------------------------------------------
+    # successor enumeration (deterministic order)
+    # ------------------------------------------------------------------
+    def successors(
+        self, state: GlobalState
+    ) -> Iterator[tuple[GlobalTransition, frozenset[TaggedMessage]]]:
+        """Yield every outgoing edge of ``state`` with its consumed messages.
+
+        Order: protocol transitions (sites ascending, transitions in
+        declaration order, consumption choices in message order), then
+        undeliverable-message decisions, then timeout decisions, then fault
+        onsets (crashes by site, partitions by split) -- fixed, so the
+        exploration is reproducible across processes.
+
+        Timeouts are *last-resort* edges: a site with an enabled protocol
+        transition or an enabled Rule (b) decision cannot time out in this
+        state.  This mirrors the timed simulator exactly -- timers run
+        ``2T``/``3T`` from state entry while any deliverable message (or
+        bounce) arrives within ``T``/``2T``, and the kernel delivers
+        messages before timers at equal timestamps (the paper's bounds are
+        inclusive) -- so a simulator timeout can only ever fire at a site
+        the network has nothing left to offer.
+        """
+        protocol_edges = list(self._protocol_successors(state))
+        undeliverable_edges = list(self._undeliverable_successors(state))
+        busy_sites = {edge.site for edge, _ in protocol_edges}
+        busy_sites.update(edge.site for edge, _ in undeliverable_edges)
+        yield from protocol_edges
+        yield from undeliverable_edges
+        yield from self._timeout_successors(state, busy_sites)
+        yield from self._fault_onset_successors(state)
+
+    def _protocol_successors(self, state: GlobalState):
+        for site in range(1, self.n_sites + 1):
+            if not state.alive(site):
+                continue
+            role = self.role_of(site)
+            automaton = self.automaton(site)
+            local = state.local(site)
+            for transition in automaton.transitions_from(local):
+                if not self._vote_allowed(site, transition):
+                    continue
+                for consumed in _enabled_consumptions(state, site, transition, self.n_sites):
+                    produced = self._route(
+                        _sends_for(transition, site, role, self.n_sites), state
+                    )
+                    new_locals = list(state.locals)
+                    new_locals[site - 1] = transition.target
+                    new_voted = list(state.voted)
+                    if transition.target in automaton.yes_vote_states:
+                        new_voted[site - 1] = True
+                    successor = GlobalState(
+                        locals=tuple(new_locals),
+                        outstanding=(state.outstanding - consumed) | frozenset(produced),
+                        voted=tuple(new_voted),
+                        crashed=state.crashed,
+                        partition=state.partition,
+                    )
+                    yield (
+                        GlobalTransition(
+                            source=state, site=site, transition=transition, target=successor
+                        ),
+                        consumed,
+                    )
+
+    def _timeout_successors(self, state: GlobalState, busy_sites: set[int]):
+        if self.augmentation is None or not state.fault_fired:
+            return
+        for site in range(1, self.n_sites + 1):
+            if not state.alive(site) or site in busy_sites:
+                continue
+            automaton = self.automaton(site)
+            local = state.local(site)
+            if automaton.is_final(local):
+                continue
+            action = self.augmentation.timeout_action.get((self.role_of(site), local))
+            if action is None:
+                continue
+            target, successor = self._decide(state, site, action)
+            event = FaultEvent(
+                action="timeout",
+                site=site,
+                target=target,
+                detail=f"timeout in {local}",
+            )
+            yield (
+                GlobalTransition(source=state, site=site, transition=event, target=successor),
+                frozenset(),
+            )
+
+    def _undeliverable_successors(self, state: GlobalState):
+        if self.augmentation is None:
+            return
+        for message in state.returned_messages():
+            site = message.receiver
+            if not state.alive(site):
+                continue
+            automaton = self.automaton(site)
+            local = state.local(site)
+            if automaton.is_final(local):
+                continue
+            action = self.augmentation.undeliverable_action.get(
+                (self.role_of(site), local)
+            )
+            if action is None:
+                continue
+            consumed = frozenset({message})
+            target, successor = self._decide(state, site, action, consumed=consumed)
+            event = FaultEvent(
+                action="undeliverable",
+                site=site,
+                target=target,
+                detail=f"returned {message.kind} in {local}",
+            )
+            yield (
+                GlobalTransition(source=state, site=site, transition=event, target=successor),
+                consumed,
+            )
+
+    def _fault_onset_successors(self, state: GlobalState):
+        if self._all_final(state):
+            return
+        if self.fault == SINGLE_CRASH and not state.crashed:
+            for site in range(1, self.n_sites + 1):
+                yield self._crash_edge(state, site)
+        elif self.fault == PARTITION and state.partition is None:
+            for g1, g2 in self._splits:
+                yield self._partition_edge(state, (g1, g2))
+
+    def _crash_edge(self, state: GlobalState, site: int):
+        outstanding: set[TaggedMessage] = set()
+        for message in state.outstanding:
+            if message.receiver != site:
+                outstanding.add(message)
+                continue
+            # In-flight messages to the crashed site bounce (optimistic
+            # model) when the protocol listens for bounces; returned
+            # notifications and the operator's request are simply lost.
+            if (
+                self.augmentation is not None
+                and not message.returned
+                and message.sender != OPERATOR_SITE
+            ):
+                outstanding.add(
+                    TaggedMessage(
+                        kind=message.kind,
+                        sender=site,
+                        receiver=message.sender,
+                        sender_role=message.sender_role,
+                        sender_state=message.sender_state,
+                        returned=True,
+                    )
+                )
+        successor = GlobalState(
+            locals=state.locals,
+            outstanding=frozenset(outstanding),
+            voted=state.voted,
+            crashed=frozenset({site}),
+            partition=state.partition,
+        )
+        event = FaultEvent(action="crash", site=site, detail=f"site {site} crashes")
+        return (
+            GlobalTransition(source=state, site=site, transition=event, target=successor),
+            frozenset(),
+        )
+
+    def _partition_edge(
+        self, state: GlobalState, groups: tuple[tuple[int, ...], tuple[int, ...]]
+    ):
+        def cut(a: int, b: int) -> bool:
+            if a == OPERATOR_SITE:
+                a = 1
+            if b == OPERATOR_SITE:
+                b = 1
+            return (a in groups[1]) != (b in groups[1])
+
+        outstanding: set[TaggedMessage] = set()
+        for message in state.outstanding:
+            if not cut(message.sender, message.receiver):
+                outstanding.add(message)
+            elif self.augmentation is not None and not message.returned:
+                outstanding.add(
+                    TaggedMessage(
+                        kind=message.kind,
+                        sender=message.receiver,
+                        receiver=message.sender,
+                        sender_role=message.sender_role,
+                        sender_state=message.sender_state,
+                        returned=True,
+                    )
+                )
+        successor = GlobalState(
+            locals=state.locals,
+            outstanding=frozenset(outstanding),
+            voted=state.voted,
+            crashed=state.crashed,
+            partition=groups,
+        )
+        detail = "|".join("{" + ",".join(map(str, g)) + "}" for g in groups)
+        event = FaultEvent(action="partition", site=OPERATOR_SITE, detail=detail)
+        return (
+            GlobalTransition(
+                source=state, site=OPERATOR_SITE, transition=event, target=successor
+            ),
+            frozenset(),
+        )
+
+
+def enumerate_successors(
+    spec: CommitProtocolSpec,
+    n_sites: int,
+    state: GlobalState,
+    *,
+    augmentation: Optional[Any] = None,
+    fault: str = FAILURE_FREE,
+    no_voters: Optional[frozenset[int]] = None,
+) -> list[GlobalTransition]:
+    """Every legal outgoing edge of ``state`` under the given setup.
+
+    Public so counterexample traces can be *replayed*: a trace is valid iff
+    each of its edges is among the legal successors of its source state (the
+    explorer property tests assert exactly this).
+    """
+    explorer = _ModelExplorer(
+        spec, n_sites, augmentation=augmentation, fault=fault, no_voters=no_voters
+    )
+    return [edge for edge, _ in explorer.successors(state)]
+
+
+def explore_model(
+    spec: CommitProtocolSpec,
+    n_sites: int,
+    *,
+    augmentation: Optional[Any] = None,
+    fault: str = FAILURE_FREE,
+    no_voters: Optional[frozenset[int]] = None,
+    max_states: int = 200_000,
+    max_depth: Optional[int] = None,
+    order: str = BFS,
+) -> ReachabilityResult:
+    """Exhaustively explore ``spec`` under a fault envelope, within budgets.
+
+    Args:
+        spec: the commit protocol.
+        n_sites: number of participating sites (>= 2; site 1 is the master).
+        augmentation: optional Rule (a)/(b) tables
+            (:class:`~repro.core.rules.AugmentedProtocol` or anything with
+            ``timeout_action`` / ``undeliverable_action`` dicts); enables
+            the timeout and undeliverable-message pseudo-transitions.
+        fault: one of :data:`FAULT_ENVELOPES`.
+        no_voters: ``None`` explores both vote branches of every slave;
+            a set scripts the vote pattern (members vote no, the rest yes).
+        max_states: state budget; exceeding it raises
+            :class:`ExplorationError` (with the partial result attached)
+            *before* the over-budget state is recorded, so a graph with
+            exactly ``max_states`` states completes.
+        max_depth: optional depth budget; states at this depth are not
+            expanded and the result is marked ``complete=False`` when that
+            truncates anything.
+        order: :data:`BFS` (canonical; minimal counterexamples) or
+            :data:`DFS` (same reachable set, different discovery order).
+
+    Returns:
+        A :class:`ReachabilityResult` with the full graph, visit order,
+        depths and parent pointers.
+    """
+    if order not in (BFS, DFS):
+        raise ValueError(f"unknown exploration order {order!r}")
+    explorer = _ModelExplorer(
+        spec, n_sites, augmentation=augmentation, fault=fault, no_voters=no_voters
+    )
+    initial = _initial_state(spec, n_sites)
+    result = ReachabilityResult(spec=spec, n_sites=n_sites, initial=initial)
+    result.states.add(initial)
+    result.visit_order.append(initial)
+    result.depth[initial] = 0
+    frontier: deque[GlobalState] = deque([initial])
+    pop = frontier.popleft if order == BFS else frontier.pop
+    while frontier:
+        current = pop()
+        current_depth = result.depth[current]
+        if max_depth is not None and current_depth >= max_depth:
+            if next(explorer.successors(current), None) is not None:
+                result.unexpanded.add(current)
+                result.complete = False
+            continue
+        for edge, consumed in explorer.successors(current):
+            if not edge.is_fault:
+                reception_key = (explorer.role_of(edge.site), current.local(edge.site))
+                senders = result.receptions.setdefault(reception_key, set())
+                for message in consumed:
+                    if message.sender_role != OPERATOR:
+                        senders.add((message.sender_role, message.sender_state))
+            result.edges.append(edge)
+            successor = edge.target
+            if successor not in result.states:
+                if len(result.states) >= max_states:
+                    result.complete = False
+                    raise ExplorationError(
+                        f"exceeded {max_states} global states exploring {spec.name}",
+                        partial=result,
+                    )
+                result.states.add(successor)
+                result.visit_order.append(successor)
+                result.depth[successor] = current_depth + 1
+                result.parents[successor] = edge
+                frontier.append(successor)
+    return result
+
+
 def explore(
     spec: CommitProtocolSpec,
     n_sites: int,
     *,
     max_states: int = 200_000,
 ) -> ReachabilityResult:
-    """Enumerate every reachable global state of ``spec`` with ``n_sites`` sites.
+    """Enumerate every reachable failure-free global state of ``spec``.
+
+    The original Sections 2-3 exploration surface (no faults, both vote
+    branches), kept as the entry point of the concurrency analysis; it is
+    :func:`explore_model` with the failure-free envelope.
 
     Args:
         spec: the commit protocol.
@@ -259,47 +970,4 @@ def explore(
         A :class:`ReachabilityResult` with the full state graph, plus the
         reception relation used to compute sender sets.
     """
-    if n_sites < 2:
-        raise ValueError(f"a distributed transaction needs at least 2 sites, got {n_sites}")
-    initial = _initial_state(spec, n_sites)
-    result = ReachabilityResult(spec=spec, n_sites=n_sites, initial=initial)
-    result.states.add(initial)
-    frontier: deque[GlobalState] = deque([initial])
-    while frontier:
-        current = frontier.popleft()
-        for site in range(1, n_sites + 1):
-            role = result.role_of(site)
-            automaton = _automaton_for(spec, site)
-            local = current.local(site)
-            for transition in automaton.transitions_from(local):
-                for consumed in _enabled_consumptions(current, site, transition, n_sites):
-                    produced = _sends_for(transition, site, role, n_sites)
-                    new_locals = list(current.locals)
-                    new_locals[site - 1] = transition.target
-                    new_voted = list(current.voted)
-                    if transition.target in automaton.yes_vote_states:
-                        new_voted[site - 1] = True
-                    successor = GlobalState(
-                        locals=tuple(new_locals),
-                        outstanding=(current.outstanding - consumed) | produced,
-                        voted=tuple(new_voted),
-                    )
-                    # Record the reception relation for sender sets.
-                    reception_key = (role, local)
-                    senders = result.receptions.setdefault(reception_key, set())
-                    for message in consumed:
-                        if message.sender_role != OPERATOR:
-                            senders.add((message.sender_role, message.sender_state))
-                    result.edges.append(
-                        GlobalTransition(
-                            source=current, site=site, transition=transition, target=successor
-                        )
-                    )
-                    if successor not in result.states:
-                        result.states.add(successor)
-                        frontier.append(successor)
-                        if len(result.states) > max_states:
-                            raise ExplorationError(
-                                f"exceeded {max_states} global states exploring {spec.name}"
-                            )
-    return result
+    return explore_model(spec, n_sites, max_states=max_states)

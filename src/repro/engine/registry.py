@@ -40,6 +40,7 @@ from typing import Any, Callable, Mapping, Optional
 BUILTIN_KIND_PROVIDERS: tuple[str, ...] = (
     "repro.engine.scenario_kind",
     "repro.txn.kind",
+    "repro.modelcheck.kind",
 )
 
 

@@ -16,6 +16,10 @@ from repro.experiments.fig7_wait_in_w import run_fig7_wait_in_w
 from repro.experiments.fig8_termination import run_fig8_termination, run_termination_sweep
 from repro.experiments.fig9_wait_in_p import run_fig9_wait_in_p
 from repro.experiments.lemmas import run_lemma_checks, run_lemma3_sweep
+from repro.experiments.modelcheck import (
+    run_differential_validation,
+    run_modelcheck_verification,
+)
 from repro.experiments.sec3_counterexamples import run_sec3_counterexamples
 from repro.experiments.sec6_cases import run_sec6_cases
 from repro.experiments.sec7_assumptions import run_sec7_assumptions
@@ -31,6 +35,7 @@ from repro.experiments.throughput import (
 __all__ = [
     "ExperimentReport",
     "run_availability_comparison",
+    "run_differential_validation",
     "run_fig1_two_phase",
     "run_fig2_extended_two_phase",
     "run_fig3_three_phase",
@@ -42,6 +47,7 @@ __all__ = [
     "run_lemma_checks",
     "run_lemma3_sweep",
     "run_message_overhead",
+    "run_modelcheck_verification",
     "run_multiple_partitioning",
     "run_retry_recovery_comparison",
     "run_sec3_counterexamples",

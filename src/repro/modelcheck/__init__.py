@@ -1,0 +1,32 @@
+"""Exhaustive model checking of the paper's commit protocols.
+
+The MODELCHECK spec kind: a :class:`~repro.modelcheck.spec.ModelCheckSpec`
+names a protocol, a site count and a fault envelope; its executor runs the
+bounded exhaustive exploration of :mod:`repro.core.reachability`, verifies
+the paper's invariants (same-decision, no-commit-after-abort,
+commit-requires-votes, no-blocking) as machine-checked properties of the
+global state graph, and reduces to a
+:class:`~repro.modelcheck.summary.ModelCheckSummary` with per-invariant
+verdicts and minimal counterexample traces.
+
+Because the kind registers through :mod:`repro.engine.registry` (listed in
+``BUILTIN_KIND_PROVIDERS``), exhaustive checking shards, caches, streams
+and merges exactly like the simulator grids, and
+:mod:`repro.modelcheck.differential` cross-validates the two independent
+semantics -- exhaustive checker vs. event-driven simulator -- on identical
+configurations.
+"""
+
+from repro.modelcheck.spec import ModelCheckSpec
+from repro.modelcheck.summary import ModelCheckSummary
+from repro.modelcheck.checker import ModelCheckResult, check_model
+from repro.modelcheck.protocols import checkable_protocols, resolve_protocol
+
+__all__ = [
+    "ModelCheckSpec",
+    "ModelCheckSummary",
+    "ModelCheckResult",
+    "check_model",
+    "checkable_protocols",
+    "resolve_protocol",
+]

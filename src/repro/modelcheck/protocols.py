@@ -1,0 +1,68 @@
+"""Which simulator protocols the model checker can check, and how.
+
+The simulator registry (:mod:`repro.protocols.registry`) and the FSA
+catalog (:mod:`repro.core.catalog`) use different vocabularies: the
+simulator's ``extended-two-phase-commit`` is the catalog's 2PC automata
+*plus* the Rule (a)/(b) augmentation of :mod:`repro.core.rules`.  This
+module is the bridge: it maps each checkable simulator name to its FSA
+spec factory and whether the rules augmentation applies, so
+``repro modelcheck`` and the differential harness accept exactly the names
+``repro sweep`` does.
+
+The terminating protocols (cooperative termination via surviving-site
+probes) are out of scope: their probe exchange is a timed gossip loop, not
+an FSA transition relation, so there is no finite global graph to
+enumerate.  Asking for one raises a :class:`UncheckableProtocolError`
+naming the checkable alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core import catalog
+from repro.core.fsa import CommitProtocolSpec
+from repro.core.rules import AugmentedProtocol, augment_with_rules
+
+#: simulator-registry name -> (FSA spec factory, apply Rule (a)/(b) tables)
+_CHECKABLE: dict[str, tuple[Callable[[], CommitProtocolSpec], bool]] = {
+    "two-phase-commit": (catalog.two_phase_commit, False),
+    "extended-two-phase-commit": (catalog.two_phase_commit, True),
+    "three-phase-commit": (catalog.three_phase_commit, False),
+    "naive-extended-three-phase-commit": (catalog.three_phase_commit, True),
+    "quorum-commit": (catalog.quorum_commit, False),
+}
+
+
+class UncheckableProtocolError(ValueError):
+    """Raised for protocols without a finite FSA global graph to explore."""
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"protocol {name!r} is not model-checkable; "
+            f"checkable protocols: {', '.join(checkable_protocols())}"
+        )
+        self.name = name
+
+
+def checkable_protocols() -> list[str]:
+    """The simulator-registry names the checker accepts, sorted."""
+    return sorted(_CHECKABLE)
+
+
+def resolve_protocol(
+    name: str, n_sites: int
+) -> tuple[CommitProtocolSpec, Optional[AugmentedProtocol]]:
+    """Resolve a simulator protocol name for the checker.
+
+    Returns the FSA protocol spec and, for the extended variants, the
+    Rule (a)/(b) augmentation instantiated for ``n_sites`` (``None`` for the
+    plain protocols, whose simulator roles ignore timeouts and bounces).
+    """
+    entry = _CHECKABLE.get(name)
+    if entry is None:
+        raise UncheckableProtocolError(name)
+    factory, augmented = entry
+    spec = factory()
+    augmentation = augment_with_rules(spec, n_sites) if augmented else None
+    return spec, augmentation

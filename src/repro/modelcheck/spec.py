@@ -1,0 +1,73 @@
+"""The MODELCHECK spec: what to explore, under which faults, within budgets.
+
+A :class:`ModelCheckSpec` is to the model checker what
+:class:`~repro.protocols.runner.ScenarioSpec` is to the simulator: a frozen,
+hashable description of one unit of work.  Everything that changes the
+explored graph -- site count, fault envelope, scripted votes, the state and
+depth budgets -- is a spec field, so it flows into the
+``(spec-hash, seed)`` cache key and two runs with different budgets can
+never collide in the result cache (the "exploration limits were
+unconfigurable constants" fix this PR pins with a regression test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.reachability import FAILURE_FREE, FAULT_ENVELOPES
+
+
+@dataclass(frozen=True)
+class ModelCheckSpec:
+    """One exhaustive-exploration work unit.
+
+    Attributes:
+        n_sites: number of participating sites (site 1 is the master).
+        fault: fault envelope -- one of
+            :data:`~repro.core.reachability.FAULT_ENVELOPES`
+            (``"failure-free"``, ``"single-crash"``, ``"partition"``).
+        no_voters: ``None`` explores *both* vote branches of every slave
+            (the exhaustive default); a frozenset of slave site ids scripts
+            the vote pattern, matching one simulator scenario exactly.  The
+            master cannot be scripted: in the simulator a master no-vote is
+            a unilateral abort broadcast before the protocol starts, which
+            is not a reachable branch of the FSA graph.
+        max_states: state budget; exceeding it raises
+            :class:`~repro.core.reachability.ExplorationError`.
+        max_depth: optional depth budget; ``None`` means unbounded.
+        seed: cache-key conformance only.  Exploration is exhaustive and
+            deterministic -- the seed never changes the result, it exists
+            so the kind obeys the engine's ``(spec-hash, seed)`` contract.
+    """
+
+    n_sites: int = 3
+    fault: str = FAILURE_FREE
+    no_voters: Optional[frozenset[int]] = None
+    max_states: int = 200_000
+    max_depth: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 2:
+            raise ValueError(
+                f"a distributed transaction needs at least 2 sites, got {self.n_sites}"
+            )
+        if self.fault not in FAULT_ENVELOPES:
+            raise ValueError(
+                f"unknown fault envelope {self.fault!r}; "
+                f"expected one of {FAULT_ENVELOPES}"
+            )
+        if self.max_states < 1:
+            raise ValueError(f"max_states must be positive, got {self.max_states}")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError(f"max_depth must be positive, got {self.max_depth}")
+        if self.no_voters is not None:
+            slaves = set(range(2, self.n_sites + 1))
+            bad = set(self.no_voters) - slaves
+            if bad:
+                raise ValueError(
+                    f"no_voters must be slave sites {sorted(slaves)}, "
+                    f"got {sorted(bad)} (the master's no-vote is a unilateral "
+                    f"abort, not a checkable vote branch)"
+                )

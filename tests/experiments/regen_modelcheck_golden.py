@@ -1,0 +1,68 @@
+"""Regenerate ``golden_modelcheck.json`` for test_modelcheck_golden.py.
+
+Run only when the checker's output changes *on purpose* (a protocol fix, a
+new invariant, a semantics change in the explorer)::
+
+    PYTHONPATH=src python tests/experiments/regen_modelcheck_golden.py
+
+The goldens pin, per experiment, the full table (states/edges explored,
+frontier depth, per-invariant verdicts) plus the *shape* of every
+counterexample trace (length, action sequence, final local-state vector)
+-- enough to catch any drift in the explored graph or in minimality
+without serializing whole global states.  The invocations must stay in
+lockstep with ``RUNS`` in ``test_modelcheck_golden.py``.
+"""
+
+import json
+import pathlib
+
+from repro import experiments as ex
+
+RUNS = {
+    "MODELCHECK_N2": lambda: ex.run_modelcheck_verification(n_sites=2),
+    "MODELCHECK_N3": lambda: ex.run_modelcheck_verification(n_sites=3),
+    "DIFF": lambda: ex.run_differential_validation(count=40, seed=0),
+}
+
+
+def counterexample_shapes(report):
+    """The trace shapes of every violated invariant in a MODELCHECK report."""
+    shapes = []
+    for summary in report.details.get("summaries", []):
+        for name in sorted(summary.counterexamples):
+            steps = summary.counterexample(name)
+            shapes.append(
+                {
+                    "protocol": summary.protocol,
+                    "fault": summary.fault,
+                    "invariant": name,
+                    "steps": len(steps),
+                    "actions": [step["action"] for step in steps],
+                    "final_locals": steps[-1]["locals"] if steps else [],
+                }
+            )
+    return shapes
+
+
+def golden_entry(report):
+    """The serialized form of one report (shared with the test)."""
+    return {
+        "experiment": report.experiment,
+        "title": report.title,
+        "headline": report.headline,
+        "table": report.table,
+        "counterexamples": counterexample_shapes(report),
+    }
+
+
+def main() -> None:
+    golden = {name: golden_entry(fn()) for name, fn in RUNS.items()}
+    path = pathlib.Path(__file__).parent / "golden_modelcheck.json"
+    path.write_text(
+        json.dumps(golden, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {path} ({len(golden)} experiments)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Golden-table regression tests for the model-checking experiments.
+
+``golden_modelcheck.json`` pins the exhaustive checker's observable output
+-- states/edges explored, frontier depths, every invariant verdict and the
+shape of every minimal counterexample -- at both site counts, plus the
+aggregated differential-validation table.  Any change to the explorer's
+successor semantics, the invariant definitions or the BFS trace minimality
+shows up as a golden diff and must be regenerated deliberately::
+
+    PYTHONPATH=src python tests/experiments/regen_modelcheck_golden.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import experiments as ex
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_modelcheck.json"
+
+# The exact invocations the goldens were captured with (lockstep with
+# regen_modelcheck_golden.py).
+RUNS = {
+    "MODELCHECK_N2": lambda: ex.run_modelcheck_verification(n_sites=2),
+    "MODELCHECK_N3": lambda: ex.run_modelcheck_verification(n_sites=3),
+    "DIFF": lambda: ex.run_differential_validation(count=40, seed=0),
+}
+
+
+def _counterexample_shapes(report):
+    shapes = []
+    for summary in report.details.get("summaries", []):
+        for name in sorted(summary.counterexamples):
+            steps = summary.counterexample(name)
+            shapes.append(
+                {
+                    "protocol": summary.protocol,
+                    "fault": summary.fault,
+                    "invariant": name,
+                    "steps": len(steps),
+                    "actions": [step["action"] for step in steps],
+                    "final_locals": steps[-1]["locals"] if steps else [],
+                }
+            )
+    return shapes
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("name", sorted(RUNS))
+def test_report_matches_golden(name, goldens):
+    golden = goldens[name]
+    report = RUNS[name]()
+    assert report.experiment == golden["experiment"]
+    assert report.title == golden["title"]
+    assert report.headline == golden["headline"]
+    assert report.table == golden["table"]
+    assert _counterexample_shapes(report) == golden["counterexamples"]
+
+
+def test_goldens_cover_every_run(goldens):
+    assert sorted(goldens) == sorted(RUNS)
+    for name, golden in goldens.items():
+        assert golden["table"], f"{name} golden has an empty table"
+        assert golden["headline"], f"{name} golden has an empty headline"
+
+
+def test_goldens_pin_the_paper_observations(goldens):
+    """The goldens themselves encode the paper's two-site/three-site split."""
+    n3 = {
+        (row["protocol"], row["fault"]): row
+        for row in goldens["MODELCHECK_N3"]["table"]
+    }
+    n2 = {
+        (row["protocol"], row["fault"]): row
+        for row in goldens["MODELCHECK_N2"]["table"]
+    }
+    # Observation 2's protocol errs at three sites but not at two.
+    naive = "naive-extended-three-phase-commit"
+    assert n3[(naive, "partition")]["same-decision"].startswith("violated")
+    assert n2[(naive, "partition")]["same-decision"] == "holds"
+    # 2PC never errs -- it blocks under faults at any site count.
+    for table in (n2, n3):
+        for fault in ("single-crash", "partition"):
+            row = table[("two-phase-commit", fault)]
+            assert row["same-decision"] == "holds"
+            assert row["non-blocking"].startswith("violated")
+    # The differential table reports zero disagreements everywhere.
+    assert all(
+        row["disagreements"] == 0 for row in goldens["DIFF"]["table"]
+    )
