@@ -112,8 +112,37 @@ def _parse_no_voters(values: list[str]) -> tuple[frozenset[int], ...]:
     return tuple(options) if options else (frozenset(),)
 
 
+def _add_obs_options(
+    parser: argparse.ArgumentParser, *, progress: bool = False
+) -> None:
+    """The observability flags (run metrics, phase traces, live progress)."""
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="record run metrics (counters/gauges/histograms) to PATH as "
+        "canonical JSON; render with 'repro report'",
+    )
+    parser.add_argument(
+        "--trace-ndjson",
+        default=None,
+        metavar="PATH",
+        help="record phase spans to PATH as NDJSON (one span per line)",
+    )
+    if progress:
+        parser.add_argument(
+            "--progress",
+            action="store_true",
+            help="live stderr progress line (done/total, scenarios/s, "
+            "cache-hit rate, ETA)",
+        )
+
+
 def _add_engine_options(
-    parser: argparse.ArgumentParser, *, chunk_size: bool = False
+    parser: argparse.ArgumentParser,
+    *,
+    chunk_size: bool = False,
+    progress: bool = False,
 ) -> None:
     """The engine-facing options every grid-executing subcommand shares."""
     parser.add_argument(
@@ -139,6 +168,7 @@ def _add_engine_options(
         metavar="PATH",
         help="write run statistics to PATH as canonical JSON",
     )
+    _add_obs_options(parser, progress=progress)
 
 
 def _add_partition_axes(parser: argparse.ArgumentParser) -> None:
@@ -382,7 +412,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiment ids")
     run = sub.add_parser("run", help="run one or more experiments by id")
     run.add_argument("ids", nargs="+", metavar="ID", help="experiment ids (see 'list')")
-    sub.add_parser("all", help="run every experiment")
+    _add_obs_options(run)
+    all_parser = sub.add_parser("all", help="run every experiment")
+    _add_obs_options(all_parser)
 
     sweep = sub.add_parser(
         "sweep",
@@ -395,7 +427,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
     _add_partition_axes(sweep)
-    _add_engine_options(sweep, chunk_size=True)
+    _add_engine_options(sweep, chunk_size=True, progress=True)
     sweep.add_argument(
         "--stream",
         action="store_true",
@@ -438,7 +470,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sites", type=int, default=3, help="number of sites (default 3)"
     )
     _add_throughput_axes(throughput)
-    _add_engine_options(throughput)
+    _add_engine_options(throughput, progress=True)
     throughput.add_argument(
         "--jsonl",
         default=None,
@@ -476,7 +508,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated no-voting slave sites; repeatable, 'none' = all yes",
     )
     _add_modelcheck_axes(modelcheck)
-    _add_engine_options(modelcheck, chunk_size=True)
+    _add_engine_options(modelcheck, chunk_size=True, progress=True)
     modelcheck.add_argument(
         "--jsonl",
         default=None,
@@ -565,6 +597,22 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write merge statistics to PATH as canonical JSON",
     )
+    _add_obs_options(merge)
+
+    report = sub.add_parser(
+        "report",
+        help="render a --metrics-json file as phase/worker breakdown tables",
+        description=(
+            "Read the canonical-JSON metrics document a run wrote with "
+            "--metrics-json and render its run header, phase breakdown "
+            "(every *_seconds histogram with its share of wall clock), "
+            "per-worker utilization with the dispatch-overhead share, and "
+            "the remaining counters and gauges."
+        ),
+    )
+    report.add_argument(
+        "metrics", metavar="METRICS_JSON", help="metrics document to render"
+    )
 
     boundaries = sub.add_parser(
         "boundaries",
@@ -632,6 +680,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="result-cache directory (refinement rounds become incremental)",
     )
+    _add_obs_options(boundaries)
     return parser
 
 
@@ -716,6 +765,21 @@ def _write_stats_json(path: Optional[str], payload: dict) -> None:
     target.write_bytes(canonical_json_bytes(payload) + b"\n")
 
 
+#: Version tag of every machine-readable document this CLI writes
+#: (``--stats-json`` and ``--metrics-json`` alike); bumped on
+#: incompatible payload-layout changes so CI parsers can key on it.
+STATS_SCHEMA_VERSION = 1
+
+
+def _stats_payload(command: str, **fields) -> dict:
+    """Base of every machine-readable payload this CLI emits.
+
+    One construction point so sweep / throughput / shard / merge (and the
+    metrics documents) all carry the same ``schema_version`` field.
+    """
+    return {"command": command, "schema_version": STATS_SCHEMA_VERSION, **fields}
+
+
 def _run_stats_payload(command: str, stats, cache) -> dict:
     """The ``--stats-json`` payload of one grid execution.
 
@@ -724,17 +788,75 @@ def _run_stats_payload(command: str, stats, cache) -> dict:
     asserts on ``executed`` / ``cache_hits`` instead of grepping the human
     completion line.
     """
-    return {
-        "command": command,
-        "total": stats.total,
-        "executed": stats.executed,
-        "cache_hits": stats.cache_hits,
-        "workers": stats.workers,
-        "chunk_count": stats.chunk_count,
-        "elapsed": round(stats.elapsed, 6),
-        "scenarios_per_second": round(stats.throughput, 3),
-        "cache_enabled": cache is not None,
-    }
+    return _stats_payload(
+        command,
+        total=stats.total,
+        executed=stats.executed,
+        cache_hits=stats.cache_hits,
+        workers=stats.workers,
+        chunk_count=stats.chunk_count,
+        elapsed=round(stats.elapsed, 6),
+        scenarios_per_second=round(stats.throughput, 3),
+        cache_enabled=cache is not None,
+    )
+
+
+def _make_obs(args):
+    """The ``(metrics, spans)`` pair the obs flags ask for (``None`` = off)."""
+    from repro.obs import MetricsRegistry, SpanRecorder
+
+    metrics = MetricsRegistry() if getattr(args, "metrics_json", None) else None
+    spans = SpanRecorder() if getattr(args, "trace_ndjson", None) else None
+    return metrics, spans
+
+
+def _write_obs(args, command: str, metrics, spans, stats=None) -> None:
+    """Write the ``--metrics-json`` / ``--trace-ndjson`` outputs (if on)."""
+    if metrics is not None:
+        fields: dict = {"metrics": metrics.snapshot()}
+        if stats is not None:
+            fields.update(
+                total=stats.total,
+                workers=stats.workers,
+                elapsed=round(stats.elapsed, 6),
+            )
+        _write_stats_json(args.metrics_json, _stats_payload(command, **fields))
+    if spans is not None:
+        spans.write_ndjson(args.trace_ndjson)
+
+
+def _progress_sink(total: int, stats, label: str):
+    """A sink that repaints the ``--progress`` line per in-order delivery.
+
+    Reads ``executed`` / ``cache_hits`` live off the engine-shared
+    :class:`~repro.engine.StreamStats`, so the line's cache-hit rate is
+    current even while chunks are still in flight.  Appended *after* the
+    aggregating sinks so a repaint never precedes the delivery it reports.
+    """
+    from repro.engine.sink import SummarySink
+    from repro.obs.progress import ProgressLine
+
+    class _ProgressSink(SummarySink):
+        def __init__(self) -> None:
+            self.line = ProgressLine(total, label=label)
+            self.done = 0
+
+        def accept(self, index: int, summary) -> None:
+            self.done += 1
+            self.line.update(
+                self.done, executed=stats.executed, cache_hits=stats.cache_hits
+            )
+
+        def close(self) -> None:
+            self.line.update(
+                self.done,
+                executed=stats.executed,
+                cache_hits=stats.cache_hits,
+                force=True,
+            )
+            self.line.close()
+
+    return _ProgressSink()
 
 
 def _sweep_grid_tasks(args: argparse.Namespace):
@@ -770,7 +892,7 @@ def _sweep_grid_tasks(args: argparse.Namespace):
 
 def _run_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.atomicity import summarize_runs
-    from repro.engine import JsonlSink, SweepEngine, VerdictCounterSink
+    from repro.engine import JsonlSink, StreamStats, SweepEngine, VerdictCounterSink
     from repro.metrics.reporting import format_table
 
     if args.workers < 1:
@@ -789,8 +911,13 @@ def _run_sweep(args: argparse.Namespace) -> int:
         )
         return 2
 
+    obs_metrics, obs_spans = _make_obs(args)
     engine = SweepEngine(
-        workers=args.workers, cache=args.cache, chunk_size=args.chunk_size
+        workers=args.workers,
+        cache=args.cache,
+        chunk_size=args.chunk_size,
+        metrics=obs_metrics,
+        spans=obs_spans,
     )
 
     if args.refine:
@@ -812,7 +939,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        return _refine_and_report(
+        code = _refine_and_report(
             engine,
             protocols,
             n_sites=args.sites,
@@ -824,6 +951,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
             coarse_step=0.25,
             classify_bounds=False,
         )
+        _write_obs(args, "sweep", obs_metrics, obs_spans)
+        return code
 
     built = _sweep_grid_tasks(args)
     if built is None:
@@ -836,7 +965,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
         sinks = [VerdictCounterSink()]
         if args.jsonl is not None:
             sinks.append(JsonlSink(args.jsonl))
-        stats = engine.run_streaming(tasks, sinks=sinks)
+        stats = StreamStats(workers=args.workers)
+        if args.progress:
+            sinks.append(_progress_sink(len(tasks), stats, "sweep"))
+        stats = engine.run_streaming(tasks, sinks=sinks, stats=stats)
         print(format_table(sinks[0].rows()))
         if args.jsonl is not None:
             print(f"spilled {sinks[1].count} summaries to {args.jsonl}")
@@ -844,12 +976,38 @@ def _run_sweep(args: argparse.Namespace) -> int:
         _write_stats_json(
             args.stats_json, _run_stats_payload("sweep", stats, engine.cache)
         )
+        _write_obs(args, "sweep", obs_metrics, obs_spans, stats=stats)
         return 0
 
-    result = engine.run(tasks)
+    if args.progress:
+        # The materializing path pulls through the ordered generator so the
+        # progress line can tick per summary; the result surface
+        # (StreamStats) carries the same statistics fields.
+        from repro.obs.progress import ProgressLine
+
+        result = StreamStats(workers=args.workers)
+        line = ProgressLine(len(tasks), label="sweep")
+        summaries = []
+        for summary in engine.stream(tasks, stats=result):
+            summaries.append(summary)
+            line.update(
+                len(summaries),
+                executed=result.executed,
+                cache_hits=result.cache_hits,
+            )
+        line.update(
+            len(summaries),
+            executed=result.executed,
+            cache_hits=result.cache_hits,
+            force=True,
+        )
+        line.close()
+    else:
+        result = engine.run(tasks)
+        summaries = result.summaries
     rows = []
     for protocol, start, end in spans:
-        summary = summarize_runs(result.summaries[start:end], protocol=protocol)
+        summary = summarize_runs(summaries[start:end], protocol=protocol)
         rows.append(
             {
                 "protocol": protocol,
@@ -866,6 +1024,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     _write_stats_json(
         args.stats_json, _run_stats_payload("sweep", result, engine.cache)
     )
+    _write_obs(args, "sweep", obs_metrics, obs_spans, stats=result)
     return 0
 
 
@@ -955,7 +1114,7 @@ def _throughput_grid_tasks(args: argparse.Namespace):
 
 
 def _run_throughput(args: argparse.Namespace) -> int:
-    from repro.engine import JsonlSink, SweepEngine
+    from repro.engine import JsonlSink, StreamStats, SweepEngine
     from repro.metrics.reporting import format_table
     from repro.txn.sink import ThroughputSink
 
@@ -965,11 +1124,20 @@ def _run_throughput(args: argparse.Namespace) -> int:
     tasks = _throughput_grid_tasks(args)
     if tasks is None:
         return 2
-    engine = SweepEngine(workers=args.workers, cache=args.cache)
+    obs_metrics, obs_spans = _make_obs(args)
+    engine = SweepEngine(
+        workers=args.workers,
+        cache=args.cache,
+        metrics=obs_metrics,
+        spans=obs_spans,
+    )
     sinks: list = [ThroughputSink()]
     if args.jsonl is not None:
         sinks.append(JsonlSink(args.jsonl))
-    stats = engine.run_streaming(tasks, sinks=sinks)
+    stats = StreamStats(workers=args.workers)
+    if args.progress:
+        sinks.append(_progress_sink(len(tasks), stats, "throughput"))
+    stats = engine.run_streaming(tasks, sinks=sinks, stats=stats)
     print(format_table(sinks[0].rows()))
     if args.jsonl is not None:
         print(f"spilled {sinks[1].count} summaries to {args.jsonl}")
@@ -977,6 +1145,7 @@ def _run_throughput(args: argparse.Namespace) -> int:
     _write_stats_json(
         args.stats_json, _run_stats_payload("throughput", stats, engine.cache)
     )
+    _write_obs(args, "throughput", obs_metrics, obs_spans, stats=stats)
     return 0
 
 
@@ -1043,7 +1212,7 @@ def _modelcheck_grid_tasks(args: argparse.Namespace):
 
 def _run_modelcheck(args: argparse.Namespace) -> int:
     from repro.core.reachability import ExplorationError
-    from repro.engine import JsonlSink, SweepEngine
+    from repro.engine import JsonlSink, StreamStats, SweepEngine
     from repro.engine.sink import SummarySink
     from repro.metrics.reporting import format_table
     from repro.modelcheck.sink import ModelCheckSink
@@ -1058,8 +1227,13 @@ def _run_modelcheck(args: argparse.Namespace) -> int:
     tasks = _modelcheck_grid_tasks(args)
     if tasks is None:
         return 2
+    obs_metrics, obs_spans = _make_obs(args)
     engine = SweepEngine(
-        workers=args.workers, cache=args.cache, chunk_size=args.chunk_size
+        workers=args.workers,
+        cache=args.cache,
+        chunk_size=args.chunk_size,
+        metrics=obs_metrics,
+        spans=obs_spans,
     )
 
     refuted: list[ModelCheckSummary] = []
@@ -1074,8 +1248,11 @@ def _run_modelcheck(args: argparse.Namespace) -> int:
     sinks: list = [ModelCheckSink(), _CounterexampleCollector()]
     if args.jsonl is not None:
         sinks.append(JsonlSink(args.jsonl))
+    stats = StreamStats(workers=args.workers)
+    if args.progress:
+        sinks.append(_progress_sink(len(tasks), stats, "modelcheck"))
     try:
-        stats = engine.run_streaming(tasks, sinks=sinks)
+        stats = engine.run_streaming(tasks, sinks=sinks, stats=stats)
     except ExplorationError as exc:
         print(
             f"exploration budget exceeded: {exc} "
@@ -1097,6 +1274,7 @@ def _run_modelcheck(args: argparse.Namespace) -> int:
     _write_stats_json(
         args.stats_json, _run_stats_payload("modelcheck", stats, engine.cache)
     )
+    _write_obs(args, "modelcheck", obs_metrics, obs_spans, stats=stats)
     return 0
 
 
@@ -1186,8 +1364,13 @@ def _run_shard(args: argparse.Namespace) -> int:
         tasks = _throughput_grid_tasks(args)
         if tasks is None:
             return 2
+    obs_metrics, obs_spans = _make_obs(args)
     engine = SweepEngine(
-        workers=args.workers, cache=args.cache, chunk_size=args.chunk_size
+        workers=args.workers,
+        cache=args.cache,
+        chunk_size=args.chunk_size,
+        metrics=obs_metrics,
+        spans=obs_spans,
     )
     stats = run_shard(tasks, args.shard_index, args.shard_count, args.out, engine=engine)
     print(
@@ -1205,20 +1388,32 @@ def _run_shard(args: argparse.Namespace) -> int:
         }
     )
     _write_stats_json(args.stats_json, payload)
+    _write_obs(args, "shard", obs_metrics, obs_spans, stats=stats)
     return 0
 
 
 def _run_merge(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.engine.registry import UnknownSpecKindError
     from repro.engine.shard import ShardFormatError, merge_shards
     from repro.metrics.reporting import format_table
+    from repro.obs.metrics import activate
 
+    obs_metrics, obs_spans = _make_obs(args)
     try:
-        result = merge_shards(
-            args.spills,
-            jsonl=args.jsonl,
-            require_complete=not args.allow_partial,
-        )
+        with (
+            activate(obs_metrics) if obs_metrics is not None else nullcontext()
+        ), (
+            obs_spans.span("merge", spills=len(args.spills))
+            if obs_spans is not None
+            else nullcontext()
+        ):
+            result = merge_shards(
+                args.spills,
+                jsonl=args.jsonl,
+                require_complete=not args.allow_partial,
+            )
     except (ShardFormatError, UnknownSpecKindError, OSError) as exc:
         print(f"merge failed: {exc}", file=sys.stderr)
         return 2
@@ -1235,16 +1430,28 @@ def _run_merge(args: argparse.Namespace) -> int:
     )
     _write_stats_json(
         args.stats_json,
-        {
-            "command": "merge",
-            "shards": len(result.headers),
-            "shard_count": result.shard_count,
-            "records": result.records,
-            "total_tasks": result.total_tasks,
-            "kinds": sorted(result.kind_sinks),
-            "elapsed": round(result.elapsed, 6),
-        },
+        _stats_payload(
+            "merge",
+            shards=len(result.headers),
+            shard_count=result.shard_count,
+            records=result.records,
+            total_tasks=result.total_tasks,
+            kinds=sorted(result.kind_sinks),
+            elapsed=round(result.elapsed, 6),
+        ),
     )
+    if obs_metrics is not None:
+        _write_stats_json(
+            args.metrics_json,
+            _stats_payload(
+                "merge",
+                total=result.records,
+                elapsed=round(result.elapsed, 6),
+                metrics=obs_metrics.snapshot(),
+            ),
+        )
+    if obs_spans is not None:
+        obs_spans.write_ndjson(args.trace_ndjson)
     return 0
 
 
@@ -1336,8 +1543,14 @@ def _run_boundaries(args: argparse.Namespace) -> int:
     protocols = _resolve_protocols(args)
     if protocols is None:
         return 2
-    engine = SweepEngine(workers=args.workers, cache=args.cache)
-    return _refine_and_report(
+    obs_metrics, obs_spans = _make_obs(args)
+    engine = SweepEngine(
+        workers=args.workers,
+        cache=args.cache,
+        metrics=obs_metrics,
+        spans=obs_spans,
+    )
+    code = _refine_and_report(
         engine,
         protocols,
         n_sites=args.sites,
@@ -1349,6 +1562,57 @@ def _run_boundaries(args: argparse.Namespace) -> int:
         coarse_step=args.coarse_step,
         classify_bounds=args.decision_bounds,
     )
+    _write_obs(args, "boundaries", obs_metrics, obs_spans)
+    return code
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.obs.report import render_metrics_document
+
+    try:
+        document = json.loads(pathlib.Path(args.metrics).read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"report failed: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(document, dict):
+        print(
+            f"report failed: {args.metrics} is not a metrics document "
+            f"(expected a JSON object)",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_metrics_document(document))
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    """The ``run`` / ``all`` subcommands (with optional obs recording)."""
+    from contextlib import nullcontext
+
+    from repro.obs.metrics import activate
+
+    ids = list(EXPERIMENTS) if args.command == "all" else [i.upper() for i in args.ids]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    obs_metrics, obs_spans = _make_obs(args)
+    with activate(obs_metrics) if obs_metrics is not None else nullcontext():
+        for experiment_id in ids:
+            with (
+                obs_spans.span(experiment_id)
+                if obs_spans is not None
+                else nullcontext()
+            ):
+                report = EXPERIMENTS[experiment_id]()
+            print(report.format())
+            print()
+    _write_obs(args, args.command, obs_metrics, obs_spans)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1370,17 +1634,9 @@ def main(argv: list[str] | None = None) -> int:
         return _run_merge(args)
     if args.command == "boundaries":
         return _run_boundaries(args)
-    ids = list(EXPERIMENTS) if args.command == "all" else [i.upper() for i in args.ids]
-    unknown = [i for i in ids if i not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
-        return 2
-    for experiment_id in ids:
-        report = EXPERIMENTS[experiment_id]()
-        print(report.format())
-        print()
-    return 0
+    if args.command == "report":
+        return _run_report(args)
+    return _run_experiments(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -16,6 +16,7 @@ import tempfile
 from typing import Optional, Union
 
 from repro.engine.summary import RunSummary, summary_from_json_bytes
+from repro.obs.metrics import get_active as _active_metrics
 
 
 class ResultCache:
@@ -45,10 +46,15 @@ class ResultCache:
         cached (the full entry is read lazily at delivery time), so a warm
         sweep reads and parses each entry exactly once.
         """
+        metrics = _active_metrics()
         if self.path(spec_hash, seed).is_file():
             self.hits += 1
+            if metrics is not None:
+                metrics.counter("engine.cache.hits").inc()
             return True
         self.misses += 1
+        if metrics is not None:
+            metrics.counter("engine.cache.misses").inc()
         return False
 
     def get_bytes(
@@ -61,14 +67,21 @@ class ResultCache:
         earlier :meth:`get`.
         """
         path = self.path(spec_hash, seed)
+        metrics = _active_metrics()
         try:
             data = path.read_bytes()
         except FileNotFoundError:
             if record:
                 self.misses += 1
+                if metrics is not None:
+                    metrics.counter("engine.cache.misses").inc()
             return None
         if record:
             self.hits += 1
+            if metrics is not None:
+                metrics.counter("engine.cache.hits").inc()
+        if metrics is not None:
+            metrics.counter("engine.cache.bytes_read").inc(len(data))
         return data
 
     def get(
@@ -93,6 +106,10 @@ class ResultCache:
         output so cache entries stay byte-identical to :meth:`put`'s.
         """
         path = self.path(spec_hash, seed)
+        metrics = _active_metrics()
+        if metrics is not None:
+            metrics.counter("engine.cache.puts").inc()
+            metrics.counter("engine.cache.bytes_written").inc(len(data))
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:

@@ -39,6 +39,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional, Sequence, Union
 
@@ -48,19 +49,28 @@ from repro.engine.measures import resolve_measures
 from repro.engine.registry import kind_for_spec
 from repro.engine.sink import SummarySink
 from repro.engine.summary import RunSummary, summary_from_json_bytes
+from repro.obs.metrics import MetricsRegistry, activate, get_active, set_active
+from repro.obs.spans import SpanRecorder
 from repro.protocols.runner import ScenarioSpec
 
 TaskBatch = Union[ScenarioGrid, Iterable[SweepTask], Iterable[tuple[str, ScenarioSpec]]]
 
-# One chunk ships as (measure names, [(index, protocol, spec, spec_hash), ...]).
-_ChunkPayload = tuple[tuple[str, ...], list[tuple[int, str, ScenarioSpec, str]]]
+# One chunk ships as (measure names, [(index, protocol, spec, spec_hash), ...],
+# collect-metrics flag).
+_ChunkPayload = tuple[
+    tuple[str, ...], list[tuple[int, str, ScenarioSpec, str]], bool
+]
 
 # One chunk result returns as a single batched frame: the task indices plus
 # the newline-joined canonical JSON bytes of their summaries, in the same
 # order.  Shipping one bytes object per chunk (instead of pickling every
 # summary's object graph) keeps the parent's IPC cost flat in the chunk size,
-# and the frames are exactly what the result cache stores.
-_ChunkFrame = tuple[tuple[int, ...], bytes]
+# and the frames are exactly what the result cache stores.  The third element
+# is the chunk's observability meta -- worker pid, monotonic start/elapsed,
+# and the worker-side registry snapshot -- or ``None`` when metrics are off.
+# Riding the meta in the frame keeps it strictly out-of-band: the summary
+# bytes (element 1) are what the cache and every sink see, unchanged.
+_ChunkFrame = tuple[tuple[int, ...], bytes, Optional[dict]]
 
 
 def execute_task(
@@ -90,14 +100,48 @@ def _execute_chunk(payload: _ChunkPayload) -> _ChunkFrame:
     bytes straight to the cache).  Canonical JSON is single-line, so the
     newline join is unambiguous.
     """
-    measures, items = payload
-    indices = []
-    frames = []
-    for index, protocol, spec, spec_hash in items:
-        summary = execute_task(protocol, spec, spec_hash=spec_hash, measures=measures)
-        indices.append(index)
-        frames.append(summary.to_json_bytes())
-    return tuple(indices), b"\n".join(frames)
+    measures, items, collect = payload
+    indices: list[int] = []
+    frames: list[bytes] = []
+    if not collect:
+        for index, protocol, spec, spec_hash in items:
+            summary = execute_task(
+                protocol, spec, spec_hash=spec_hash, measures=measures
+            )
+            indices.append(index)
+            frames.append(summary.to_json_bytes())
+        return tuple(indices), b"\n".join(frames), None
+
+    # Metrics are on: run the chunk under a fresh worker-side registry (so
+    # kernel / cache / txn instruments land here, not in whatever registry
+    # the fork inherited) and ship its snapshot home in the frame meta.
+    registry = MetricsRegistry()
+    execute_hist = registry.histogram("engine.task.execute_seconds")
+    encode_hist = registry.histogram("engine.task.encode_seconds")
+    executed = registry.counter("engine.tasks.executed")
+    chunk_started = time.perf_counter()
+    with activate(registry):
+        for index, protocol, spec, spec_hash in items:
+            before = time.perf_counter()
+            summary = execute_task(
+                protocol, spec, spec_hash=spec_hash, measures=measures
+            )
+            after = time.perf_counter()
+            data = summary.to_json_bytes()
+            encode_hist.observe(time.perf_counter() - after)
+            execute_hist.observe(after - before)
+            executed.inc()
+            indices.append(index)
+            frames.append(data)
+    meta = {
+        "pid": os.getpid(),
+        # perf_counter is CLOCK_MONOTONIC on Linux, shared across forked
+        # processes, so the parent can subtract its own submit timestamp.
+        "started": chunk_started,
+        "elapsed": time.perf_counter() - chunk_started,
+        "metrics": registry.snapshot(),
+    }
+    return tuple(indices), b"\n".join(frames), meta
 
 
 @dataclass
@@ -168,6 +212,17 @@ class SweepEngine:
         mp_context: multiprocessing start-method name or context; defaults
             to ``fork`` where available (fastest) and the platform default
             elsewhere.
+        metrics: a :class:`~repro.obs.metrics.MetricsRegistry` to record
+            run metrics into, or ``None`` (the default) for zero-cost
+            no-op behaviour.  While a run is in flight the registry is
+            also installed as the process-wide active registry, so the
+            cache, kernel, scheduler and model-checker instruments all
+            land in it; worker-side snapshots ride home in the chunk
+            frames and are merged in.  Metrics never influence results:
+            summaries, cache entries and sink output stay byte-identical.
+        spans: a :class:`~repro.obs.spans.SpanRecorder` for phase spans
+            (cache scan, dispatch, worker execute, chunk fold), or
+            ``None`` to record nothing.
     """
 
     def __init__(
@@ -177,6 +232,8 @@ class SweepEngine:
         cache: Union[ResultCache, str, os.PathLike, None] = None,
         chunk_size: Optional[int] = None,
         mp_context: Union[str, Any, None] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanRecorder] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -184,6 +241,8 @@ class SweepEngine:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.metrics = metrics
+        self.spans = spans
         if cache is None or isinstance(cache, ResultCache):
             self.cache = cache
         else:
@@ -228,6 +287,7 @@ class SweepEngine:
         *,
         sinks: Union[SummarySink, Sequence[SummarySink]],
         measures: Sequence[str] = (),
+        stats: Optional[StreamStats] = None,
     ) -> StreamStats:
         """Execute every task, feeding each summary to the sinks in task order.
 
@@ -238,9 +298,16 @@ class SweepEngine:
         task order, ``workers=1`` and ``workers=N`` leave every sink with
         identical final aggregates.  Sinks are closed (even on an empty
         sweep) before the stats are returned.
+
+        Pass a :class:`StreamStats` to observe counters *live* (e.g. for a
+        ``--progress`` sink reading ``executed``/``cache_hits`` between
+        deliveries); the same object is updated in place and returned.
         """
         sink_list = [sinks] if isinstance(sinks, SummarySink) else list(sinks)
-        stats = StreamStats(workers=self.workers)
+        if stats is None:
+            stats = StreamStats(workers=self.workers)
+        else:
+            stats.workers = self.workers
         started = time.perf_counter()
         body_raised = False
         try:
@@ -319,31 +386,72 @@ class SweepEngine:
         key of a usable hit and re-reads it from disk at delivery time, so
         the parent never retains more summaries than the reorder buffer of
         out-of-order chunk results (``stats.max_buffered``).
+
+        Observability (``self.metrics`` / ``self.spans``): for the duration
+        of the stream the engine's registry is the process-wide active one
+        (restored afterwards), so cache and in-process-execution instruments
+        record into it; worker registries ship back per chunk and are merged.
+        Every instrument site is gated on one ``is None`` check.
         """
+        metrics = self.metrics
+        spans = self.spans
+        run_started = time.perf_counter()
+        # pid -> [tasks, chunks, busy seconds]; labels assigned at run end.
+        workers_seen: dict[int, list] = {}
+        previous_active = get_active()
+        if metrics is not None:
+            set_active(metrics)
+        try:
+            yield from self._stream_ordered_observed(
+                tasks, measures, stats, metrics, spans, workers_seen
+            )
+        finally:
+            if metrics is not None:
+                set_active(previous_active)
+                self._finalize_run_metrics(
+                    stats, time.perf_counter() - run_started, workers_seen
+                )
+
+    def _stream_ordered_observed(
+        self,
+        tasks: list[SweepTask],
+        measures: Sequence[str],
+        stats: StreamStats,
+        metrics: Optional[MetricsRegistry],
+        spans: Optional[SpanRecorder],
+        workers_seen: dict[int, list],
+    ) -> Iterator[tuple[int, RunSummary]]:
         measure_names = resolve_measures(measures)
         stats.total = len(tasks)
         pending: list[tuple[int, SweepTask, str]] = []
         cached: dict[int, tuple[SweepTask, str]] = {}
         partial: dict[int, RunSummary] = {}
-        for index, task in enumerate(tasks):
-            key = task.spec_hash
-            if self.cache is None:
-                pending.append((index, task, key))
-            elif not measure_names:
-                # No measures to check: a cheap existence probe suffices,
-                # deferring the single read+parse to delivery time.
-                if self.cache.probe(key, task.spec.seed):
-                    cached[index] = (task, key)
-                else:
+        with (
+            spans.span("cache-scan", tasks=len(tasks))
+            if spans is not None
+            else nullcontext()
+        ):
+            for index, task in enumerate(tasks):
+                key = task.spec_hash
+                if self.cache is None:
                     pending.append((index, task, key))
-            else:
-                hit = self.cache.get(key, task.spec.seed)
-                if hit is not None and all(m in hit.metrics for m in measure_names):
-                    cached[index] = (task, key)
+                elif not measure_names:
+                    # No measures to check: a cheap existence probe suffices,
+                    # deferring the single read+parse to delivery time.
+                    if self.cache.probe(key, task.spec.seed):
+                        cached[index] = (task, key)
+                    else:
+                        pending.append((index, task, key))
                 else:
-                    if hit is not None:
-                        partial[index] = hit
-                    pending.append((index, task, key))
+                    hit = self.cache.get(key, task.spec.seed)
+                    if hit is not None and all(
+                        m in hit.metrics for m in measure_names
+                    ):
+                        cached[index] = (task, key)
+                    else:
+                        if hit is not None:
+                            partial[index] = hit
+                        pending.append((index, task, key))
 
         def finish(
             index: int, summary: RunSummary, data: Optional[bytes] = None
@@ -386,6 +494,8 @@ class SweepEngine:
                             ),
                         )
                         stats.executed += 1
+                        if metrics is not None:
+                            metrics.counter("engine.tasks.executed").inc()
                     else:
                         stats.cache_hits += 1
                     yield cursor, hit
@@ -395,13 +505,26 @@ class SweepEngine:
 
         if self.workers == 1 or len(pending) <= 1:
             stats.chunk_count = len(pending)
+            if metrics is not None:
+                execute_hist = metrics.histogram("engine.task.execute_seconds")
+                executed_counter = metrics.counter("engine.tasks.executed")
+                acct = workers_seen.setdefault(os.getpid(), [0, 0, 0.0])
             for index, task, key in pending:
-                buffered[index] = finish(
-                    index,
-                    execute_task(
+                if metrics is None:
+                    summary = execute_task(
                         task.protocol, task.spec, spec_hash=key, measures=measure_names
-                    ),
-                )
+                    )
+                else:
+                    before = time.perf_counter()
+                    summary = execute_task(
+                        task.protocol, task.spec, spec_hash=key, measures=measure_names
+                    )
+                    task_elapsed = time.perf_counter() - before
+                    execute_hist.observe(task_elapsed)
+                    executed_counter.inc()
+                    acct[0] += 1
+                    acct[2] += task_elapsed
+                buffered[index] = finish(index, summary)
                 stats.max_buffered = max(stats.max_buffered, len(buffered))
                 yield from drain()
             yield from drain()
@@ -410,21 +533,100 @@ class SweepEngine:
         chunks = self._chunk(pending, measure_names)
         stats.chunk_count = len(chunks)
         max_workers = min(self.workers, len(chunks))
+        if metrics is not None:
+            queue_wait_hist = metrics.histogram("engine.chunk.queue_wait_seconds")
+            chunk_execute_hist = metrics.histogram("engine.chunk.execute_seconds")
+            decode_hist = metrics.histogram("engine.chunk.decode_seconds")
         with ProcessPoolExecutor(
             max_workers=max_workers, mp_context=self._mp_context
         ) as pool:
-            futures = {pool.submit(_execute_chunk, chunk) for chunk in chunks}
+            with (
+                spans.span("dispatch", chunks=len(chunks))
+                if spans is not None
+                else nullcontext()
+            ):
+                submitted = {
+                    pool.submit(_execute_chunk, chunk): time.perf_counter()
+                    for chunk in chunks
+                }
+            futures = set(submitted)
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    indices, frame = future.result()
+                    indices, frame, meta = future.result()
+                    if metrics is not None and meta is not None:
+                        worker_started = meta["started"]
+                        queue_wait_hist.observe(
+                            max(0.0, worker_started - submitted[future])
+                        )
+                        chunk_execute_hist.observe(meta["elapsed"])
+                        metrics.merge_snapshot(meta["metrics"])
+                        acct = workers_seen.setdefault(meta["pid"], [0, 0, 0.0])
+                        acct[0] += len(indices)
+                        acct[1] += 1
+                        acct[2] += meta["elapsed"]
+                        if spans is not None:
+                            spans.record_interval(
+                                "worker-execute",
+                                worker_started,
+                                worker_started + meta["elapsed"],
+                                pid=meta["pid"],
+                                tasks=len(indices),
+                            )
+                    decode_started = (
+                        time.perf_counter() if metrics is not None else 0.0
+                    )
                     for index, data in zip(indices, frame.split(b"\n")):
                         buffered[index] = finish(
                             index, summary_from_json_bytes(data), data
                         )
+                    if metrics is not None:
+                        # Decode + cache-store fold of one chunk's frame.
+                        decode_hist.observe(time.perf_counter() - decode_started)
                     stats.max_buffered = max(stats.max_buffered, len(buffered))
                     yield from drain()
         yield from drain()
+
+    def _finalize_run_metrics(
+        self,
+        stats: StreamStats,
+        elapsed: float,
+        workers_seen: dict[int, list],
+    ) -> None:
+        """Fold one run's per-worker accounting into the registry.
+
+        Worker labels (``w0``, ``w1``, ...) are assigned by sorted pid, so
+        within one run the labelling is deterministic; utilization is busy
+        seconds over the run's wall clock, and the dispatch-overhead share
+        is the fraction of worker-slot capacity *not* spent executing --
+        exactly the number ROADMAP item 1 needs.
+        """
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.counter("engine.tasks.total").inc(stats.total)
+        metrics.counter("engine.tasks.cache_hits").inc(stats.cache_hits)
+        metrics.counter("engine.chunks").inc(stats.chunk_count)
+        metrics.gauge("engine.workers").set(float(self.workers))
+        metrics.gauge("engine.elapsed_seconds").set(elapsed)
+        total_busy = 0.0
+        for label_index, pid in enumerate(sorted(workers_seen)):
+            tasks_done, chunks_done, busy = workers_seen[pid]
+            prefix = f"engine.worker.w{label_index}."
+            metrics.counter(prefix + "tasks").inc(tasks_done)
+            metrics.counter(prefix + "chunks").inc(chunks_done)
+            metrics.gauge(prefix + "busy_seconds").set(busy)
+            if elapsed > 0:
+                metrics.gauge(prefix + "utilization").set(
+                    min(1.0, busy / elapsed)
+                )
+            total_busy += busy
+        slots = min(self.workers, len(workers_seen)) or 1
+        if elapsed > 0 and workers_seen:
+            share = 1.0 - total_busy / (elapsed * slots)
+            metrics.gauge("engine.dispatch_overhead_share").set(
+                min(1.0, max(0.0, share))
+            )
 
     def _chunk(
         self,
@@ -437,10 +639,11 @@ class SweepEngine:
             # scenario at a time.
             size = max(1, len(pending) // (self.workers * 4))
         chunks: list[_ChunkPayload] = []
+        collect = self.metrics is not None
         for start in range(0, len(pending), size):
             items = [
                 (index, task.protocol, task.spec, key)
                 for index, task, key in pending[start : start + size]
             ]
-            chunks.append((measure_names, items))
+            chunks.append((measure_names, items, collect))
         return chunks

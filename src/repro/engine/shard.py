@@ -43,6 +43,7 @@ from repro.engine.engine import StreamStats, SweepEngine, TaskBatch
 from repro.engine.grid import SweepTask
 from repro.engine.registry import kind_for_payload, kind_for_spec
 from repro.engine.sink import SummarySink
+from repro.obs.metrics import COUNT_BUCKETS, get_active as _active_metrics
 
 #: Version stamp of the spill format; bumped on incompatible layout changes.
 SHARD_FORMAT = 1
@@ -176,7 +177,18 @@ class _ShardSpillSink(SummarySink):
             "index": self.global_indices[index],
             "summary": summary.to_json_dict(),
         }
-        self._ensure_open().write(canonical_json_bytes(record) + b"\n")
+        data = canonical_json_bytes(record) + b"\n"
+        metrics = _active_metrics()
+        if metrics is None:
+            self._ensure_open().write(data)
+            return
+        before = time.perf_counter()
+        self._ensure_open().write(data)
+        metrics.histogram("shard.spill.write_seconds").observe(
+            time.perf_counter() - before
+        )
+        metrics.counter("shard.spill.records").inc()
+        metrics.counter("shard.spill.bytes_written").inc(len(data))
 
     def close(self) -> None:
         handle = self._ensure_open()  # header even when nothing was delivered
@@ -213,6 +225,15 @@ def run_shard(
         shard_tasks=len(selected),
         spec_kinds=spec_kinds,
     )
+    metrics = engine.metrics
+    if metrics is not None:
+        metrics.counter("shard.tasks").inc(len(selected))
+        # Skew: this shard's load relative to a perfectly even partition
+        # (1.0 = exactly its fair share).  Content-addressed assignment is
+        # balanced only in expectation; this gauge shows the actual spread.
+        ideal = len(task_list) / shard_count
+        if ideal > 0:
+            metrics.gauge("shard.skew").set(len(selected) / ideal)
     spill = _ShardSpillSink(path, header, [index for index, _ in selected])
     return engine.run_streaming(
         [task for _, task in selected], sinks=spill, measures=measures
@@ -320,10 +341,21 @@ def merge_shards(
     if not paths:
         raise ShardFormatError("no shard spills to merge")
     started = time.perf_counter()
+    metrics = _active_metrics()
     headers: list[ShardHeader] = []
     merged: list[tuple[int, dict[str, Any]]] = []
     for path in paths:
-        header, records = read_shard(path)
+        if metrics is None:
+            header, records = read_shard(path)
+        else:
+            before = time.perf_counter()
+            header, records = read_shard(path)
+            metrics.histogram("merge.read_seconds").observe(
+                time.perf_counter() - before
+            )
+            metrics.histogram(
+                "merge.records_per_shard", bounds=COUNT_BUCKETS
+            ).observe(float(len(records)))
         if headers:
             first = headers[0]
             for field_name in ("shard_count", "total_tasks"):
@@ -378,6 +410,7 @@ def merge_shards(
     if jsonl_path is not None:
         jsonl_path.parent.mkdir(parents=True, exist_ok=True)
         handle = open(jsonl_path, "wb")
+    fold_started = time.perf_counter()
     try:
         for index, payload in merged:
             kind = kind_for_payload(payload)
@@ -396,6 +429,19 @@ def merge_shards(
             handle.close()
         for sink in (*kind_sinks.values(), *extra):
             sink.close()
+    if metrics is not None:
+        metrics.histogram("merge.fold_seconds").observe(
+            time.perf_counter() - fold_started
+        )
+        metrics.counter("merge.records").inc(len(merged))
+        metrics.counter("merge.shards").inc(len(headers))
+        counts = [header.shard_tasks for header in headers]
+        mean = sum(counts) / len(counts)
+        if mean > 0:
+            # Skew across the merged shards: heaviest shard over the mean
+            # (1.0 = perfectly even).  The number that says whether the
+            # matrix's wall clock is gated on one overloaded shard.
+            metrics.gauge("merge.skew").set(max(counts) / mean)
     return MergeResult(
         headers=headers,
         records=len(merged),

@@ -16,12 +16,14 @@ measure.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.engine.registry import SpecKind, register_spec_kind
 from repro.modelcheck.checker import check_model
 from repro.modelcheck.spec import ModelCheckSpec
 from repro.modelcheck.summary import ModelCheckSummary
+from repro.obs.metrics import get_active as _active_metrics
 
 
 def _execute(
@@ -32,7 +34,30 @@ def _execute(
     measures: Sequence[str] = (),
 ) -> ModelCheckSummary:
     """Explore + check one configuration in a worker; keep only the summary."""
-    return check_model(protocol, spec).to_summary(spec_hash=spec_hash)
+    metrics = _active_metrics()
+    if metrics is None:
+        return check_model(protocol, spec).to_summary(spec_hash=spec_hash)
+    before = time.perf_counter()
+    summary = check_model(protocol, spec).to_summary(spec_hash=spec_hash)
+    elapsed = time.perf_counter() - before
+    metrics.counter("modelcheck.checks").inc()
+    metrics.counter("modelcheck.states_explored").inc(summary.states_explored)
+    metrics.counter("modelcheck.edges_explored").inc(summary.edges_explored)
+    if not summary.complete:
+        metrics.counter("modelcheck.truncated").inc()
+    metrics.histogram("modelcheck.explore_seconds").observe(elapsed)
+    # High-watermark gauges: the deepest frontier, the fastest exploration
+    # and the closest brush with the state budget across the whole sweep.
+    metrics.gauge("modelcheck.frontier_depth").set(float(summary.frontier_depth))
+    if elapsed > 0:
+        metrics.gauge("modelcheck.states_per_second").set(
+            summary.states_explored / elapsed
+        )
+    if spec.max_states:
+        metrics.gauge("modelcheck.budget_consumed").set(
+            summary.states_explored / spec.max_states
+        )
+    return summary
 
 
 def _make_sink():

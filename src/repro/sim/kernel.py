@@ -35,6 +35,26 @@ from repro.sim.events import Event, EventKind
 #: never pay a rebuild.
 _COMPACT_MIN_CANCELLED = 64
 
+#: Observability hook, installed by :func:`repro.obs.metrics.set_active`
+#: (the kernel stays import-free of the obs layer).  Called once per
+#: :meth:`Simulator.run` return with that run's deltas -- counters only,
+#: gated exactly like the ``_tracing`` flags: when no registry is active
+#: the hook is ``None`` and the cost is one ``is None`` check per run()
+#: call, never per event.
+_METRICS_HOOK: Optional[Callable[[int, int, int, int], None]] = None
+
+
+def set_metrics_hook(
+    hook: Optional[Callable[[int, int, int, int], None]]
+) -> None:
+    """Install (or clear, with ``None``) the per-run metrics callback.
+
+    The hook receives ``(scheduled, executed, cancelled, compactions)``
+    deltas of one :meth:`Simulator.run` call.
+    """
+    global _METRICS_HOOK
+    _METRICS_HOOK = hook
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven in an inconsistent way."""
@@ -64,8 +84,16 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._cancelled_in_heap = 0
+        self._cancelled_total = 0
+        self._compactions = 0
         self._stopped = False
         self._events_executed = 0
+        # High-water marks of what the metrics hook has already reported,
+        # so schedules/cancellations between run() calls (arrivals queued
+        # before the run, cross-run cancellations) are never lost.
+        self._reported_sequence = 0
+        self._reported_cancelled = 0
+        self._reported_compactions = 0
 
     @property
     def rng(self) -> random.Random:
@@ -147,6 +175,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def _note_cancel(self) -> None:
         """Called by :meth:`Event.cancel` while the event is still queued."""
+        self._cancelled_total += 1
         count = self._cancelled_in_heap = self._cancelled_in_heap + 1
         if count > _COMPACT_MIN_CANCELLED and count * 2 > len(self._heap):
             self._compact()
@@ -156,6 +185,7 @@ class Simulator:
         self._heap[:] = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -253,6 +283,18 @@ class Simulator:
                 action(arg)
         if until is not None and clock._now < until and not self._stopped:
             clock._now = float(until)
+        if _METRICS_HOOK is not None:
+            # Deltas since the last report (or simulator creation), so
+            # events scheduled/cancelled outside the run loop still count.
+            _METRICS_HOOK(
+                self._sequence - self._reported_sequence,
+                executed,
+                self._cancelled_total - self._reported_cancelled,
+                self._compactions - self._reported_compactions,
+            )
+            self._reported_sequence = self._sequence
+            self._reported_cancelled = self._cancelled_total
+            self._reported_compactions = self._compactions
         return clock._now
 
     def run_until_quiescent(self, *, max_events: int = 1_000_000) -> float:

@@ -29,6 +29,8 @@ import enum
 import random
 from dataclasses import dataclass
 
+from repro.obs.metrics import SIM_TIME_BUCKETS, get_active as _active_metrics
+
 
 class AbortCause(enum.Enum):
     """Why a transaction attempt aborted (the retry/accounting split)."""
@@ -87,9 +89,18 @@ class RetryPolicy:
             raise ValueError(f"failed_attempt must be >= 1, got {failed_attempt}")
         base = self.backoff * self.backoff_factor ** (failed_attempt - 1)
         if self.jitter == 0.0:
-            return base
-        rng = random.Random(f"retry:{seed}:{transaction_id}:{failed_attempt}")
-        return base * (1.0 + self.jitter * rng.random())
+            delay = base
+        else:
+            rng = random.Random(f"retry:{seed}:{transaction_id}:{failed_attempt}")
+            delay = base * (1.0 + self.jitter * rng.random())
+        metrics = _active_metrics()
+        if metrics is not None:
+            # The issued-backoff distribution (simulated time): with the
+            # retry-backlog peak, this is how long aborted work sat out.
+            metrics.histogram(
+                "txn.retry_backoff_simtime", bounds=SIM_TIME_BUCKETS
+            ).observe(delay)
+        return delay
 
 
 def attempt_id(logical_id: str, attempt: int) -> str:

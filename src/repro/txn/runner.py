@@ -28,6 +28,7 @@ from repro.sim.failures import CrashSchedule
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import OPTIMISTIC
 from repro.sim.partition import PartitionSchedule
+from repro.obs.metrics import SIM_TIME_BUCKETS, get_active as _active_metrics
 from repro.txn.deadlock import DeadlockPolicy
 from repro.txn.retry import AbortCause, RetryPolicy
 from repro.txn.scheduler import TransactionScheduler
@@ -240,7 +241,8 @@ def run_throughput_scenario(
         AbortCause.CRASH.value: "aborted_crash",
         AbortCause.PARTITION.value: "aborted_partition",
     }
-    for outcome in scheduler.outcomes():
+    outcomes = scheduler.outcomes()
+    for outcome in outcomes:
         summary.offered += 1
         summary.lock_wait_total += outcome.lock_wait
         if outcome.verdict is TransactionVerdict.COMMITTED:
@@ -267,6 +269,27 @@ def run_throughput_scenario(
             summary.stalled += 1
         else:
             summary.violated += 1
+    metrics = _active_metrics()
+    if metrics is not None:
+        # Post-run fold (one pass per scenario, zero cost while the
+        # simulation runs): the contention shape of this workload.  The
+        # lock-wait histogram is in *simulated* time units, hence the
+        # ``_simtime`` suffix that keeps it out of wall-clock phase tables.
+        lock_wait = metrics.histogram(
+            "txn.lock_wait_simtime", bounds=SIM_TIME_BUCKETS
+        )
+        for outcome in outcomes:
+            lock_wait.observe(outcome.lock_wait)
+        metrics.counter("txn.offered").inc(summary.offered)
+        metrics.counter("txn.committed").inc(summary.committed)
+        metrics.counter("txn.aborted").inc(summary.aborted)
+        metrics.counter("txn.deadlock_aborts").inc(summary.deadlock_aborts)
+        metrics.counter("txn.timeout_aborts").inc(summary.timeout_aborts)
+        metrics.counter("txn.retries").inc(summary.retries)
+        metrics.gauge("txn.peak_waiting").set(float(scheduler.peak_waiting))
+        metrics.gauge("txn.retry_backlog_peak").set(
+            float(scheduler.peak_retry_backlog)
+        )
     return ThroughputRunResult(
         summary=summary, scheduler=scheduler, cluster=cluster, db_sites=db_sites
     )

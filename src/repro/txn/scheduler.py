@@ -188,6 +188,11 @@ class TransactionScheduler:
         self.crashes = 0
         self.recoveries = 0
         self.wal_redone = 0
+        # Retry backlog: aborted attempts sitting in backoff, scheduled but
+        # not yet re-admitted.  Observability-only (never summarized): the
+        # peak says how deep the resubmission queue got under a retry storm.
+        self.retry_backlog = 0
+        self.peak_retry_backlog = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -283,6 +288,7 @@ class TransactionScheduler:
             # summary.retries == sum(attempts - 1): a re-admission the
             # horizon cut off is in-flight, not a retry that happened.
             self.retries += 1
+            self.retry_backlog -= 1
         self._attempts.setdefault(logical, []).append(state)
         self.waiting += 1
         self.peak_waiting = max(self.peak_waiting, self.waiting)
@@ -565,6 +571,8 @@ class TransactionScheduler:
             ),
             label=f"retry {clone.transaction_id}",
         )
+        self.retry_backlog += 1
+        self.peak_retry_backlog = max(self.peak_retry_backlog, self.retry_backlog)
 
     # ------------------------------------------------------------------
     # commit phase

@@ -132,3 +132,119 @@ class TestCacheDeterminism:
         )
         assert partial.executed == 1
         assert partial.cache_hits == len(grid) - 1
+
+
+class TestObservabilityByteIdentity:
+    """Metrics and spans are strictly out-of-band: enabling them must never
+    change a summary byte, a cache file, or a JSONL spill."""
+
+    def test_summaries_identical_with_metrics_and_spans_enabled(self, grid):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.spans import SpanRecorder
+
+        plain = SweepEngine(workers=1).run(grid, measures=MEASURES)
+        observed = SweepEngine(
+            workers=1, metrics=MetricsRegistry(), spans=SpanRecorder()
+        ).run(grid, measures=MEASURES)
+        assert [s.to_json_bytes() for s in plain] == [
+            s.to_json_bytes() for s in observed
+        ]
+
+    def test_cache_files_identical_with_metrics_enabled(self, grid, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.spans import SpanRecorder
+
+        plain_dir, observed_dir = tmp_path / "plain", tmp_path / "observed"
+        SweepEngine(workers=4, cache=plain_dir).run(grid, measures=MEASURES)
+        SweepEngine(
+            workers=4,
+            cache=observed_dir,
+            metrics=MetricsRegistry(),
+            spans=SpanRecorder(),
+        ).run(grid, measures=MEASURES)
+        plain_files = {
+            path.relative_to(plain_dir): path.read_bytes()
+            for path in sorted(plain_dir.glob("*/*.json"))
+        }
+        observed_files = {
+            path.relative_to(observed_dir): path.read_bytes()
+            for path in sorted(observed_dir.glob("*/*.json"))
+        }
+        assert plain_files == observed_files
+        assert len(plain_files) == len(grid)
+
+    def test_jsonl_spill_identical_with_metrics_enabled(self, grid, tmp_path):
+        from repro.engine import JsonlSink
+        from repro.obs.metrics import MetricsRegistry
+
+        plain_path = tmp_path / "plain.jsonl"
+        observed_path = tmp_path / "observed.jsonl"
+        plain_stats = SweepEngine(workers=1).run_streaming(
+            grid, sinks=JsonlSink(plain_path)
+        )
+        observed_stats = SweepEngine(
+            workers=1, metrics=MetricsRegistry()
+        ).run_streaming(grid, sinks=JsonlSink(observed_path))
+        assert plain_path.read_bytes() == observed_path.read_bytes()
+        assert plain_stats.executed == observed_stats.executed
+
+
+class TestMetricsDeterminism:
+    """Order-independent instruments must agree between serial and parallel
+    runs of the same grid: counters count work, not scheduling."""
+
+    ORDER_INDEPENDENT = (
+        "engine.tasks.total",
+        "engine.tasks.executed",
+        "engine.tasks.cache_hits",
+        "sim.events_scheduled",
+        "sim.events_executed",
+        "sim.events_cancelled",
+    )
+
+    def test_parallel_merged_counters_equal_serial_counters(self, grid):
+        from repro.obs.metrics import MetricsRegistry
+
+        serial_registry = MetricsRegistry()
+        SweepEngine(workers=1, metrics=serial_registry).run(grid)
+        parallel_registry = MetricsRegistry()
+        SweepEngine(workers=4, chunk_size=3, metrics=parallel_registry).run(grid)
+        serial = serial_registry.snapshot()["counters"]
+        parallel = parallel_registry.snapshot()["counters"]
+        for name in self.ORDER_INDEPENDENT:
+            assert serial[name] == parallel[name], name
+        assert serial["engine.tasks.executed"] == len(grid)
+
+    def test_task_execute_histogram_counts_every_task(self, grid):
+        from repro.obs.metrics import MetricsRegistry
+
+        for workers in (1, 4):
+            registry = MetricsRegistry()
+            SweepEngine(workers=workers, metrics=registry).run(grid)
+            histogram = registry.snapshot()["histograms"][
+                "engine.task.execute_seconds"
+            ]
+            assert histogram["count"] == len(grid), workers
+
+    def test_worker_accounting_covers_every_task(self, grid):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        SweepEngine(workers=4, chunk_size=3, metrics=registry).run(grid)
+        counters = registry.snapshot()["counters"]
+        worker_tasks = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("engine.worker.") and name.endswith(".tasks")
+        )
+        assert worker_tasks == len(grid)
+        gauges = registry.snapshot()["gauges"]
+        share = gauges["engine.dispatch_overhead_share"]
+        assert 0.0 <= share <= 1.0
+
+    def test_active_registry_is_restored_after_a_run(self, grid):
+        from repro.obs.metrics import MetricsRegistry, get_active
+
+        assert get_active() is None
+        SweepEngine(workers=1, metrics=MetricsRegistry()).run(grid)
+        assert get_active() is None

@@ -1,0 +1,249 @@
+"""The CLI observability surface: --metrics-json, --trace-ndjson,
+--progress and the ``repro report`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import STATS_SCHEMA_VERSION, main
+
+SWEEP = ["sweep", "--protocol", "two-phase-commit", "--times", "0.5", "1.5"]
+
+
+def load(path):
+    return json.loads(path.read_text())
+
+
+class TestMetricsJson:
+    def test_sweep_writes_a_versioned_metrics_document(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(SWEEP + ["--metrics-json", str(out)]) == 0
+        document = load(out)
+        assert document["command"] == "sweep"
+        assert document["schema_version"] == STATS_SCHEMA_VERSION
+        assert document["total"] == 6
+        counters = document["metrics"]["counters"]
+        assert counters["engine.tasks.total"] == 6
+        assert counters["engine.tasks.executed"] == 6
+        assert counters["sim.events_executed"] > 0
+
+    def test_streamed_and_materialized_sweeps_report_the_same_counters(
+        self, capsys, tmp_path
+    ):
+        plain, streamed = tmp_path / "plain.json", tmp_path / "streamed.json"
+        assert main(SWEEP + ["--metrics-json", str(plain)]) == 0
+        assert main(SWEEP + ["--stream", "--metrics-json", str(streamed)]) == 0
+        assert (
+            load(plain)["metrics"]["counters"]
+            == load(streamed)["metrics"]["counters"]
+        )
+
+    def test_throughput_reports_txn_instruments(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "throughput",
+                    "--protocols",
+                    "two-phase-commit",
+                    "--transactions",
+                    "20",
+                    "--metrics-json",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        metrics = load(out)["metrics"]
+        assert metrics["counters"]["txn.offered"] == 20
+        assert metrics["histograms"]["txn.lock_wait_simtime"]["count"] == 20
+        assert "txn.retry_backlog_peak" in metrics["gauges"]
+
+    def test_modelcheck_reports_state_instruments(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "modelcheck",
+                    "--protocol",
+                    "two-phase-commit",
+                    "--sites",
+                    "2",
+                    "--metrics-json",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        metrics = load(out)["metrics"]
+        assert metrics["counters"]["modelcheck.checks"] > 0
+        assert metrics["counters"]["modelcheck.states_explored"] > 0
+        assert "modelcheck.frontier_depth" in metrics["gauges"]
+
+    def test_shard_and_merge_report_skew(self, capsys, tmp_path):
+        spills = []
+        for index in range(2):
+            spill = tmp_path / f"shard-{index}.jsonl"
+            shard_metrics = tmp_path / f"shard-{index}-metrics.json"
+            assert (
+                main(
+                    [
+                        "shard",
+                        "--shard-index",
+                        str(index),
+                        "--shard-count",
+                        "2",
+                        "--out",
+                        str(spill),
+                        "--protocol",
+                        "two-phase-commit",
+                        "--times",
+                        "0.5",
+                        "1.5",
+                        "--metrics-json",
+                        str(shard_metrics),
+                    ]
+                )
+                == 0
+            )
+            spills.append(spill)
+            metrics = load(shard_metrics)["metrics"]
+            assert metrics["counters"]["shard.spill.records"] > 0
+            assert metrics["gauges"]["shard.skew"] > 0
+        merge_metrics = tmp_path / "merge-metrics.json"
+        assert (
+            main(
+                ["merge", str(spills[0]), str(spills[1])]
+                + ["--metrics-json", str(merge_metrics)]
+            )
+            == 0
+        )
+        document = load(merge_metrics)
+        assert document["command"] == "merge"
+        metrics = document["metrics"]
+        assert metrics["counters"]["merge.shards"] == 2
+        assert metrics["counters"]["merge.records"] == 6
+        assert metrics["histograms"]["merge.records_per_shard"]["count"] == 2
+
+
+class TestTraceNdjson:
+    def test_sweep_writes_spans(self, capsys, tmp_path):
+        trace = tmp_path / "trace.ndjson"
+        assert main(SWEEP + ["--stream", "--trace-ndjson", str(trace)]) == 0
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert any(record["span"] == "cache-scan" for record in records)
+        for record in records:
+            assert record["duration"] >= 0
+
+
+class TestProgress:
+    def test_progress_paints_stderr_only(self, capsys):
+        assert main(SWEEP + ["--stream", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "6/6" in captured.err
+        assert "\r" not in captured.out
+
+    def test_materialized_sweep_also_supports_progress(self, capsys):
+        assert main(SWEEP + ["--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "6/6" in captured.err
+
+
+class TestReportCommand:
+    def test_renders_a_metrics_document(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(SWEEP + ["--metrics-json", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "phase breakdown" in text
+        assert "counters" in text
+
+    def test_missing_file_is_exit_2(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "report failed" in capsys.readouterr().err
+
+    def test_invalid_json_is_exit_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["report", str(bad)]) == 2
+        assert "report failed" in capsys.readouterr().err
+
+    def test_non_object_payload_is_exit_2(self, capsys, tmp_path):
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1, 2]")
+        assert main(["report", str(arr)]) == 2
+        assert "not a metrics document" in capsys.readouterr().err
+
+
+class TestStatsSchema:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            SWEEP,
+            ["throughput", "--protocols", "two-phase-commit", "--transactions", "10"],
+            ["modelcheck", "--protocol", "two-phase-commit", "--sites", "2"],
+        ],
+        ids=["sweep", "throughput", "modelcheck"],
+    )
+    def test_stats_json_carries_the_schema_version(self, capsys, tmp_path, argv):
+        stats_path = tmp_path / "stats.json"
+        assert main(argv + ["--stats-json", str(stats_path)]) == 0
+        stats = load(stats_path)
+        assert stats["schema_version"] == STATS_SCHEMA_VERSION
+        assert stats["command"] == argv[0]
+
+    def test_shard_and_merge_stats_share_the_schema_version(
+        self, capsys, tmp_path
+    ):
+        spill = tmp_path / "spill.jsonl"
+        shard_stats = tmp_path / "shard-stats.json"
+        assert (
+            main(
+                [
+                    "shard",
+                    "--shard-index",
+                    "0",
+                    "--shard-count",
+                    "1",
+                    "--out",
+                    str(spill),
+                    "--protocol",
+                    "two-phase-commit",
+                    "--times",
+                    "0.5",
+                    "--stats-json",
+                    str(shard_stats),
+                ]
+            )
+            == 0
+        )
+        merge_stats = tmp_path / "merge-stats.json"
+        assert main(["merge", str(spill), "--stats-json", str(merge_stats)]) == 0
+        assert load(shard_stats)["schema_version"] == STATS_SCHEMA_VERSION
+        assert load(merge_stats)["schema_version"] == STATS_SCHEMA_VERSION
+        assert load(merge_stats)["command"] == "merge"
+
+    def test_experiments_run_accepts_obs_flags(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.ndjson"
+        assert (
+            main(
+                [
+                    "run",
+                    "FIG1",
+                    "--metrics-json",
+                    str(out),
+                    "--trace-ndjson",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        document = load(out)
+        assert document["command"] == "run"
+        assert document["metrics"]["counters"]["sim.events_executed"] > 0
+        spans = [json.loads(line)["span"] for line in trace.read_text().splitlines()]
+        assert "FIG1" in spans

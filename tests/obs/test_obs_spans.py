@@ -1,0 +1,127 @@
+"""Span recorder: nesting, interval recording, NDJSON export."""
+
+import json
+import time
+
+from repro.obs.spans import NullSpanRecorder, SpanRecorder
+
+
+class TestSpanTree:
+    def test_nested_spans_record_parent_and_depth(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer") as outer:
+            with recorder.span("inner") as inner:
+                pass
+        assert outer.depth == 0 and outer.parent is None
+        assert inner.depth == 1 and inner.parent == outer.index
+        assert outer.end is not None and inner.end is not None
+        # The child closed before the parent, on the same time base.
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_siblings_share_a_parent(self):
+        recorder = SpanRecorder()
+        with recorder.span("run") as run:
+            with recorder.span("a"):
+                pass
+            with recorder.span("b"):
+                pass
+        names = [(s.name, s.parent, s.depth) for s in recorder.spans()]
+        assert names == [("run", None, 0), ("a", run.index, 1), ("b", run.index, 1)]
+
+    def test_attrs_are_kept(self):
+        recorder = SpanRecorder()
+        with recorder.span("dispatch", chunks=7) as span:
+            pass
+        assert span.attrs == {"chunks": 7}
+
+    def test_exception_still_closes_the_span(self):
+        recorder = SpanRecorder()
+        try:
+            with recorder.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        (span,) = recorder.spans()
+        assert span.end is not None
+        # The stack unwound: the next span is a root again.
+        with recorder.span("after") as after:
+            pass
+        assert after.depth == 0 and after.parent is None
+
+    def test_totals_sum_per_name(self):
+        recorder = SpanRecorder()
+        recorder.record_interval("phase", 10.0, 10.5)
+        recorder.record_interval("phase", 20.0, 20.25)
+        recorder.record_interval("other", 30.0, 31.0)
+        totals = recorder.totals()
+        assert totals["phase"] == 0.75
+        assert totals["other"] == 1.0
+
+
+class TestRecordInterval:
+    def test_absolute_perf_counter_values_become_origin_relative(self):
+        recorder = SpanRecorder()
+        start = time.perf_counter()
+        end = start + 0.5
+        span = recorder.record_interval("worker-execute", start, end, pid=42)
+        assert span.end is not None
+        assert abs(span.duration - 0.5) < 1e-9
+        assert span.start >= 0.0
+        assert span.attrs == {"pid": 42}
+
+    def test_interval_is_parented_under_the_open_span(self):
+        recorder = SpanRecorder()
+        now = time.perf_counter()
+        with recorder.span("run") as run:
+            span = recorder.record_interval("chunk", now, now + 0.1)
+        assert span.parent == run.index
+        assert span.depth == 1
+
+
+class TestNdjsonExport:
+    def test_one_json_line_per_span(self, tmp_path):
+        recorder = SpanRecorder()
+        with recorder.span("outer", tasks=3):
+            recorder.record_interval(
+                "inner", time.perf_counter(), time.perf_counter()
+            )
+        path = tmp_path / "trace.ndjson"
+        recorder.write_ndjson(path)
+        lines = path.read_bytes().decode().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        # Open order: the interval was *closed* first but opened second.
+        assert [r["span"] for r in records] == ["outer", "inner"]
+        assert records[0]["attrs"] == {"tasks": 3}
+        assert records[1]["parent"] == records[0]["index"]
+        for record in records:
+            assert record["duration"] >= 0.0
+            assert record["end"] >= record["start"]
+
+    def test_export_durations_match_totals_within_rounding(self):
+        recorder = SpanRecorder()
+        for index in range(10):
+            recorder.record_interval("phase", 1.0 + index, 1.5 + index)
+        exported = sum(
+            json.loads(line)["duration"]
+            for line in recorder.to_ndjson_bytes().decode().splitlines()
+        )
+        assert abs(exported - recorder.totals()["phase"]) < 1e-6
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        recorder = SpanRecorder()
+        with recorder.span("s"):
+            pass
+        target = tmp_path / "deep" / "dir" / "trace.ndjson"
+        recorder.write_ndjson(target)
+        assert target.exists()
+
+
+class TestNullSpanRecorder:
+    def test_records_nothing(self):
+        recorder = NullSpanRecorder()
+        with recorder.span("x") as span:
+            assert span is None
+        assert recorder.record_interval("y", 0.0, 1.0) is None
+        assert recorder.spans() == ()
+        assert recorder.to_ndjson_bytes() == b""

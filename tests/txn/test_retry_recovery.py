@@ -96,6 +96,20 @@ class TestRetryPolicy:
         with pytest.raises(ValueError, match="attempt"):
             attempt_id("x", 0)
 
+    def test_issued_backoffs_feed_the_active_registry(self):
+        from repro.obs.metrics import MetricsRegistry, activate
+
+        policy = RetryPolicy(max_attempts=3, backoff=1.0, backoff_factor=3.0)
+        registry = MetricsRegistry()
+        with activate(registry):
+            first = policy.delay(failed_attempt=1, transaction_id="t", seed=0)
+            second = policy.delay(failed_attempt=2, transaction_id="t", seed=0)
+        hist = registry.snapshot()["histograms"]["txn.retry_backoff_simtime"]
+        assert hist["count"] == 2
+        assert hist["total"] == pytest.approx(first + second)
+        # Observation never perturbs the schedule itself.
+        assert policy.delay(failed_attempt=1, transaction_id="t", seed=0) == first
+
 
 class TestVictimRetries:
     def test_deadlock_victim_retries_and_commits(self):

@@ -128,9 +128,32 @@ def check_against_baseline(payload: dict, baseline_path: pathlib.Path, tolerance
     return None
 
 
+def worker_metrics(snapshot: dict) -> dict:
+    """Fold an obs snapshot into the bench fields for the cold pass.
+
+    Returns ``dispatch_overhead_share`` (the fraction of ``elapsed x
+    workers`` not spent executing scenarios -- the number ROADMAP item 1
+    blames for workers=4 losing to workers=1) and per-worker utilization,
+    straight from the gauges the engine finalizes per run.
+    """
+    gauges = snapshot.get("gauges", {})
+    utilization = {}
+    for name, value in gauges.items():
+        prefix, _, quantity = name.rpartition(".")
+        if quantity == "utilization" and prefix.startswith("engine.worker."):
+            utilization[prefix[len("engine.worker."):]] = round(value, 4)
+    return {
+        "dispatch_overhead_share": round(
+            gauges.get("engine.dispatch_overhead_share", 0.0), 4
+        ),
+        "worker_utilization": utilization,
+    }
+
+
 def main(argv=None) -> int:
     """Run the timed passes and write the JSON snapshot."""
     from repro.engine import JsonlSink, SweepEngine, merge_shards, run_shard
+    from repro.obs.metrics import MetricsRegistry
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_sweep.json", metavar="PATH")
@@ -155,7 +178,8 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory(prefix="bench-sweep-") as scratch:
         scratch = pathlib.Path(scratch)
         cache = scratch / "cache"
-        engine = SweepEngine(workers=args.workers, cache=cache)
+        cold_metrics = MetricsRegistry()
+        engine = SweepEngine(workers=args.workers, cache=cache, metrics=cold_metrics)
 
         # Serial pass first, uncached: the one rate comparable across any
         # runner, and the number the perf-smoke --check gates on.
@@ -164,6 +188,9 @@ def main(argv=None) -> int:
         )
 
         cold = engine.run_streaming(tasks, sinks=JsonlSink(scratch / "cold.jsonl"))
+        # Snapshot before the warm pass: the per-run gauges (utilization,
+        # dispatch-overhead share) must describe the cold sweep alone.
+        cold_snapshot = cold_metrics.snapshot()
         warm = engine.run_streaming(tasks, sinks=JsonlSink(scratch / "warm.jsonl"))
 
         spills = []
@@ -217,6 +244,7 @@ def main(argv=None) -> int:
         "openloop_txn_per_second": round(openloop_offered / openloop_elapsed, 1)
         if openloop_elapsed
         else 0.0,
+        **worker_metrics(cold_snapshot),
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

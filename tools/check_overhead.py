@@ -1,0 +1,160 @@
+"""CI overhead smoke for the observability layer.
+
+The obs design contract (docs/observability.md) is *zero-cost when off*:
+every instrumentation point is gated behind one cached ``is None`` check,
+so a run without ``--metrics-json`` must cost within 3% of the
+pre-instrumentation engine, and a fully-enabled run within 10% of a
+disabled one.  This harness enforces both bounds on the same 200-scenario
+bench grid the perf smoke uses:
+
+* **enabled-path bound** -- interleaved best-of-N sweeps with metrics +
+  spans off vs on; fails when the enabled best is more than 10% slower
+  than the disabled best.  Interleaving and best-of defend against CI
+  noise the same way ``docs/profiling.md`` prescribes.
+* **disabled-path bound** -- the disabled path's *only* added work is the
+  gate itself (a module-global read plus an ``is None`` branch), so its
+  cost is measured directly by microbenchmark and multiplied by a
+  deliberately generous per-scenario gate count.  Fails when that bound
+  exceeds 3% of the measured per-scenario time.  This is immune to
+  run-to-run noise: a 3% wall-clock diff between two sweeps is within CI
+  jitter, while the microbenchmark bound is stable to a few percent.
+
+Run directly::
+
+    PYTHONPATH=src python tools/check_overhead.py [--scenarios 200] [--rounds 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Gate evaluations charged per scenario for the disabled-path bound.  The
+#: real disabled serial path evaluates a handful (one kernel-hook check per
+#: ``Simulator.run``, one or two ``metrics is None`` checks per task, one
+#: cache-probe gate when a cache is configured); 32 is a safety factor of
+#: roughly ten on top of that.
+GATES_PER_SCENARIO = 32
+
+DISABLED_BOUND = 0.03
+ENABLED_BOUND = 0.10
+
+
+def benchmark_tasks(n_scenarios: int):
+    """The standard 200-scenario bench grid (see tools/profile_kernel.py)."""
+    from repro.engine import ScenarioGrid
+
+    grid = ScenarioGrid.from_partition_sweep(
+        "terminating-three-phase-commit",
+        4,
+        times=[round(0.25 * i, 2) for i in range(1, 13)],
+        no_voter_options=(frozenset(), frozenset({2}), frozenset({4})),
+    )
+    tasks = list(grid.tasks())
+    while len(tasks) < n_scenarios:
+        tasks = tasks + tasks
+    return tasks[:n_scenarios]
+
+
+def sweep_once(tasks, *, observed: bool) -> float:
+    """One serial streaming sweep; returns wall-clock seconds."""
+    from repro.engine import SweepEngine
+    from repro.engine.sink import CallbackSink
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import SpanRecorder
+
+    engine = SweepEngine(
+        workers=1,
+        metrics=MetricsRegistry() if observed else None,
+        spans=SpanRecorder() if observed else None,
+    )
+    started = time.perf_counter()
+    engine.run_streaming(tasks, sinks=CallbackSink(lambda index, summary: None))
+    return time.perf_counter() - started
+
+
+def gate_cost_seconds(iterations: int = 200_000) -> float:
+    """Microbenchmark one disabled gate: ``get_active()`` + ``is None``."""
+    from repro.obs.metrics import get_active
+
+    # Warm attribute/import caches first so the timed loop measures the
+    # steady state the engine's hot loop sees.
+    for _ in range(1000):
+        if get_active() is not None:  # pragma: no cover - metrics are off here
+            raise RuntimeError("metrics unexpectedly active")
+    started = time.perf_counter()
+    for _ in range(iterations):
+        if get_active() is not None:  # pragma: no cover
+            raise RuntimeError("metrics unexpectedly active")
+    return (time.perf_counter() - started) / iterations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenarios", type=int, default=200, help="grid size (default 200)"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="interleaved rounds (default 3)"
+    )
+    args = parser.parse_args(argv)
+
+    tasks = benchmark_tasks(args.scenarios)
+    sweep_once(tasks, observed=False)  # warm imports and caches
+
+    disabled, enabled = [], []
+    for _ in range(args.rounds):
+        disabled.append(sweep_once(tasks, observed=False))
+        enabled.append(sweep_once(tasks, observed=True))
+    best_disabled = min(disabled)
+    best_enabled = min(enabled)
+    enabled_overhead = best_enabled / best_disabled - 1.0
+
+    gate = gate_cost_seconds()
+    per_scenario = best_disabled / len(tasks)
+    disabled_overhead = GATES_PER_SCENARIO * gate / per_scenario
+
+    print(f"grid: {len(tasks)} scenarios, best of {args.rounds} interleaved rounds")
+    print(
+        f"disabled sweep: {best_disabled:.4f}s "
+        f"({len(tasks) / best_disabled:.0f} scenarios/s)"
+    )
+    print(
+        f"enabled sweep:  {best_enabled:.4f}s "
+        f"({len(tasks) / best_enabled:.0f} scenarios/s)"
+    )
+    print(
+        f"enabled-path overhead: {100.0 * enabled_overhead:+.2f}% "
+        f"(bound {100.0 * ENABLED_BOUND:.0f}%)"
+    )
+    print(
+        f"disabled gate: {gate * 1e9:.0f}ns x {GATES_PER_SCENARIO}/scenario "
+        f"= {100.0 * disabled_overhead:.3f}% of {per_scenario * 1e6:.0f}us/scenario "
+        f"(bound {100.0 * DISABLED_BOUND:.0f}%)"
+    )
+
+    failures = []
+    if disabled_overhead > DISABLED_BOUND:
+        failures.append(
+            f"disabled-path overhead bound {100.0 * disabled_overhead:.3f}% "
+            f"exceeds {100.0 * DISABLED_BOUND:.0f}%"
+        )
+    if enabled_overhead > ENABLED_BOUND:
+        failures.append(
+            f"enabled-path overhead {100.0 * enabled_overhead:.2f}% "
+            f"exceeds {100.0 * ENABLED_BOUND:.0f}%"
+        )
+    if failures:
+        print("; ".join(failures), file=sys.stderr)
+        return 1
+    print("overhead smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

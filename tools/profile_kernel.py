@@ -53,7 +53,7 @@ def benchmark_tasks(n_scenarios: int):
     return tasks[:n_scenarios]
 
 
-def run_phases(tasks, *, with_trace: bool = False) -> dict[str, float]:
+def run_phases(tasks, *, with_trace: bool = False, recorder=None) -> dict[str, float]:
     """Run every task once, timing each phase of the scenario pipeline.
 
     The phases replicate ``run_scenario`` + ``RunSummary.from_result`` step
@@ -162,6 +162,14 @@ def run_phases(tasks, *, with_trace: bool = False) -> dict[str, float]:
         phases["simulate"] += t3 - t2
         phases["harvest"] += t4 - t3
         phases["summarize"] += t5 - t4
+        if recorder is not None:
+            # Same clock readings, recorded through the span pipeline: the
+            # exported NDJSON must re-sum to the phase table (see --spans).
+            recorder.record_interval("hashing", t0, t1)
+            recorder.record_interval("setup", t1, t2)
+            recorder.record_interval("simulate", t2, t3)
+            recorder.record_interval("harvest", t3, t4)
+            recorder.record_interval("summarize", t4, t5)
     return phases
 
 
@@ -173,6 +181,46 @@ def print_phases(phases: dict[str, float], n_scenarios: int) -> None:
         per = 1e6 * seconds / n_scenarios
         print(f"  {name:<10} {seconds:8.3f}s  {share:5.1f}%  ({per:8.1f} us/scenario)")
     print(f"  {'total':<10} {total:8.3f}s         ({n_scenarios / total:8.0f} scenarios/s)")
+
+
+def check_span_agreement(
+    phases: dict[str, float], ndjson_path: pathlib.Path, *, tolerance: float = 1e-3
+):
+    """Re-sum the exported span NDJSON and compare it to the phase timers.
+
+    The spans were recorded from the *same* ``perf_counter`` readings as the
+    phase table, so the only allowed divergence is the 9-decimal rounding
+    the NDJSON export applies -- nanoseconds per span.  Returns an error
+    string when any phase diverges by more than ``tolerance`` (relative),
+    ``None`` when the two views agree.
+    """
+    import json
+
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for line in ndjson_path.read_text().splitlines():
+        record = json.loads(line)
+        totals[record["span"]] = totals.get(record["span"], 0.0) + record["duration"]
+        counts[record["span"]] = counts.get(record["span"], 0) + 1
+    print(f"\n== span cross-check ({ndjson_path}) ==")
+    worst = 0.0
+    for name, timer_total in sorted(phases.items(), key=lambda kv: -kv[1]):
+        span_total = totals.get(name, 0.0)
+        delta = abs(span_total - timer_total) / timer_total if timer_total else 0.0
+        worst = max(worst, delta)
+        print(
+            f"  {name:<10} timer {timer_total:9.4f}s  spans {span_total:9.4f}s "
+            f"({counts.get(name, 0)} span(s), delta {100.0 * delta:.4f}%)"
+        )
+    missing = sorted(set(phases) - set(totals))
+    if missing:
+        return f"span file is missing phase(s): {', '.join(missing)}"
+    if worst > tolerance:
+        return (
+            f"span totals diverge from phase timers by {100.0 * worst:.4f}% "
+            f"(> {100.0 * tolerance:.4f}% tolerance)"
+        )
+    return None
 
 
 def run_cprofile(tasks, top: int) -> None:
@@ -209,14 +257,34 @@ def main(argv=None) -> int:
         action="store_true",
         help="collect traces during the phase run (the engine's measure path)",
     )
+    parser.add_argument(
+        "--spans",
+        metavar="PATH",
+        default=None,
+        help="also record every phase through repro.obs.spans, export NDJSON "
+        "to PATH, and fail unless the re-summed spans match the phase table",
+    )
     args = parser.parse_args(argv)
+
+    recorder = None
+    if args.spans is not None:
+        from repro.obs.spans import SpanRecorder
+
+        recorder = SpanRecorder()
 
     tasks = benchmark_tasks(args.scenarios)
     run_phases(tasks[: max(10, len(tasks) // 10)])  # warm imports/caches
     # Fresh tasks so the timed hashing phase is not pre-cached.
     tasks = benchmark_tasks(args.scenarios)
-    phases = run_phases(tasks, with_trace=args.with_trace)
+    phases = run_phases(tasks, with_trace=args.with_trace, recorder=recorder)
     print_phases(phases, len(tasks))
+    if recorder is not None:
+        spans_path = pathlib.Path(args.spans)
+        recorder.write_ndjson(spans_path)
+        error = check_span_agreement(phases, spans_path)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 1
     if args.cprofile:
         run_cprofile(benchmark_tasks(args.scenarios), args.top)
     return 0
