@@ -18,10 +18,15 @@ Usage::
     python -m repro throughput --protocols two-phase-commit \\
         --tx-rate 2.0 --read-fraction 0.5 --ops-per-site 2 --deadlock both
     python -m repro throughput --arrival poisson --retries 3 --hotspot 0.2 \\
-        --crash-schedule 3:20:28 --deadlock both --lock-timeout 4
+        --faults crash=3:20:28 --deadlock both --lock-timeout 4
+    python -m repro throughput --faults loss=0.3,retransmit=on \\
+        --lock-transport network
+    python -m repro sweep --protocol all --faults byzantine=3:equivocate
     python -m repro modelcheck --protocol all --sites 3
     python -m repro modelcheck --protocol two-phase-commit \\
         --faults single-crash --no-voters 3 --jsonl modelcheck.jsonl
+    python -m repro modelcheck --protocol all --faults loss=0.5 \\
+        --faults loss=0.5,retransmit=on
     python -m repro shard --shard-index 0 --shard-count 3 \\
         --out shard-0.jsonl --protocol all --cache .sweep-cache
     python -m repro merge shard-0.jsonl shard-1.jsonl shard-2.jsonl \\
@@ -77,6 +82,7 @@ EXPERIMENTS: dict[str, Callable[[], "ex.ExperimentReport"]] = {
     "RETRY": ex.run_retry_recovery_comparison,
     "MODELCHECK": ex.run_modelcheck_verification,
     "DIFF": ex.run_differential_validation,
+    "FAULTS": ex.run_fault_survival,
 }
 
 
@@ -99,6 +105,169 @@ def _parse_crash_schedule(values: list[str]):
         recover_at = float(parts[2]) if len(parts) == 3 else None
         schedule.add(CrashEvent(time=at, site=site, recover_at=recover_at))
     return schedule
+
+
+def _parse_fault_clauses(values: list[str]):
+    """The unified ``--faults`` grammar: ``KIND=ARGS`` clauses, comma-joined.
+
+    Every fault-taking subcommand (``sweep``, ``throughput``, ``modelcheck``,
+    ``shard``) shares this parser, so one spelling describes the same faults
+    everywhere.  Clauses (repeatable, within one occurrence or across
+    several)::
+
+        crash=SITE:AT[:RECOVER_AT]       crash SITE at AT (recover later)
+        loss=P[:SRC-DST]                 drop matching messages w.p. P
+        dup=P[:SRC-DST]                  deliver matching messages twice w.p. P
+        reorder=P[:WINDOW]               delay w.p. P by uniform(0, WINDOW*T)
+        send-omission=SITE[:P]           SITE's sends vanish w.p. P (default 1)
+        recv-omission=SITE[:P]           SITE's receives vanish w.p. P
+        byzantine=SITE[:MODE]            MODE: equivocate (default) | arbitrary
+        retransmit=on|off|MAX[:INTERVAL] at-least-once retransmission layer
+        seed=N                           fault-injection RNG seed
+
+    ``SRC-DST`` names one directed link; ``*`` (or ``0``) wildcards a side.
+    Returns a :class:`~repro.sim.failures.FaultPlan`, or ``None`` for no
+    values / a plan that normalizes to the identity; raises
+    :class:`ValueError` naming the offending clause.
+    """
+    from repro.sim.failures import (
+        BYZANTINE_MODES,
+        ByzantineSpec,
+        CrashEvent,
+        EQUIVOCATE,
+        FaultPlan,
+        LinkFault,
+        OmissionFault,
+        RECEIVE_OMISSION,
+        RetransmitPolicy,
+        SEND_OMISSION,
+        normalize_fault_plan,
+    )
+
+    if not values:
+        return None
+
+    def _site(token: str) -> int:
+        return 0 if token == "*" else int(token)
+
+    def _link_sides(token: str) -> tuple[int, int]:
+        src, sep, dst = token.partition("-")
+        if not sep:
+            raise ValueError(f"expected SRC-DST (use '*' to wildcard), got {token!r}")
+        return _site(src), _site(dst)
+
+    crashes: list = []
+    links: list = []
+    omissions: list = []
+    byzantine: list = []
+    retransmit = None
+    seed = 0
+    for value in values:
+        for clause in value.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, sep, rest = clause.partition("=")
+            if not sep or not rest:
+                raise ValueError(f"expected KIND=ARGS, got {clause!r}")
+            parts = rest.split(":")
+            try:
+                if kind == "crash":
+                    if len(parts) not in (2, 3):
+                        raise ValueError("expected SITE:AT[:RECOVER_AT]")
+                    crashes.append(
+                        CrashEvent(
+                            time=float(parts[1]),
+                            site=int(parts[0]),
+                            recover_at=float(parts[2]) if len(parts) == 3 else None,
+                        )
+                    )
+                elif kind in ("loss", "dup"):
+                    if len(parts) not in (1, 2):
+                        raise ValueError("expected P[:SRC-DST]")
+                    src, dst = _link_sides(parts[1]) if len(parts) == 2 else (0, 0)
+                    probability = float(parts[0])
+                    if kind == "loss":
+                        links.append(LinkFault(src=src, dst=dst, loss=probability))
+                    else:
+                        links.append(LinkFault(src=src, dst=dst, duplicate=probability))
+                elif kind == "reorder":
+                    if len(parts) not in (1, 2):
+                        raise ValueError("expected P[:WINDOW]")
+                    links.append(
+                        LinkFault(
+                            reorder=float(parts[0]),
+                            reorder_window=float(parts[1]) if len(parts) == 2 else 1.0,
+                        )
+                    )
+                elif kind in ("send-omission", "recv-omission"):
+                    if len(parts) not in (1, 2):
+                        raise ValueError("expected SITE[:P]")
+                    omissions.append(
+                        OmissionFault(
+                            site=int(parts[0]),
+                            kind=SEND_OMISSION if kind == "send-omission" else RECEIVE_OMISSION,
+                            probability=float(parts[1]) if len(parts) == 2 else 1.0,
+                        )
+                    )
+                elif kind == "byzantine":
+                    if len(parts) not in (1, 2):
+                        raise ValueError("expected SITE[:MODE]")
+                    mode = parts[1] if len(parts) == 2 else EQUIVOCATE
+                    if mode not in BYZANTINE_MODES:
+                        raise ValueError(
+                            f"mode must be one of {'/'.join(BYZANTINE_MODES)}, got {mode!r}"
+                        )
+                    byzantine.append(ByzantineSpec(site=int(parts[0]), mode=mode))
+                elif kind == "retransmit":
+                    if parts[0] == "off":
+                        retransmit = None
+                    elif parts[0] == "on":
+                        retransmit = RetransmitPolicy()
+                    else:
+                        if len(parts) not in (1, 2):
+                            raise ValueError("expected on|off|MAX_ATTEMPTS[:INTERVAL]")
+                        retransmit = RetransmitPolicy(
+                            max_attempts=int(parts[0]),
+                            interval=float(parts[1]) if len(parts) == 2 else 0.8,
+                        )
+                elif kind == "seed":
+                    seed = int(rest)
+                else:
+                    raise ValueError(
+                        "unknown fault kind (expected crash, loss, dup, reorder, "
+                        "send-omission, recv-omission, byzantine, retransmit or seed)"
+                    )
+            except ValueError as exc:
+                raise ValueError(f"clause {clause!r}: {exc}") from None
+    return normalize_fault_plan(
+        FaultPlan(
+            crashes=tuple(crashes),
+            links=tuple(links),
+            omissions=tuple(omissions),
+            byzantine=tuple(byzantine),
+            retransmit=retransmit,
+            seed=seed,
+        )
+    )
+
+
+#: Sentinel distinguishing "--faults parse failed" from "no faults given"
+#: (both would otherwise be None) in _resolve_fault_plan.
+_FAULTS_ERROR = object()
+
+
+def _resolve_fault_plan(args: argparse.Namespace):
+    """The validated ``--faults`` plan (``None`` = fault-free), or the
+    :data:`_FAULTS_ERROR` sentinel after printing the error."""
+    try:
+        plan = _parse_fault_clauses(args.faults or [])
+        if plan is not None:
+            plan.validate(args.sites)
+    except ValueError as exc:
+        print(f"--faults: {exc}", file=sys.stderr)
+        return _FAULTS_ERROR
+    return plan
 
 
 def _parse_no_voters(values: list[str]) -> tuple[frozenset[int], ...]:
@@ -221,28 +390,49 @@ _TPUT_ONLY_DEFAULTS: dict = {
     "retry_backoff": 0.5,
     "victim": "youngest",
     "crash_schedule": None,
+    "lock_transport": "direct",
 }
 
 
 # Defaults of the modelcheck-only axes, keyed by argparse dest.  Same
 # single-source contract as _TPUT_ONLY_DEFAULTS: the parser declarations
-# and the shard cross-kind flag rejection both read from here.
+# and the shard cross-kind flag rejection both read from here.  (--faults
+# is NOT modelcheck-only any more: the unified fault grammar applies to
+# every grid kind, so _add_fault_options owns it.)
 _MC_ONLY_DEFAULTS: dict = {
-    "faults": None,
     "max_states": 200_000,
     "max_depth": None,
 }
 
 
-def _add_modelcheck_axes(parser: argparse.ArgumentParser) -> None:
-    """The model-checking grid axes (shared by ``modelcheck`` and ``shard``)."""
+def _add_fault_options(
+    parser: argparse.ArgumentParser, *, envelopes: bool = False
+) -> None:
+    """The unified ``--faults`` flag (one grammar across every subcommand)."""
+    help_text = (
+        "fault clauses KIND=ARGS, comma-separated and repeatable: "
+        "crash=SITE:AT[:RECOVER_AT], loss=P[:SRC-DST], dup=P[:SRC-DST], "
+        "reorder=P[:WINDOW], send-omission=SITE[:P], recv-omission=SITE[:P], "
+        "byzantine=SITE[:equivocate|arbitrary], "
+        "retransmit=on|off|MAX[:INTERVAL], seed=N"
+    )
+    if envelopes:
+        help_text += (
+            "; modelcheck additionally accepts exhaustive envelope names "
+            "(failure-free, single-crash, partition, lossy, "
+            "lossy-retransmit, all) and maps clause plans onto them"
+        )
     parser.add_argument(
         "--faults",
         action="append",
-        default=_MC_ONLY_DEFAULTS["faults"],
-        choices=("failure-free", "single-crash", "partition", "all"),
-        help="fault envelope to explore (repeatable; default: all three)",
+        default=None,
+        metavar="KIND=ARGS[,...]",
+        help=help_text,
     )
+
+
+def _add_modelcheck_axes(parser: argparse.ArgumentParser) -> None:
+    """The model-checking grid axes (shared by ``modelcheck`` and ``shard``)."""
     parser.add_argument(
         "--max-states",
         type=int,
@@ -389,8 +579,20 @@ def _add_throughput_axes(
         default=_TPUT_ONLY_DEFAULTS["crash_schedule"],
         metavar="SITE:AT[:RECOVER_AT]",
         help=(
-            "crash SITE at time AT, recovering at RECOVER_AT (omit for a "
+            "deprecated alias of --faults crash=SITE:AT[:RECOVER_AT]: crash "
+            "SITE at time AT, recovering at RECOVER_AT (omit for a "
             "permanent crash); repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--lock-transport",
+        choices=("direct", "network"),
+        default=_TPUT_ONLY_DEFAULTS["lock_transport"],
+        help=(
+            "how execution-phase lock requests travel: placed directly at "
+            "the sites (historical default) or as network messages that "
+            "partitions and message faults can cut; auto-upgraded to "
+            "'network' when --faults carries message faults"
         ),
     )
     parser.add_argument(
@@ -427,6 +629,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
     _add_partition_axes(sweep)
+    _add_fault_options(sweep)
     _add_engine_options(sweep, chunk_size=True, progress=True)
     sweep.add_argument(
         "--stream",
@@ -470,6 +673,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sites", type=int, default=3, help="number of sites (default 3)"
     )
     _add_throughput_axes(throughput)
+    _add_fault_options(throughput)
     _add_engine_options(throughput, progress=True)
     throughput.add_argument(
         "--jsonl",
@@ -508,6 +712,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated no-voting slave sites; repeatable, 'none' = all yes",
     )
     _add_modelcheck_axes(modelcheck)
+    _add_fault_options(modelcheck, envelopes=True)
     _add_engine_options(modelcheck, chunk_size=True, progress=True)
     modelcheck.add_argument(
         "--jsonl",
@@ -563,6 +768,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_partition_axes(shard)
     _add_throughput_axes(shard, include_heal=False)
     _add_modelcheck_axes(shard)
+    _add_fault_options(shard, envelopes=True)
     _add_engine_options(shard, chunk_size=True)
 
     merge = sub.add_parser(
@@ -874,6 +1080,14 @@ def _sweep_grid_tasks(args: argparse.Namespace):
     protocols = _resolve_protocols(args)
     if protocols is None:
         return None
+    faults = _resolve_fault_plan(args)
+    if faults is _FAULTS_ERROR:
+        return None
+    base_spec = None
+    if faults is not None:
+        from repro.protocols.runner import ScenarioSpec
+
+        base_spec = ScenarioSpec(n_sites=args.sites, faults=faults)
     tasks = []
     spans: list[tuple[str, int, int]] = []
     for protocol in protocols:
@@ -883,6 +1097,7 @@ def _sweep_grid_tasks(args: argparse.Namespace):
             times=args.times,
             heal_after=args.heal_after,
             no_voter_options=no_voter_options,
+            base_spec=base_spec,
         )
         protocol_tasks = list(grid.tasks())
         spans.append((protocol, len(tasks), len(tasks) + len(protocol_tasks)))
@@ -1071,6 +1286,12 @@ def _throughput_grid_tasks(args: argparse.Namespace):
         if failed:
             print(message, file=sys.stderr)
             return None
+    if args.crash_schedule:
+        print(
+            "warning: --crash-schedule is deprecated; use "
+            "--faults crash=SITE:AT[:RECOVER_AT]",
+            file=sys.stderr,
+        )
     try:
         crashes = _parse_crash_schedule(args.crash_schedule or [])
     except ValueError as exc:
@@ -1082,6 +1303,9 @@ def _throughput_grid_tasks(args: argparse.Namespace):
         except ValueError as exc:
             print(f"--crash-schedule: {exc}", file=sys.stderr)
             return None
+    faults = _resolve_fault_plan(args)
+    if faults is _FAULTS_ERROR:
+        return None
     protocols = _resolve_protocol_names(args.protocols, default=list(DEFAULT_PROTOCOLS))
     if protocols is None:
         return None
@@ -1109,6 +1333,8 @@ def _throughput_grid_tasks(args: argparse.Namespace):
         deadlock=policy,
         retry=retry,
         crashes=crashes,
+        faults=faults,
+        lock_transport=args.lock_transport,
         seeds=args.seeds,
     )
 
@@ -1149,13 +1375,84 @@ def _run_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _envelope_for_plan(plan) -> Optional[str]:
+    """The exhaustive fault envelope covering a ``--faults`` clause plan.
+
+    The checker abstracts probabilities away: any loss clause maps onto the
+    ``lossy`` envelope (one adversarial silent loss, anywhere), loss with
+    retransmission onto ``lossy-retransmit``, a crash clause onto
+    ``single-crash``.  Fault classes with no exhaustive envelope (dup /
+    reorder / omission / byzantine) print an error and return ``None``.
+    """
+    from repro.core.reachability import (
+        FAILURE_FREE,
+        LOSSY,
+        LOSSY_RETRANSMIT,
+        SINGLE_CRASH,
+    )
+
+    classes = set(plan.fault_classes()) if plan is not None else set()
+    unsupported = sorted(classes - {"loss", "crash"})
+    if unsupported or classes == {"loss", "crash"}:
+        print(
+            f"--faults: no exhaustive envelope covers "
+            f"{unsupported or sorted(classes)}; the checker maps crash=..., "
+            f"loss=... and loss=...,retransmit=on (use the simulator -- "
+            f"repro sweep / repro throughput -- for the other fault classes)",
+            file=sys.stderr,
+        )
+        return None
+    if "loss" in classes:
+        if plan.retransmit is not None:
+            return LOSSY_RETRANSMIT
+        return LOSSY
+    if "crash" in classes:
+        return SINGLE_CRASH
+    # A bare retransmit=on plan: retransmission restores assumption 1, so
+    # the graph is the failure-free one by construction.
+    return FAILURE_FREE
+
+
+def _modelcheck_envelopes(args: argparse.Namespace) -> Optional[list[str]]:
+    """``--faults`` values as fault envelopes, or ``None`` after the error.
+
+    Accepts envelope names (``failure-free`` ... ``lossy-retransmit``,
+    ``all`` = the classic trio) directly and maps clause-grammar plans via
+    :func:`_envelope_for_plan`, so the unified ``--faults`` spelling works
+    against the exhaustive checker too.
+    """
+    from repro.core.reachability import ALL_FAULT_ENVELOPES
+    from repro.experiments.modelcheck import DEFAULT_FAULTS
+
+    values = args.faults or ["all"]
+    envelopes: list[str] = []
+    for value in values:
+        if value == "all":
+            envelopes.extend(DEFAULT_FAULTS)
+        elif value in ALL_FAULT_ENVELOPES:
+            envelopes.append(value)
+        else:
+            try:
+                plan = _parse_fault_clauses([value])
+                if plan is not None:
+                    plan.validate(args.sites)
+            except ValueError as exc:
+                print(f"--faults: {exc}", file=sys.stderr)
+                return None
+            envelope = _envelope_for_plan(plan)
+            if envelope is None:
+                return None
+            envelopes.append(envelope)
+    return list(dict.fromkeys(envelopes))
+
+
 def _modelcheck_grid_tasks(args: argparse.Namespace):
     """The model-checking grid's task list, or ``None`` after a printed error.
 
     Shared by ``repro modelcheck`` and ``repro shard --kind modelcheck`` so
     sharded runs explore exactly the grid a single-machine run would.
     """
-    from repro.experiments.modelcheck import DEFAULT_FAULTS, modelcheck_tasks
+    from repro.experiments.modelcheck import modelcheck_tasks
     from repro.modelcheck.protocols import checkable_protocols
 
     checks = [
@@ -1184,11 +1481,9 @@ def _modelcheck_grid_tasks(args: argparse.Namespace):
             file=sys.stderr,
         )
         return None
-    faults = args.faults or ["all"]
-    if any(f == "all" for f in faults):
-        faults = list(DEFAULT_FAULTS)
-    else:
-        faults = list(dict.fromkeys(faults))
+    faults = _modelcheck_envelopes(args)
+    if faults is None:
+        return None
     no_voter_options = _resolve_no_voters(args)
     if no_voter_options is None:
         return None

@@ -17,7 +17,8 @@ Two exploration surfaces share one engine:
   concurrency analysis (:mod:`repro.core.concurrency`).
 * :func:`explore_model` -- the model checker's generalization: a *fault
   envelope* (:data:`FAILURE_FREE`, :data:`SINGLE_CRASH`,
-  :data:`PARTITION`) adds crash / partition-onset pseudo-transitions, and
+  :data:`PARTITION`, :data:`LOSSY`, :data:`LOSSY_RETRANSMIT`) adds
+  crash / partition-onset / message-loss pseudo-transitions, and
   an optional Rule (a)/(b) augmentation adds the timeout and
   undeliverable-message decisions of
   :class:`~repro.core.rules.AugmentedProtocol`, mirroring the timed
@@ -58,8 +59,19 @@ OPERATOR_SITE = 0  # pseudo-site the external "request" message comes from
 FAILURE_FREE = "failure-free"    # no faults: the original Sections 2-3 graph
 SINGLE_CRASH = "single-crash"    # at most one site crash, at any global state
 PARTITION = "partition"          # one simple partition onset, at any global state
+LOSSY = "lossy"                  # one silent message loss, at any global state
+# Loss behind the at-least-once retransmission layer: every message is
+# eventually delivered exactly once within the stretched delivery bound, so
+# the reachable graph is *identical* to the failure-free one -- that identity
+# is the model-level statement that retransmission restores assumption 1.
+LOSSY_RETRANSMIT = "lossy-retransmit"
 
+#: The classic trio (the default MODELCHECK sweep; golden tables pin it).
 FAULT_ENVELOPES = (FAILURE_FREE, SINGLE_CRASH, PARTITION)
+#: The message-fault envelopes added by the FaultPlan API.
+MESSAGE_FAULT_ENVELOPES = (LOSSY, LOSSY_RETRANSMIT)
+#: Every envelope the explorer accepts.
+ALL_FAULT_ENVELOPES = FAULT_ENVELOPES + MESSAGE_FAULT_ENVELOPES
 
 # BFS explores shortest-first, so counterexample paths are minimal; DFS
 # exists to property-test order-independence of the reachable state set.
@@ -118,7 +130,7 @@ class FaultEvent:
     """A pseudo-transition of the fault envelope (not a protocol transition).
 
     Attributes:
-        action: ``"crash"``, ``"partition"``, ``"timeout"`` or
+        action: ``"crash"``, ``"partition"``, ``"loss"``, ``"timeout"`` or
             ``"undeliverable"``.
         site: the acting / affected site (0 for a partition onset, which
             belongs to the network).
@@ -153,6 +165,9 @@ class GlobalState:
     voted: tuple[bool, ...]
     crashed: frozenset[int] = frozenset()
     partition: Optional[tuple[tuple[int, ...], ...]] = None
+    #: True once the lossy envelope silently dropped a message (defaulted,
+    #: so every pre-lossy state encoding is unchanged).
+    lost: bool = False
 
     @property
     def n_sites(self) -> int:
@@ -161,8 +176,8 @@ class GlobalState:
 
     @property
     def fault_fired(self) -> bool:
-        """True once the envelope's crash or partition has struck."""
-        return bool(self.crashed) or self.partition is not None
+        """True once the envelope's crash, partition or message loss struck."""
+        return bool(self.crashed) or self.partition is not None or self.lost
 
     def local(self, site: int) -> str:
         """Local state of ``site`` (1-based)."""
@@ -225,6 +240,8 @@ class GlobalState:
             marks.append("x" + ",".join(map(str, sorted(self.crashed))))
         if self.partition is not None:
             marks.append("|".join("{" + ",".join(map(str, g)) + "}" for g in self.partition))
+        if self.lost:
+            marks.append("~loss")
         suffix = f" [{' '.join(marks)}]" if marks else ""
         return f"<({vector}) | {pending}>{suffix}"
 
@@ -503,9 +520,10 @@ class _ModelExplorer:
             raise ValueError(
                 f"a distributed transaction needs at least 2 sites, got {n_sites}"
             )
-        if fault not in FAULT_ENVELOPES:
+        if fault not in ALL_FAULT_ENVELOPES:
             raise ValueError(
-                f"unknown fault envelope {fault!r}; expected one of {FAULT_ENVELOPES}"
+                f"unknown fault envelope {fault!r}; "
+                f"expected one of {ALL_FAULT_ENVELOPES}"
             )
         self.spec = spec
         self.n_sites = n_sites
@@ -629,6 +647,7 @@ class _ModelExplorer:
             voted=tuple(new_voted),
             crashed=state.crashed,
             partition=state.partition,
+            lost=state.lost,
         )
         return target, successor
 
@@ -696,6 +715,7 @@ class _ModelExplorer:
                         voted=tuple(new_voted),
                         crashed=state.crashed,
                         partition=state.partition,
+                        lost=state.lost,
                     )
                     yield (
                         GlobalTransition(
@@ -767,6 +787,18 @@ class _ModelExplorer:
         elif self.fault == PARTITION and state.partition is None:
             for g1, g2 in self._splits:
                 yield self._partition_edge(state, (g1, g2))
+        elif self.fault == LOSSY and not state.lost:
+            # One silent loss of any droppable outstanding message.  The
+            # operator's request is local to the master and returned
+            # notifications already model a delivery failure, so neither is
+            # a loss candidate.  LOSSY_RETRANSMIT deliberately contributes
+            # no edges here: behind the at-least-once layer every message
+            # lands exactly once within the stretched bound, so its graph
+            # is the failure-free one.
+            for message in sorted(state.outstanding, key=TaggedMessage.sort_key):
+                if message.returned or message.sender == OPERATOR_SITE:
+                    continue
+                yield self._loss_edge(state, message)
 
     def _crash_edge(self, state: GlobalState, site: int):
         outstanding: set[TaggedMessage] = set()
@@ -798,10 +830,39 @@ class _ModelExplorer:
             voted=state.voted,
             crashed=frozenset({site}),
             partition=state.partition,
+            lost=state.lost,
         )
         event = FaultEvent(action="crash", site=site, detail=f"site {site} crashes")
         return (
             GlobalTransition(source=state, site=site, transition=event, target=successor),
+            frozenset(),
+        )
+
+    def _loss_edge(self, state: GlobalState, message: TaggedMessage):
+        """Silently drop one outstanding message (the lossy envelope).
+
+        Unlike a crash or partition bounce, a loss leaves *no* evidence: no
+        returned notification reaches the sender, the receiver simply never
+        hears the message -- precisely the violation of assumption 1 the
+        simulator's ``LinkFault`` loss models.
+        """
+        successor = GlobalState(
+            locals=state.locals,
+            outstanding=state.outstanding - {message},
+            voted=state.voted,
+            crashed=state.crashed,
+            partition=state.partition,
+            lost=True,
+        )
+        event = FaultEvent(
+            action="loss",
+            site=OPERATOR_SITE,
+            detail=f"{message} lost",
+        )
+        return (
+            GlobalTransition(
+                source=state, site=OPERATOR_SITE, transition=event, target=successor
+            ),
             frozenset(),
         )
 
@@ -836,6 +897,7 @@ class _ModelExplorer:
             voted=state.voted,
             crashed=state.crashed,
             partition=groups,
+            lost=state.lost,
         )
         detail = "|".join("{" + ",".join(map(str, g)) + "}" for g in groups)
         event = FaultEvent(action="partition", site=OPERATOR_SITE, detail=detail)
@@ -888,7 +950,7 @@ def explore_model(
             (:class:`~repro.core.rules.AugmentedProtocol` or anything with
             ``timeout_action`` / ``undeliverable_action`` dicts); enables
             the timeout and undeliverable-message pseudo-transitions.
-        fault: one of :data:`FAULT_ENVELOPES`.
+        fault: one of :data:`ALL_FAULT_ENVELOPES`.
         no_voters: ``None`` explores both vote branches of every slave;
             a set scripts the vote pattern (members vote no, the rest yes).
         max_states: state budget; exceeding it raises

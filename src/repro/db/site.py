@@ -111,9 +111,16 @@ class DatabaseSite:
         return self.locks.request(transaction_id, key, mode, now=now)
 
     def prepare(self, transaction_id: str, *, now: float = 0.0) -> None:
-        """Journal the prepared state (the 3PC ``prepare`` step)."""
+        """Journal the prepared state (the 3PC ``prepare`` step).
+
+        Stale-tolerant: under at-least-once delivery a duplicated or
+        retransmitted PREPARE can arrive after a crash wiped the volatile
+        transaction state; it journals nothing.
+        """
         self._require_up()
-        pending = self._require_pending(transaction_id)
+        pending = self._pending.get(transaction_id)
+        if pending is None:
+            return
         pending.status = TransactionStatus.PREPARED
         self.wal.log_prepare(transaction_id, pending.writes, time=now)
 
@@ -127,7 +134,12 @@ class DatabaseSite:
             raise ValueError(
                 f"site {self.site} cannot commit {transaction_id}: already aborted locally"
             )
-        pending = self._require_pending(transaction_id)
+        pending = self._pending.get(transaction_id)
+        if pending is None:
+            # Stale delivery: the writes died with a crash, so there is
+            # nothing to apply -- recovery (WAL replay) owns the post-crash
+            # outcome, not a late COMMIT command.
+            return
         self.wal.log_commit(transaction_id, pending.writes, time=now)
         self.store.apply(transaction_id, pending.writes)
         self.wal.log_apply(transaction_id, time=now)
@@ -227,8 +239,3 @@ class DatabaseSite:
         if self.state is SiteState.CRASHED:
             raise RuntimeError(f"site {self.site} is crashed")
 
-    def _require_pending(self, transaction_id: str) -> _PendingTransaction:
-        pending = self._pending.get(transaction_id)
-        if pending is None:
-            raise KeyError(f"site {self.site} has no pending transaction {transaction_id}")
-        return pending

@@ -18,9 +18,18 @@ from repro.protocols.runner import ScenarioSpec
 
 #: Per-dataclass field-name cache: ``dataclasses.fields()`` rebuilds its
 #: tuple on every call, and canonicalization visits the same few spec
-#: classes thousands of times per sweep.  Values are ``(names, frozen)``;
-#: frozen dataclasses are additionally safe to memoize by value below.
-_FIELD_NAMES: dict[type, tuple[tuple[str, ...], bool]] = {}
+#: classes thousands of times per sweep.  Values are
+#: ``(names, frozen, optional_defaults)``; frozen dataclasses are
+#: additionally safe to memoize by value below.
+#:
+#: ``optional_defaults`` maps the names of *hash-optional* fields (declared
+#: with ``field(metadata={"hash_optional": True})``) to their defaults.  A
+#: hash-optional field still at its default is omitted from the canonical
+#: text entirely, so specs that grow new optional knobs (``faults``,
+#: ``lock_transport``) keep hashing byte-identically to the format that
+#: predates them -- existing caches, golden tables and shard spills carry
+#: over unchanged.
+_FIELD_NAMES: dict[type, tuple[tuple[str, ...], bool, dict[str, Any]]] = {}
 
 #: Canonical forms of frozen, hashable dataclass values.  A partition sweep
 #: shares the same ``PartitionSpec``/``PartitionSchedule`` structures across
@@ -74,10 +83,16 @@ def canonical(value: Any) -> str:
     entry = _FIELD_NAMES.get(tv)
     if entry is None and dataclasses.is_dataclass(value) and not isinstance(value, type):
         names = tuple(f.name for f in dataclasses.fields(value))
-        entry = (names, bool(tv.__dataclass_params__.frozen))
+        optional = {
+            f.name: f.default
+            for f in dataclasses.fields(value)
+            if f.metadata.get("hash_optional")
+            and f.default is not dataclasses.MISSING
+        }
+        entry = (names, bool(tv.__dataclass_params__.frozen), optional)
         _FIELD_NAMES[tv] = entry
     if entry is not None:
-        names, frozen = entry
+        names, frozen, optional = entry
         if frozen:
             # Frozen dataclasses cannot change after construction, and their
             # generated __eq__ never matches a different class, so the value
@@ -89,7 +104,12 @@ def canonical(value: Any) -> str:
             else:
                 if cached is not None:
                     return cached
-        fields = ",".join(f"{name}={canonical(getattr(value, name))}" for name in names)
+        fields = ",".join(
+            f"{name}={canonical(field_value)}"
+            for name in names
+            for field_value in (getattr(value, name),)
+            if not (name in optional and field_value == optional[name])
+        )
         text = f"{tv.__name__}({fields})"
         if frozen:
             if len(_FROZEN_MEMO) >= _FROZEN_MEMO_MAX:

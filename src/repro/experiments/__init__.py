@@ -25,6 +25,7 @@ from repro.experiments.sec6_cases import run_sec6_cases
 from repro.experiments.sec7_assumptions import run_sec7_assumptions
 from repro.experiments.thm10_generalization import run_thm10_generalization
 from repro.experiments.availability import run_availability_comparison
+from repro.experiments.faults import run_fault_survival
 from repro.experiments.message_overhead import run_message_overhead
 from repro.experiments.multiple_partitioning import run_multiple_partitioning
 from repro.experiments.throughput import (
@@ -36,6 +37,7 @@ __all__ = [
     "ExperimentReport",
     "run_availability_comparison",
     "run_differential_validation",
+    "run_fault_survival",
     "run_fig1_two_phase",
     "run_fig2_extended_two_phase",
     "run_fig3_three_phase",

@@ -36,7 +36,7 @@ from typing import Iterable, Optional, Sequence
 from repro.engine import SweepTask
 from repro.experiments.harness import ExperimentReport, get_engine
 from repro.txn.sink import ThroughputSink
-from repro.sim.failures import CrashSchedule
+from repro.sim.failures import CrashSchedule, FaultPlan
 from repro.sim.partition import PartitionSchedule
 from repro.txn.deadlock import DeadlockPolicy
 from repro.txn.retry import RetryPolicy
@@ -95,6 +95,8 @@ def throughput_tasks(
     deadlock: Optional[DeadlockPolicy] = None,
     retry: Optional[RetryPolicy] = None,
     crashes: Optional[CrashSchedule] = None,
+    faults: Optional[FaultPlan] = None,
+    lock_transport: str = "direct",
     seeds: Sequence[int] = (0,),
 ) -> list[SweepTask]:
     """The TPUT grid: protocol x onset x offered load x read fraction x seed.
@@ -102,10 +104,14 @@ def throughput_tasks(
     An onset fraction of ``None`` yields a failure-free (no-partition)
     scenario.  ``arrival`` / ``hotspot`` / ``retry`` / ``crashes`` shape
     the open-loop variants (RETRY panel, ``repro throughput --arrival
-    poisson --retries ... --crash-schedule ...``).  Enumeration order is
-    protocol outermost, seed innermost (matching
-    :class:`~repro.engine.grid.ScenarioGrid` conventions), so results and
-    cache keys are stable across runs and worker counts.
+    poisson --retries ... --crash-schedule ...``); ``faults`` /
+    ``lock_transport`` thread the unified
+    :class:`~repro.sim.failures.FaultPlan` and the lock-message transport
+    through every grid point (``repro throughput --faults
+    loss=0.3,retransmit=on``).  Enumeration order is protocol outermost,
+    seed innermost (matching :class:`~repro.engine.grid.ScenarioGrid`
+    conventions), so results and cache keys are stable across runs and
+    worker counts.
     """
     tasks: list[SweepTask] = []
     for protocol in protocols:
@@ -126,6 +132,8 @@ def throughput_tasks(
                             deadlock=deadlock or DeadlockPolicy(),
                             retry=retry or RetryPolicy(),
                             crashes=crashes,
+                            faults=faults,
+                            lock_transport=lock_transport,
                             seed=seed,
                         )
                         if onset_fraction is None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.reachability import FAILURE_FREE, FAULT_ENVELOPES
+from repro.core.reachability import ALL_FAULT_ENVELOPES, FAILURE_FREE
 
 
 @dataclass(frozen=True)
@@ -25,8 +25,9 @@ class ModelCheckSpec:
     Attributes:
         n_sites: number of participating sites (site 1 is the master).
         fault: fault envelope -- one of
-            :data:`~repro.core.reachability.FAULT_ENVELOPES`
-            (``"failure-free"``, ``"single-crash"``, ``"partition"``).
+            :data:`~repro.core.reachability.ALL_FAULT_ENVELOPES`
+            (``"failure-free"``, ``"single-crash"``, ``"partition"``,
+            ``"lossy"``, ``"lossy-retransmit"``).
         no_voters: ``None`` explores *both* vote branches of every slave
             (the exhaustive default); a frozenset of slave site ids scripts
             the vote pattern, matching one simulator scenario exactly.  The
@@ -53,10 +54,10 @@ class ModelCheckSpec:
             raise ValueError(
                 f"a distributed transaction needs at least 2 sites, got {self.n_sites}"
             )
-        if self.fault not in FAULT_ENVELOPES:
+        if self.fault not in ALL_FAULT_ENVELOPES:
             raise ValueError(
                 f"unknown fault envelope {self.fault!r}; "
-                f"expected one of {FAULT_ENVELOPES}"
+                f"expected one of {ALL_FAULT_ENVELOPES}"
             )
         if self.max_states < 1:
             raise ValueError(f"max_states must be positive, got {self.max_states}")

@@ -18,7 +18,7 @@ from repro.db.site import DatabaseSite
 from repro.db.transactions import Transaction
 from repro.protocols.base import ProtocolContext, ProtocolDefinition, RoleBase
 from repro.sim.cluster import Cluster
-from repro.sim.failures import CrashSchedule
+from repro.sim.failures import CrashSchedule, FaultPlan, normalize_fault_plan
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import OPTIMISTIC
 from repro.sim.partition import PartitionSchedule
@@ -47,6 +47,10 @@ class ScenarioSpec:
         seed: random seed (only relevant for stochastic latency models).
         initial_data: initial key/value contents installed at every site.
         write_key / write_value: the update the transaction installs.
+        faults: unified fault plan (message loss / duplication / reordering,
+            omission and Byzantine sites, retransmission).  Hash-optional:
+            ``None`` (or ``FaultPlan.none()``, normalized to ``None``) keeps
+            the spec hash byte-identical to the pre-FaultPlan format.
     """
 
     n_sites: int = 3
@@ -60,16 +64,38 @@ class ScenarioSpec:
     initial_data: Optional[Mapping[str, Any]] = None
     write_key: str = "balance"
     write_value: Any = 100
+    faults: Optional[FaultPlan] = field(
+        default=None, metadata={"hash_optional": True}
+    )
+
+    def __post_init__(self) -> None:
+        self.faults = normalize_fault_plan(self.faults)
+        if self.faults is not None:
+            self.faults.validate(self.n_sites)
 
     def effective_latency(self) -> LatencyModel:
         """The latency model, defaulting to a constant delay of 1 (= T)."""
         return self.latency or _DEFAULT_LATENCY
 
+    def effective_max_delay(self) -> float:
+        """The delivery bound the protocol timers are built from.
+
+        Without retransmission this is the latency model's ``T``.  With the
+        at-least-once layer enabled, a message may only land after several
+        retransmit rounds, so the timers (and the paper's timeout structure
+        with them) stretch to the plan's effective bound -- that stretching
+        is precisely how the layer restores assumption 1.
+        """
+        max_delay = self.effective_latency().upper_bound
+        if self.faults is not None and self.faults.retransmit is not None:
+            return self.faults.effective_max_delay(max_delay)
+        return max_delay
+
     def effective_horizon(self) -> float:
-        """The run horizon, defaulting to ``40 T``."""
+        """The run horizon, defaulting to ``40 T`` (of the effective bound)."""
         if self.horizon is not None:
             return self.horizon
-        return 40.0 * self.effective_latency().upper_bound
+        return 40.0 * self.effective_max_delay()
 
 
 @dataclass
@@ -90,12 +116,20 @@ class TransactionRunResult:
     messages_delivered: int = 0
     messages_bounced: int = 0
     messages_dropped: int = 0
+    messages_retransmitted: int = 0
+    messages_deduplicated: int = 0
     finished_at: float = 0.0
     trace: Trace = field(default_factory=Trace)
     db_sites: dict[int, DatabaseSite] = field(default_factory=dict)
+    byzantine_sites: frozenset[int] = frozenset()
 
     # ------------------------------------------------------------------
     # derived verdicts
+    #
+    # All verdicts range over *honest* sites: a Byzantine site's own
+    # "decision" carries no meaning, so it can neither violate atomicity nor
+    # count as blocked.  Fault-free runs have no Byzantine sites and behave
+    # exactly as before.
     # ------------------------------------------------------------------
     @property
     def participants(self) -> tuple[int, ...]:
@@ -103,19 +137,34 @@ class TransactionRunResult:
         return self.transaction.participants
 
     @property
+    def honest_participants(self) -> tuple[int, ...]:
+        """Participants that are not scripted to misbehave."""
+        if not self.byzantine_sites:
+            return self.transaction.participants
+        return tuple(
+            s for s in self.transaction.participants if s not in self.byzantine_sites
+        )
+
+    def _honest_decisions(self):
+        items = sorted(self.decisions.items())
+        if not self.byzantine_sites:
+            return items
+        return [(s, d) for s, d in items if s not in self.byzantine_sites]
+
+    @property
     def committed_sites(self) -> tuple[int, ...]:
-        """Sites whose local decision was commit."""
-        return tuple(s for s, d in sorted(self.decisions.items()) if d == "commit")
+        """Honest sites whose local decision was commit."""
+        return tuple(s for s, d in self._honest_decisions() if d == "commit")
 
     @property
     def aborted_sites(self) -> tuple[int, ...]:
-        """Sites whose local decision was abort."""
-        return tuple(s for s, d in sorted(self.decisions.items()) if d == "abort")
+        """Honest sites whose local decision was abort."""
+        return tuple(s for s, d in self._honest_decisions() if d == "abort")
 
     @property
     def undecided_sites(self) -> tuple[int, ...]:
-        """Sites with no decision when the run ended (blocked sites)."""
-        return tuple(s for s, d in sorted(self.decisions.items()) if d is None)
+        """Honest sites with no decision when the run ended (blocked sites)."""
+        return tuple(s for s, d in self._honest_decisions() if d is None)
 
     @property
     def blocked_sites(self) -> tuple[int, ...]:
@@ -134,13 +183,13 @@ class TransactionRunResult:
 
     @property
     def all_committed(self) -> bool:
-        """True when every participant committed."""
-        return len(self.committed_sites) == len(self.participants)
+        """True when every honest participant committed."""
+        return len(self.committed_sites) == len(self.honest_participants)
 
     @property
     def all_aborted(self) -> bool:
-        """True when every participant aborted."""
-        return len(self.aborted_sites) == len(self.participants)
+        """True when every honest participant aborted."""
+        return len(self.aborted_sites) == len(self.honest_participants)
 
     @property
     def consistent(self) -> bool:
@@ -198,7 +247,9 @@ def run_scenario(
         spec = ScenarioSpec(**{**spec.__dict__, **overrides})
 
     latency = spec.effective_latency()
-    timers = TerminationTimers(max_delay=latency.upper_bound)
+    # With retransmission in force the timeout structure stretches to the
+    # plan's effective delivery bound (see ScenarioSpec.effective_max_delay).
+    timers = TerminationTimers(max_delay=spec.effective_max_delay())
     cluster = Cluster(
         spec.n_sites,
         latency=latency,
@@ -235,6 +286,14 @@ def run_scenario(
         cluster.apply_partition_schedule(spec.partition)
     if spec.crashes is not None:
         cluster.apply_crash_schedule(spec.crashes)
+    byzantine_sites: frozenset[int] = frozenset()
+    if spec.faults is not None:
+        cluster.apply_fault_plan(spec.faults)
+        if spec.faults.byzantine:
+            from repro.protocols.byzantine import install_byzantine_interceptors
+
+            install_byzantine_interceptors(cluster, spec.faults)
+            byzantine_sites = spec.faults.byzantine_sites()
 
     cluster.start_all()
     cluster.run(until=spec.effective_horizon())
@@ -249,7 +308,10 @@ def run_scenario(
         messages_delivered=cluster.network.messages_delivered,
         messages_bounced=cluster.network.messages_bounced,
         messages_dropped=cluster.network.messages_dropped,
+        messages_retransmitted=cluster.network.messages_retransmitted,
+        messages_deduplicated=cluster.network.messages_deduplicated,
         finished_at=cluster.sim.now,
+        byzantine_sites=byzantine_sites,
     )
     for site in participants:
         role = roles[site]

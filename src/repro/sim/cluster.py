@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.sim.events import EventKind
-from repro.sim.failures import CrashSchedule, FailureInjector
+from repro.sim.failures import CrashSchedule, FailureInjector, FaultPlan
 from repro.sim.kernel import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import Network, OPTIMISTIC
@@ -107,6 +107,19 @@ class Cluster:
     def apply_crash_schedule(self, schedule: CrashSchedule) -> None:
         """Schedule every crash / recovery in ``schedule``."""
         self.failures.apply(schedule)
+
+    def apply_fault_plan(self, plan: FaultPlan) -> None:
+        """Install a unified fault plan: crashes plus message-level faults.
+
+        Byzantine behaviour is *not* wired here -- it lives at the protocol
+        role layer (see :mod:`repro.protocols.byzantine`), because equivocation
+        rewrites protocol messages the network treats as opaque payloads.
+        """
+        plan.validate(self.n_sites)
+        if plan.crashes:
+            self.apply_crash_schedule(plan.crash_schedule())
+        if plan.has_message_faults:
+            self.network.install_fault_plan(plan)
 
     # ------------------------------------------------------------------
     # execution

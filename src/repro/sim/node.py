@@ -108,6 +108,11 @@ class Node:
         self._on_timeout: Optional[Any] = None
         self._timers: dict[str, Timer] = {}
         self._started = False
+        # Byzantine hook: called as interceptor(source, destination, payload)
+        # before every send; it may rewrite the payload or return None to
+        # silently swallow the send.  None (the default) costs one attribute
+        # check on the send path.
+        self._send_interceptor: Optional[Any] = None
         network.register(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -148,12 +153,20 @@ class Node:
         """Send ``payload`` to ``destination`` (dropped if this node crashed)."""
         if self.crashed:
             return None
+        interceptor = self._send_interceptor
+        if interceptor is not None:
+            payload = interceptor(self.node_id, destination, payload)
+            if payload is None:
+                return None
         return self.network.send(self.node_id, destination, payload)
 
     def multicast(self, destinations: list[int], payload: Any) -> list[Envelope]:
         """Send ``payload`` to every site in ``destinations``."""
         if self.crashed:
             return []
+        if self._send_interceptor is not None:
+            sent = (self.send(destination, payload) for destination in destinations)
+            return [envelope for envelope in sent if envelope is not None]
         return self.network.multicast(self.node_id, destinations, payload)
 
     def deliver(self, envelope: Envelope) -> None:

@@ -161,6 +161,11 @@ class SiteMultiplexer:
         #: (and re-admitted lock requests) always observe the recovered
         #: database state, never the pre-replay one.
         self.recover_listeners: list[Any] = []
+        #: Called as ``listener(payload, envelope)`` for every delivery
+        #: *before* transaction routing; a listener returning True consumes
+        #: the message.  The scheduler's network lock transport routes its
+        #: lock request / grant traffic here.
+        self.message_listeners: list[Any] = []
         node.attach(self)
 
     def register(self, transaction_id: str, virtual: VirtualNode) -> None:
@@ -191,6 +196,10 @@ class SiteMultiplexer:
 
     def on_message(self, payload: Any, envelope: Any) -> None:
         """Route a delivery (or bounce) to the owning transaction's role."""
+        if self.message_listeners:
+            for listener in self.message_listeners:
+                if listener(payload, envelope):
+                    return
         inner = payload.payload if isinstance(payload, Undeliverable) else payload
         transaction_id = getattr(inner, "transaction_id", None)
         virtual = self._virtuals.get(transaction_id) if transaction_id else None

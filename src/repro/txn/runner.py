@@ -24,7 +24,7 @@ from repro.db.site import DatabaseSite
 from repro.protocols.base import ProtocolDefinition
 from repro.protocols.registry import create_protocol
 from repro.sim.cluster import Cluster
-from repro.sim.failures import CrashSchedule
+from repro.sim.failures import CrashSchedule, FaultPlan, normalize_fault_plan
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import OPTIMISTIC
 from repro.sim.partition import PartitionSchedule
@@ -75,6 +75,16 @@ class ThroughputSpec:
             ``40 T`` of drain, far beyond every decision bound in the paper.
         seed: seed for workload generation, arrivals, retry jitter and the
             simulator RNG.
+        faults: unified fault plan (message loss / duplication / reordering,
+            omission and Byzantine sites, retransmission).  Hash-optional:
+            ``None`` keeps the spec hash byte-identical to the pre-FaultPlan
+            format.
+        lock_transport: ``"direct"`` (lock requests placed straight at the
+            sites, the historical modelling choice) or ``"network"`` (lock
+            request / grant travel as messages, so partitions and loss
+            faults cut lock acquisition too).  Auto-upgraded to
+            ``"network"`` when a fault plan with message faults is present.
+            Hash-optional at its ``"direct"`` default.
     """
 
     n_sites: int = 3
@@ -95,8 +105,26 @@ class ThroughputSpec:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     horizon: Optional[float] = None
     seed: int = 0
+    faults: Optional[FaultPlan] = field(
+        default=None, metadata={"hash_optional": True}
+    )
+    lock_transport: str = field(
+        default="direct", metadata={"hash_optional": True}
+    )
 
     def __post_init__(self) -> None:
+        self.faults = normalize_fault_plan(self.faults)
+        if self.faults is not None:
+            self.faults.validate(self.n_sites)
+            if self.faults.has_message_faults and self.lock_transport == "direct":
+                # Message faults must be able to cut lock acquisition; a
+                # direct (non-network) lock path would silently bypass them.
+                self.lock_transport = "network"
+        if self.lock_transport not in ("direct", "network"):
+            raise ValueError(
+                f"lock_transport must be 'direct' or 'network', "
+                f"got {self.lock_transport!r}"
+            )
         if self.n_sites < 1:
             raise ValueError(f"n_sites must be >= 1, got {self.n_sites}")
         if self.n_transactions < 1:
@@ -149,10 +177,17 @@ class ThroughputSpec:
         )
 
     def effective_horizon(self) -> float:
-        """The run horizon: explicit, or admission span plus ``40 T`` drain."""
+        """The run horizon: explicit, or admission span plus ``40 T`` drain.
+
+        With retransmission in force the drain is measured in the plan's
+        *effective* delivery bound (retransmitted messages may take several
+        rounds), mirroring :meth:`ScenarioSpec.effective_horizon`.
+        """
         if self.horizon is not None:
             return self.horizon
         max_delay = self.effective_latency().upper_bound
+        if self.faults is not None and self.faults.retransmit is not None:
+            max_delay = self.faults.effective_max_delay(max_delay)
         return self.arrival_times()[-1] + 40.0 * max_delay
 
 
@@ -191,6 +226,9 @@ def run_throughput_scenario(
         protocol = create_protocol(protocol)
 
     latency = spec.effective_latency()
+    max_delay = latency.upper_bound
+    if spec.faults is not None and spec.faults.retransmit is not None:
+        max_delay = spec.faults.effective_max_delay(max_delay)
     cluster = Cluster(spec.n_sites, latency=latency, model=spec.model, seed=spec.seed)
     db_sites = {site: DatabaseSite(site) for site in cluster.site_ids()}
     scheduler = TransactionScheduler(
@@ -200,13 +238,20 @@ def run_throughput_scenario(
         policy=spec.deadlock,
         retry=spec.retry,
         op_delay=spec.op_delay,
-        timers=TerminationTimers(max_delay=latency.upper_bound),
+        timers=TerminationTimers(max_delay=max_delay),
         seed=spec.seed,
+        lock_transport=spec.lock_transport,
     )
     if spec.partition is not None:
         cluster.apply_partition_schedule(spec.partition)
     if spec.crashes is not None:
         cluster.apply_crash_schedule(spec.crashes)
+    if spec.faults is not None:
+        cluster.apply_fault_plan(spec.faults)
+        if spec.faults.byzantine:
+            from repro.protocols.byzantine import install_byzantine_interceptors
+
+            install_byzantine_interceptors(cluster, spec.faults)
     scheduler.submit_all(
         generate_transactions(spec.workload_config()), arrivals=spec.arrival_times()
     )

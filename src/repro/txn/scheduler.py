@@ -44,16 +44,27 @@ reproducible (the determinism suite compares whole
 :class:`~repro.txn.summary.ThroughputSummary` records across worker
 counts).
 
-Lock requests are placed directly at the sites rather than travelling the
-network; see ``docs/concurrency.md`` for this and the other modelling
-choices.
+Lock *transport* is selectable.  The default (``lock_transport="direct"``)
+places lock requests directly at the sites -- the historical modelling
+shortcut, byte-identical to previous releases.  With
+``lock_transport="network"`` every remote lock request travels the
+simulated network as a message from the transaction's master site to the
+participant, and the grant travels back the same way: partitions bounce
+the request (the attempt aborts, cause ``partition``), message-loss faults
+silently eat requests or grants (the lock-wait timeout picks up the
+pieces), and the retransmission layer -- when enabled in the fault plan --
+repairs lock traffic exactly as it repairs protocol traffic.  Fault plans
+with message-level faults auto-select the network transport (see
+:class:`~repro.txn.runner.ThroughputSpec`), because a fault model that
+cannot touch lock acquisition would overstate availability.  See
+``docs/concurrency.md`` for this and the other modelling choices.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.termination import TerminationTimers
 from repro.db.locks import LockMode, LockRequest
@@ -62,6 +73,7 @@ from repro.db.transactions import OpKind, Transaction
 from repro.protocols.base import Decision, ProtocolContext, ProtocolDefinition, RoleBase
 from repro.sim.cluster import Cluster
 from repro.sim.events import Event
+from repro.sim.network import Undeliverable
 from repro.txn.deadlock import (
     DeadlockPolicy,
     VictimPolicy,
@@ -82,6 +94,56 @@ class TxnPhase(enum.Enum):
     DONE = "done"          # terminated (or written off by the scheduler)
 
 
+#: Valid values for ``TransactionScheduler(lock_transport=...)``.
+LOCK_TRANSPORTS = ("direct", "network")
+
+
+class LockRequestMessage:
+    """A remote lock request on the wire (``lock_transport="network"``).
+
+    Sent from the transaction's master site to the participant that owns
+    the key; the participant places the request in its local lock table.
+    """
+
+    __slots__ = ("transaction_id", "key", "mode")
+    kind = "lock-request"
+
+    def __init__(self, transaction_id: str, key: str, mode: LockMode) -> None:
+        self.transaction_id = transaction_id
+        self.key = key
+        self.mode = mode
+
+
+class LockGrantMessage:
+    """A lock grant travelling back from the participant to the master."""
+
+    __slots__ = ("transaction_id", "site", "key")
+    kind = "lock-grant"
+
+    def __init__(self, transaction_id: str, site: int, key: str) -> None:
+        self.transaction_id = transaction_id
+        self.site = site
+        self.key = key
+
+
+class RemoteLockWait:
+    """Master-side marker for a lock request that is out on the network.
+
+    Stands in for the :class:`~repro.db.locks.LockRequest` in
+    ``TransactionState.pending_request`` while the request (or its grant)
+    is in flight; ``enqueued_at`` is the send time, so the measured lock
+    wait includes the network round trip.
+    """
+
+    __slots__ = ("site", "key", "mode", "enqueued_at")
+
+    def __init__(self, site: int, key: str, mode: LockMode, enqueued_at: float) -> None:
+        self.site = site
+        self.key = key
+        self.mode = mode
+        self.enqueued_at = enqueued_at
+
+
 @dataclass
 class TransactionState:
     """Scheduler-side bookkeeping for one admitted transaction."""
@@ -92,7 +154,9 @@ class TransactionState:
     plan: list[tuple[int, str, LockMode]]
     next_op: int = 0
     phase: TxnPhase = TxnPhase.WAITING
-    pending_request: Optional[LockRequest] = None
+    #: The queued local LockRequest, or a RemoteLockWait marker while a
+    #: network-transport request / grant is in flight.
+    pending_request: Optional[Any] = None
     pending_site: Optional[int] = None
     timeout_event: Optional[Event] = None
     lock_wait: float = 0.0
@@ -135,6 +199,11 @@ class TransactionScheduler:
         timers: protocol timeout structure (defaults to the cluster's ``T``).
         seed: seeds the retry-backoff jitter (the workload seed, so one
             spec pins the whole retry schedule).
+        lock_transport: ``"direct"`` (the default: lock requests are placed
+            straight into the sites' lock tables) or ``"network"`` (remote
+            lock requests and grants travel the simulated network, so
+            partitions and message faults cut lock acquisition; see the
+            module docstring).
     """
 
     def __init__(
@@ -148,9 +217,14 @@ class TransactionScheduler:
         op_delay: float = 0.0,
         timers: Optional[TerminationTimers] = None,
         seed: int = 0,
+        lock_transport: str = "direct",
     ) -> None:
         if op_delay < 0:
             raise ValueError(f"op_delay must be >= 0, got {op_delay}")
+        if lock_transport not in LOCK_TRANSPORTS:
+            raise ValueError(
+                f"lock_transport must be one of {LOCK_TRANSPORTS}, got {lock_transport!r}"
+            )
         self.cluster = cluster
         self.protocol = protocol
         self.db_sites = db_sites
@@ -159,6 +233,7 @@ class TransactionScheduler:
         self.op_delay = op_delay
         self.timers = timers or TerminationTimers(max_delay=cluster.max_delay)
         self.seed = seed
+        self.lock_transport = lock_transport
         self.multiplexers: dict[int, SiteMultiplexer] = {
             site: SiteMultiplexer(cluster.node(site)) for site in cluster.site_ids()
         }
@@ -169,6 +244,12 @@ class TransactionScheduler:
             multiplexer.recover_listeners.append(
                 lambda _site=site: self._on_site_recovered(_site)
             )
+            if lock_transport == "network":
+                multiplexer.message_listeners.append(
+                    lambda payload, envelope, _site=site: self._on_lock_message(
+                        _site, payload, envelope
+                    )
+                )
         for site, db in sorted(db_sites.items()):
             db.locks.on_grant = (
                 lambda request, _site=site: self._on_lock_granted(_site, request)
@@ -326,6 +407,9 @@ class TransactionScheduler:
                     state, cause=AbortCause.CRASH, reason=f"site {site} crashed"
                 )
                 return
+            if self.lock_transport == "network" and site != state.transaction.master:
+                self._request_remote_lock(state, site, key, mode)
+                return
             request = self.db_sites[site].request_lock(
                 state.transaction_id, key, mode, now=self.now
             )
@@ -358,11 +442,143 @@ class TransactionScheduler:
         state = self.states.get(request.owner)
         if state is None or state.phase is not TxnPhase.WAITING:
             return
-        if state.pending_request is not request:
+        pending = state.pending_request
+        if (
+            type(pending) is RemoteLockWait
+            and pending.site == site
+            and pending.key == request.key
+        ):
+            # Network transport: a queued remote request was promoted; the
+            # grant travels back to the master as a message.
+            self._send_lock_grant(site, request)
+            return
+        if pending is not request:
             return
         state.pending_request = None
         state.pending_site = None
         state.lock_wait += request.wait_time
+        self._cancel_wait_timeout(state)
+        if self._operation_done(state):
+            self._advance(state)
+
+    # ------------------------------------------------------------------
+    # network lock transport
+    # ------------------------------------------------------------------
+    def _request_remote_lock(
+        self, state: TransactionState, site: int, key: str, mode: LockMode
+    ) -> None:
+        """Send the next lock request over the wire (network transport).
+
+        The master node sends a :class:`LockRequestMessage` to the
+        participant; until the grant message returns, the transaction waits
+        on a :class:`RemoteLockWait` marker.  A partition bounce aborts the
+        attempt; a silently lost request or grant is caught by the
+        lock-wait timeout (when configured) or stalls the attempt at the
+        horizon -- exactly the failure surface the direct transport hides.
+        """
+        master = state.transaction.master
+        if self.cluster.node(master).crashed:
+            self._abort_waiting(
+                state, cause=AbortCause.CRASH, reason=f"master site {master} crashed"
+            )
+            return
+        state.pending_request = RemoteLockWait(site, key, mode, self.now)
+        state.pending_site = site
+        self._arm_wait_timeout(state)
+        self.cluster.node(master).send(
+            site, LockRequestMessage(state.transaction_id, key, mode)
+        )
+
+    def _on_lock_message(self, site: int, payload: Any, envelope: Any) -> bool:
+        """Multiplexer message listener for lock traffic at ``site``.
+
+        Returns True when the delivery was lock-transport traffic (consumed
+        here), False to let transaction routing proceed.
+        """
+        bounced = isinstance(payload, Undeliverable)
+        inner = payload.payload if bounced else payload
+        kind = type(inner)
+        if kind is LockRequestMessage:
+            if bounced:
+                # The request came back UD to the master: the participant is
+                # unreachable, so the attempt cannot grow its lock set.
+                state = self.states.get(inner.transaction_id)
+                if state is not None and state.phase is TxnPhase.WAITING:
+                    self._abort_waiting(
+                        state,
+                        cause=AbortCause.PARTITION,
+                        reason=(
+                            f"lock request to site {payload.intended_destination}"
+                            " undeliverable"
+                        ),
+                    )
+            else:
+                self._place_remote_lock(site, inner)
+            return True
+        if kind is LockGrantMessage:
+            if not bounced:
+                self._on_remote_grant(inner)
+            # A bounced grant returns to the participant; the master's
+            # lock-wait timeout (or the horizon) handles the silence.
+            return True
+        return False
+
+    def _place_remote_lock(self, site: int, message: LockRequestMessage) -> None:
+        """A lock request arrived at the participant: place it locally."""
+        state = self.states.get(message.transaction_id)
+        if state is None or state.phase is not TxnPhase.WAITING:
+            # The attempt was aborted (or finished) while the request was in
+            # flight; placing the lock now would leak it past the abort's
+            # release pass.
+            return
+        pending = state.pending_request
+        if (
+            type(pending) is not RemoteLockWait
+            or pending.site != site
+            or pending.key != message.key
+        ):
+            # Stale or duplicated copy (the transaction already moved on).
+            return
+        if self.db_sites[site].state is SiteState.CRASHED:
+            # Crash fan-out is writing the waiters off; nothing to place.
+            return
+        request = self.db_sites[site].request_lock(
+            message.transaction_id, message.key, message.mode, now=self.now
+        )
+        if request.granted is not None:
+            self._send_lock_grant(site, request)
+            return
+        if self.policy.detect_cycles:
+            self._break_deadlocks()
+
+    def _send_lock_grant(self, site: int, request: LockRequest) -> None:
+        """Send a grant back from the participant to the master."""
+        state = self.states.get(request.owner)
+        if state is None:
+            return
+        self.cluster.node(site).send(
+            state.transaction.master,
+            LockGrantMessage(request.owner, site, request.key),
+        )
+
+    def _on_remote_grant(self, message: LockGrantMessage) -> None:
+        """A grant arrived back at the master: resume lock acquisition."""
+        state = self.states.get(message.transaction_id)
+        if state is None or state.phase is not TxnPhase.WAITING:
+            return
+        pending = state.pending_request
+        if (
+            type(pending) is not RemoteLockWait
+            or pending.site != message.site
+            or pending.key != message.key
+        ):
+            # Duplicate grant copy for an operation already completed.
+            return
+        state.pending_request = None
+        state.pending_site = None
+        # The measured wait includes the network round trip -- that is the
+        # wait the transaction actually experienced.
+        state.lock_wait += max(0.0, self.now - pending.enqueued_at)
         self._cancel_wait_timeout(state)
         if self._operation_done(state):
             self._advance(state)

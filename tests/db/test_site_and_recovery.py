@@ -101,10 +101,14 @@ class TestCommitAbort:
         site.abort("ghost")
         assert site.decision("ghost") == "abort"
 
-    def test_commit_without_execute_raises(self):
+    def test_commit_without_execute_is_a_stale_no_op(self):
+        # At-least-once delivery: a duplicated or retransmitted COMMIT can
+        # arrive after a crash wiped the volatile transaction state.  It
+        # must neither crash nor record a decision (recovery owns that).
         site = DatabaseSite(1)
-        with pytest.raises(KeyError):
-            site.commit("ghost")
+        site.commit("ghost")
+        assert site.decision("ghost") is None
+        assert site.wal.prepared_writes("ghost") is None
 
     def test_mark_blocked(self):
         site = DatabaseSite(1)
@@ -123,10 +127,11 @@ class TestPrepare:
         assert site.wal.prepared_writes("t1") == {"balance": 77}
         assert site.status("t1") is TransactionStatus.PREPARED
 
-    def test_prepare_unknown_transaction_raises(self):
+    def test_prepare_unknown_transaction_is_a_stale_no_op(self):
         site = DatabaseSite(1)
-        with pytest.raises(KeyError):
-            site.prepare("nope")
+        site.prepare("nope")
+        assert site.status("nope") is None
+        assert site.wal.prepared_writes("nope") is None
 
 
 class TestCrashRecovery:

@@ -5,7 +5,14 @@ import pathlib
 
 import pytest
 
-from repro.engine import ResultCache, ScenarioGrid, SweepEngine
+from repro.engine import ResultCache, ScenarioGrid, SweepEngine, SweepTask
+from repro.protocols.runner import ScenarioSpec
+from repro.sim.failures import (
+    ByzantineSpec,
+    FaultPlan,
+    LinkFault,
+    RetransmitPolicy,
+)
 from repro.sim.latency import UniformLatency
 from repro.sim.partition import PartitionSchedule
 
@@ -132,6 +139,72 @@ class TestCacheDeterminism:
         )
         assert partial.executed == 1
         assert partial.cache_hits == len(grid) - 1
+
+
+@pytest.fixture(scope="module")
+def fault_grid():
+    """Fault-plan scenarios: lossy (raw + retransmit), duplicating and
+    Byzantine plans, whose realizations come from the plan's own seeded RNG
+    and so must be exactly as deterministic as the fault-free grid."""
+    plans = (
+        FaultPlan(links=(LinkFault(loss=0.3),), seed=3),
+        FaultPlan(
+            links=(LinkFault(loss=0.3),),
+            retransmit=RetransmitPolicy(),
+            seed=3,
+        ),
+        FaultPlan(links=(LinkFault(duplicate=0.5, reorder=0.4),), seed=5),
+        FaultPlan(byzantine=(ByzantineSpec(site=1),), seed=7),
+    )
+    return [
+        SweepTask(
+            protocol=protocol,
+            spec=ScenarioSpec(n_sites=3, seed=seed, faults=plan),
+        )
+        for protocol in ("two-phase-commit", "terminating-three-phase-commit")
+        for plan in plans
+        for seed in (0, 1)
+    ]
+
+
+class TestFaultPlanDeterminism:
+    """Fault realizations are part of the reproducibility contract: worker
+    count, chunking and cache round-trips must never change a faulty run."""
+
+    def test_workers_do_not_change_fault_realizations(self, fault_grid):
+        serial = SweepEngine(workers=1).run(fault_grid)
+        parallel = SweepEngine(workers=4, chunk_size=3).run(fault_grid)
+        assert [s.to_json_bytes() for s in serial] == [
+            s.to_json_bytes() for s in parallel
+        ]
+
+    def test_warm_cache_replays_faulty_runs_byte_identically(
+        self, fault_grid, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        engine = SweepEngine(workers=1, cache=ResultCache(cache_dir))
+        cold = engine.run(fault_grid)
+        warm = engine.run(fault_grid)
+        assert (warm.executed, warm.cache_hits) == (0, len(fault_grid))
+        assert [s.to_json_bytes() for s in warm] == [
+            s.to_json_bytes() for s in cold
+        ]
+
+    def test_empty_fault_plan_is_byte_identical_to_no_plan(self):
+        # The ISSUE acceptance criterion: FaultPlan.none() must normalize
+        # away entirely -- same spec hash, same cache key, same summary
+        # bytes as a spec that never heard of fault plans.
+        bare = ScenarioSpec(n_sites=3, seed=0)
+        noned = ScenarioSpec(n_sites=3, seed=0, faults=FaultPlan.none())
+        assert noned.faults is None
+        assert bare == noned
+        tasks = [
+            SweepTask(protocol="two-phase-commit", spec=bare),
+            SweepTask(protocol="two-phase-commit", spec=noned),
+        ]
+        assert tasks[0].spec_hash == tasks[1].spec_hash
+        first, second = SweepEngine(workers=1).run(tasks).summaries
+        assert first.to_json_bytes() == second.to_json_bytes()
 
 
 class TestObservabilityByteIdentity:

@@ -26,7 +26,14 @@ from repro.engine import (
     shard_tasks,
 )
 from repro.engine.sink import VerdictCounterSink
-from repro.sim.failures import CrashSchedule
+from repro.protocols.runner import ScenarioSpec
+from repro.sim.failures import (
+    ByzantineSpec,
+    CrashSchedule,
+    FaultPlan,
+    LinkFault,
+    RetransmitPolicy,
+)
 from repro.txn import DeadlockPolicy, RetryPolicy, ThroughputSpec
 from repro.txn.sink import ThroughputSink
 
@@ -74,6 +81,41 @@ def tput_tasks():
                     ),
                 )
             )
+    return tasks
+
+
+@pytest.fixture(scope="module")
+def fault_tasks():
+    """Mixed-kind grid under fault plans: lossy scenarios with and without
+    the retransmission layer, a Byzantine master, and a lossy-retransmit
+    throughput workload over the network lock transport."""
+    lossy = FaultPlan(links=(LinkFault(loss=0.3),), seed=11)
+    lossy_rtx = FaultPlan(
+        links=(LinkFault(loss=0.3),), retransmit=RetransmitPolicy(), seed=11
+    )
+    byzantine = FaultPlan(byzantine=(ByzantineSpec(site=1),), seed=13)
+    tasks = [
+        SweepTask(
+            protocol=protocol,
+            spec=ScenarioSpec(n_sites=3, seed=seed, faults=plan),
+        )
+        for protocol in ("two-phase-commit", "terminating-three-phase-commit")
+        for plan in (lossy, lossy_rtx, byzantine)
+        for seed in (0, 1)
+    ]
+    for seed in (0, 1):
+        tasks.append(
+            SweepTask(
+                protocol="two-phase-commit",
+                spec=ThroughputSpec(
+                    n_transactions=8,
+                    tx_rate=2.0,
+                    seed=seed,
+                    faults=lossy_rtx,
+                    retry=RetryPolicy(max_attempts=2, backoff=0.5),
+                ),
+            )
+        )
     return tasks
 
 
@@ -148,6 +190,18 @@ class TestMergeByteIdentity:
         result = merge_shards(spills, jsonl=merged)
         assert merged.read_bytes() == single.read_bytes()
         assert result.kind_sinks["throughput"].rows() == sink.rows()
+
+    def test_fault_plan_merge_equals_single_machine_run(self, fault_tasks, tmp_path):
+        # Fault realizations come from the plan's seeded RNG, so sharding a
+        # lossy/Byzantine grid must stay byte-identical to one machine --
+        # and the mixed scenario+throughput spill must interleave stably.
+        single = tmp_path / "single.jsonl"
+        SweepEngine(workers=1).run_streaming(fault_tasks, sinks=JsonlSink(single))
+        spills = _shard_all(fault_tasks, tmp_path, workers=2)
+        merged = tmp_path / "merged.jsonl"
+        result = merge_shards(spills, jsonl=merged)
+        assert merged.read_bytes() == single.read_bytes()
+        assert set(result.kind_sinks) == {"scenario", "throughput"}
 
     def test_merge_is_independent_of_spill_argument_order(self, sweep_tasks, tmp_path):
         spills = _shard_all(sweep_tasks, tmp_path)

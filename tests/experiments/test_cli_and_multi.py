@@ -197,6 +197,81 @@ class TestShardMergeCli:
         assert "--retries, --crash-schedule apply to --kind throughput" in err
         assert main(base + ["--arrival", "poisson"]) == 2
         assert "--arrival applies to --kind throughput" in capsys.readouterr().err
+        assert main(base + ["--lock-transport", "network"]) == 2
+        assert "--lock-transport applies to --kind throughput" in capsys.readouterr().err
+
+    def test_faults_flag_is_shared_by_every_shard_kind(self, capsys, tmp_path):
+        # --faults is NOT kind-specific: a lossy-retransmit sweep shard and
+        # a lossy modelcheck shard must both build.
+        base = [
+            "shard", "--shard-index", "0", "--shard-count", "1",
+            "--out", str(tmp_path / "s.jsonl"),
+        ]
+        assert main(
+            base
+            + ["--times", "0.5", "--faults", "loss=0.2,retransmit=on,seed=7"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            base
+            + ["--kind", "modelcheck", "--protocol", "two-phase-commit",
+               "--faults", "loss=0.5"]
+        ) == 0
+
+
+class TestFaultsCli:
+    SWEEP = ["sweep", "--protocol", "two-phase-commit", "--times", "0.5"]
+
+    def test_sweep_accepts_the_clause_grammar(self, capsys):
+        assert main(self.SWEEP + ["--faults", "loss=0.3,retransmit=on"]) == 0
+        assert "resilient" in capsys.readouterr().out
+
+    def test_bad_clause_names_the_clause_and_exits_2(self, capsys):
+        assert main(self.SWEEP + ["--faults", "loss=not-a-number"]) == 2
+        err = capsys.readouterr().err
+        assert "--faults" in err
+        assert "clause 'loss=not-a-number'" in err
+        assert main(self.SWEEP + ["--faults", "warp=1"]) == 2
+        assert "clause 'warp=1'" in capsys.readouterr().err
+
+    def test_plan_is_validated_against_the_site_count(self, capsys):
+        assert main(self.SWEEP + ["--faults", "byzantine=9"]) == 2
+        assert "site" in capsys.readouterr().err
+
+    def test_crash_schedule_warns_but_still_works(self, capsys):
+        assert main(
+            [
+                "throughput",
+                "--transactions", "5",
+                "--protocols", "two-phase-commit",
+                "--crash-schedule", "2:20:26",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "--faults crash=SITE:AT[:RECOVER_AT]" in captured.err
+        assert "goodput (/T)" in captured.out
+
+    def test_modelcheck_maps_clauses_onto_envelopes(self, capsys):
+        assert main(
+            [
+                "modelcheck",
+                "--protocol", "two-phase-commit",
+                "--faults", "loss=0.5",
+                "--faults", "loss=0.5,retransmit=on",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "lossy" in output
+        assert "lossy-retransmit" in output
+
+    def test_modelcheck_rejects_unmapped_fault_classes(self, capsys):
+        assert main(
+            ["modelcheck", "--protocol", "two-phase-commit", "--faults", "dup=0.5"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "no exhaustive envelope" in err
+        assert "duplicate" in err
 
     def test_merging_a_non_spill_file_exits_2(self, capsys, tmp_path):
         bogus = tmp_path / "bogus.jsonl"

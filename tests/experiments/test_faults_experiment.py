@@ -1,0 +1,117 @@
+"""The FAULTS experiment: fault-class survival, pinned and cross-checked.
+
+Pins the paper-level story of the retransmission layer -- raw message loss
+costs the blocking protocols termination and the timeout-driven variants
+atomicity, retransmission restores assumption 1 and every delivery-fault
+row recovers, while the equivocating master stays broken in both columns.
+The embedded checker cross-validation doubles as the differential test
+required by the PR: the exhaustive model checker and the simulator must
+agree (directionally) on fault-class survival at ``n = 3``.
+"""
+
+import pytest
+
+from repro.experiments.faults import (
+    DEFAULT_SEEDS,
+    fault_class_plans,
+    fault_survival_tasks,
+    run_fault_survival,
+)
+from repro.protocols.registry import available_protocols
+
+#: The protocols the paper calls blocking under lost messages: a dropped
+#: vote or decision leaves at least one site waiting forever.
+BLOCKING = ("two-phase-commit", "three-phase-commit", "quorum-commit")
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One full FAULTS run shared by every assertion in the module."""
+    return run_fault_survival()
+
+
+def _cell(report, protocol, fault):
+    for row in report.table:
+        if row["protocol"] == protocol and row["fault"] == fault:
+            return row
+    pytest.fail(f"no survival row for ({protocol}, {fault})")
+
+
+class TestSurvivalMatrix:
+    def test_matrix_covers_every_protocol_and_fault_class(self, report):
+        protocols = {row["protocol"] for row in report.table}
+        faults = {row["fault"] for row in report.table}
+        assert protocols == set(available_protocols())
+        assert faults == {label for label, _ in fault_class_plans()}
+        assert len(report.table) == len(protocols) * len(faults)
+
+    @pytest.mark.parametrize("protocol", BLOCKING)
+    def test_blocking_protocols_block_under_raw_loss(self, report, protocol):
+        row = _cell(report, protocol, "loss")
+        assert "blocks" in row["without retransmit"]
+
+    @pytest.mark.parametrize("protocol", BLOCKING)
+    def test_retransmission_restores_the_blocking_protocols(self, report, protocol):
+        row = _cell(report, protocol, "loss")
+        assert row["with retransmit"] == "survives"
+
+    def test_every_loss_casualty_recovers_with_retransmission(self, report):
+        lost = report.details["lost_under_raw_loss"]
+        recovered = report.details["recovered_with_retransmit"]
+        assert set(BLOCKING) <= set(lost)
+        assert recovered == lost
+
+    def test_duplication_and_reordering_are_absorbed(self, report):
+        # The FSAs are idempotent under repeated commands and the
+        # termination timers already budget for the reorder window.
+        for protocol in available_protocols():
+            for fault in ("duplicate", "reorder"):
+                row = _cell(report, protocol, fault)
+                assert row["without retransmit"] == "survives", (protocol, fault)
+                assert row["with retransmit"] == "survives", (protocol, fault)
+
+    def test_retransmission_does_not_repair_the_equivocating_master(self, report):
+        # Delivery, not honesty: the Byzantine row must stay broken with
+        # the layer on, for every protocol it breaks with the layer off.
+        broken = report.details["byzantine_broken_despite_retransmit"]
+        assert len(broken) >= len(available_protocols()) - 1
+        for protocol in broken:
+            row = _cell(report, protocol, "byzantine")
+            assert row["without retransmit"] != "survives"
+            assert row["with retransmit"] != "survives"
+
+
+class TestCheckerAgreement:
+    """The differential test: exhaustive checker vs. simulator at n=3."""
+
+    def test_no_directional_disagreements(self, report):
+        assert report.details["checker_disagreements"] == []
+
+    def test_lossy_retransmit_envelope_proves_every_invariant(self, report):
+        from repro.core.reachability import LOSSY_RETRANSMIT
+
+        for (protocol, fault), violated in report.details[
+            "checker_verdicts"
+        ].items():
+            if fault == LOSSY_RETRANSMIT:
+                assert violated == frozenset(), protocol
+
+    def test_headline_reports_zero_disagreements(self, report):
+        assert "0 disagreement(s)" in report.headline
+
+
+class TestTaskEnumeration:
+    def test_spans_tile_the_task_list(self):
+        tasks, spans = fault_survival_tasks(["two-phase-commit"])
+        covered = []
+        for _, _, _, start, end in spans:
+            assert end - start == len(DEFAULT_SEEDS)
+            covered.extend(range(start, end))
+        assert covered == list(range(len(tasks)))
+
+    def test_plans_are_reseeded_per_scenario_seed(self):
+        # The fault RNG is driven by the plan seed, so every scenario seed
+        # must carry its own plan realization.
+        tasks, _ = fault_survival_tasks(["two-phase-commit"], seeds=(0, 1))
+        seeds = {task.spec.faults.seed for task in tasks}
+        assert seeds == {0, 1}

@@ -2,8 +2,11 @@
 
 A seeded generator drives ~200 random workloads -- mixed protocols,
 deadlock/victim policies, retry budgets, arrival processes, hot-spot skew,
-partitions and crash/recovery schedules -- and asserts the lock-manager and
-scheduler invariants on every schedule:
+partitions, crash/recovery schedules and unified fault plans (lossy,
+duplicating and reordering links, send/receive omission, equivocating and
+arbitrary Byzantine participants, with and without the retransmission
+layer) -- and asserts the lock-manager and scheduler invariants on every
+schedule:
 
 * **FIFO no-barging / upgrade priority** -- checked at every promoted
   grant: a granted request that overtakes an older pending stranger on its
@@ -24,6 +27,7 @@ workload's case seed for byte-exact reproduction.
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 
@@ -31,7 +35,18 @@ from repro.core.termination import TerminationTimers
 from repro.db.site import DatabaseSite, SiteState
 from repro.protocols.registry import create_protocol
 from repro.sim.cluster import Cluster
-from repro.sim.failures import CrashSchedule
+from repro.sim.failures import (
+    ARBITRARY,
+    EQUIVOCATE,
+    RECEIVE_OMISSION,
+    SEND_OMISSION,
+    ByzantineSpec,
+    CrashSchedule,
+    FaultPlan,
+    LinkFault,
+    OmissionFault,
+    RetransmitPolicy,
+)
 from repro.sim.partition import PartitionSchedule
 from repro.txn import (
     DeadlockPolicy,
@@ -107,6 +122,56 @@ def random_case(case_seed: int):
         ),
         seed=rng.randrange(1_000_000),
     )
+
+    # Fault plans draw last so the pre-existing axes keep their exact
+    # realizations for a given case seed; replace() re-runs validation and
+    # the direct->network lock-transport auto-upgrade.
+    if rng.random() < 0.45:
+        plan_seed = rng.randrange(1_000_000)
+        fault_class = rng.choice(
+            ["loss", "duplicate", "reorder", "omission", "byzantine"]
+        )
+        if fault_class == "loss":
+            plan = FaultPlan(
+                links=(LinkFault(loss=rng.choice([0.15, 0.3])),), seed=plan_seed
+            )
+        elif fault_class == "duplicate":
+            plan = FaultPlan(links=(LinkFault(duplicate=0.5),), seed=plan_seed)
+        elif fault_class == "reorder":
+            plan = FaultPlan(
+                links=(LinkFault(reorder=0.5, reorder_window=1.0),),
+                seed=plan_seed,
+            )
+        elif fault_class == "omission":
+            plan = FaultPlan(
+                omissions=(
+                    OmissionFault(
+                        site=rng.randint(1, n_sites),
+                        kind=rng.choice([SEND_OMISSION, RECEIVE_OMISSION]),
+                        probability=0.4,
+                    ),
+                ),
+                seed=plan_seed,
+            )
+        else:
+            plan = FaultPlan(
+                byzantine=(
+                    ByzantineSpec(
+                        site=rng.randint(1, n_sites),
+                        mode=rng.choice([EQUIVOCATE, ARBITRARY]),
+                    ),
+                ),
+                seed=plan_seed,
+            )
+        if rng.random() < 0.5:
+            plan = replace(
+                plan,
+                retransmit=RetransmitPolicy(
+                    max_attempts=rng.choice([3, 6]), interval=0.8
+                ),
+            )
+        spec = replace(spec, faults=plan)
+
     return rng.choice(PROTOCOLS), spec
 
 
@@ -261,6 +326,9 @@ def run_fuzzed_case(case_seed: int) -> None:
     protocol, spec = random_case(case_seed)
     context = f"case_seed={case_seed} protocol={protocol} spec_seed={spec.seed}"
     latency = spec.effective_latency()
+    max_delay = latency.upper_bound
+    if spec.faults is not None and spec.faults.retransmit is not None:
+        max_delay = spec.faults.effective_max_delay(max_delay)
     cluster = Cluster(spec.n_sites, latency=latency, model=spec.model, seed=spec.seed)
     db_sites = {site: DatabaseSite(site) for site in cluster.site_ids()}
     scheduler = TransactionScheduler(
@@ -270,8 +338,9 @@ def run_fuzzed_case(case_seed: int) -> None:
         policy=spec.deadlock,
         retry=spec.retry,
         op_delay=spec.op_delay,
-        timers=TerminationTimers(max_delay=latency.upper_bound),
+        timers=TerminationTimers(max_delay=max_delay),
         seed=spec.seed,
+        lock_transport=spec.lock_transport,
     )
     checker = InvariantChecker(context, scheduler, db_sites)
     checker.install()
@@ -279,6 +348,12 @@ def run_fuzzed_case(case_seed: int) -> None:
         cluster.apply_partition_schedule(spec.partition)
     if spec.crashes is not None:
         cluster.apply_crash_schedule(spec.crashes)
+    if spec.faults is not None:
+        cluster.apply_fault_plan(spec.faults)
+        if spec.faults.byzantine:
+            from repro.protocols.byzantine import install_byzantine_interceptors
+
+            install_byzantine_interceptors(cluster, spec.faults)
     scheduler.submit_all(
         generate_transactions(spec.workload_config()), arrivals=spec.arrival_times()
     )
@@ -354,3 +429,16 @@ def test_case_generator_mixes_the_axes():
     assert any(spec.partition is not None for spec in cases)
     assert any(spec.retry.enabled for spec in cases)
     assert {spec.deadlock.victim for spec in cases} == set(VictimPolicy)
+    plans = [spec.faults for spec in cases if spec.faults is not None]
+    classes = {label for plan in plans for label in plan.fault_classes()}
+    assert {"loss", "duplicate", "reorder", "byzantine"} <= classes
+    assert classes & {"send-omission", "receive-omission"}
+    assert any(plan.retransmit is not None for plan in plans)
+    assert any(plan.retransmit is None for plan in plans)
+    # Message faults must force the network lock transport (the fix that
+    # lets partitions and loss cut lock acquisition too).
+    assert all(
+        spec.lock_transport == "network"
+        for spec in cases
+        if spec.faults is not None and spec.faults.has_message_faults
+    )
