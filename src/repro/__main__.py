@@ -31,6 +31,11 @@ Usage::
         --out shard-0.jsonl --protocol all --cache .sweep-cache
     python -m repro merge shard-0.jsonl shard-1.jsonl shard-2.jsonl \\
         --jsonl merged.jsonl --stats-json merge-stats.json
+    python -m repro shard --shard-index 0 --shard-count 3 \\
+        --log results/ --protocol all --segment-records 64
+    python -m repro shard --shard-index 0 --shard-count 3 \\
+        --log results/ --manifest grids.json
+    python -m repro merge --log results/ --resume --jsonl merged.jsonl
 
 ``sweep --stream`` executes through the constant-memory streaming path
 (summaries are folded into aggregation sinks in task order, never
@@ -43,10 +48,14 @@ bounded-exhaustive exploration: every reachable global state of a protocol
 under a fault envelope is enumerated and the paper's invariants checked,
 printing minimal counterexample traces for the ones that fail.  ``shard``
 runs one deterministic slice of a sweep, throughput or modelcheck
-grid to a self-describing JSONL spill and ``merge`` folds any
-set of shard spills back into aggregates byte-identical to a
-single-machine run -- the distribution surface the matrix-sharded CI
-pipeline drives.  Every mode reports cache hit/miss counts and
+grid (or of a mixed-kind ``--manifest`` task list) to a self-describing
+JSONL spill -- or, with ``--log DIR``, appends it to a durable result log
+as atomically sealed segments, so an interrupted shard re-run resumes
+from its last sealed segment.  ``merge`` folds any set of shard spills
+(or, with ``--log DIR``, a whole result log, checkpointing its progress
+so ``--resume`` continues an interrupted merge exactly-once) back into
+aggregates byte-identical to a single-machine run -- the distribution
+surface the matrix-sharded CI pipeline drives.  Every mode reports cache hit/miss counts and
 scenarios/sec at completion; ``--stats-json PATH`` additionally writes the
 statistics as canonical JSON for machine consumers (CI assertions,
 benchmark trackers).
@@ -754,15 +763,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     shard.add_argument(
         "--out",
-        required=True,
+        default=None,
         metavar="PATH",
-        help="shard spill destination (self-describing JSON lines)",
+        help="shard spill destination (self-describing JSON lines); "
+        "exactly one of --out / --log",
+    )
+    shard.add_argument(
+        "--log",
+        default=None,
+        metavar="DIR",
+        help="append the shard to a durable result-log directory as sealed "
+        "segments instead of a one-shot spill; an interrupted shard re-run "
+        "against the same DIR resumes from its last sealed segment",
+    )
+    shard.add_argument(
+        "--segment-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="records per sealed --log segment (default 64; the shard's "
+        "durability granularity)",
+    )
+    shard.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="build a heterogeneous task list from a JSON manifest "
+        "({\"grids\": [{\"kind\": ..., \"args\": [...]}, ...]}) instead of "
+        "the command-line grid axes; grids concatenate in manifest order",
     )
     shard.add_argument(
         "--kind",
         choices=("sweep", "throughput", "modelcheck"),
         default="sweep",
-        help="which grid to shard: partition sweep, throughput or modelcheck",
+        help="which grid to shard: partition sweep, throughput or modelcheck "
+        "(ignored with --manifest, where each entry names its kind)",
     )
     shard.add_argument("--sites", type=int, default=3, help="number of sites (default 3)")
     _add_partition_axes(shard)
@@ -783,7 +818,35 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     merge.add_argument(
-        "spills", nargs="+", metavar="SPILL", help="shard spill files to merge"
+        "spills", nargs="*", metavar="SPILL", help="shard spill files to merge"
+    )
+    merge.add_argument(
+        "--log",
+        default=None,
+        metavar="DIR",
+        help="merge a 'repro shard --log' result-log directory instead of "
+        "spill files (exactly one of SPILL... / --log)",
+    )
+    merge.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --log: resume an interrupted merge from its checkpoint "
+        "(committed prefix is replayed, merged JSONL bytes are kept)",
+    )
+    merge.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="with --log: merge-checkpoint location "
+        "(default: DIR/merge-checkpoint.json)",
+    )
+    merge.add_argument(
+        "--batch-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --log: records folded between checkpoint commits "
+        "(default 256)",
     )
     merge.add_argument(
         "--jsonl",
@@ -1573,26 +1636,13 @@ def _run_modelcheck(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_shard(args: argparse.Namespace) -> int:
-    from repro.engine import SweepEngine
-    from repro.engine.shard import run_shard
+def _shard_kind_tasks(args: argparse.Namespace):
+    """Validate one shard namespace's grid flags and build its task list.
 
-    checks = [
-        (args.workers < 1, f"--workers must be >= 1, got {args.workers}"),
-        (
-            args.chunk_size is not None and args.chunk_size < 1,
-            f"--chunk-size must be >= 1, got {args.chunk_size}",
-        ),
-        (args.shard_count < 1, f"--shard-count must be >= 1, got {args.shard_count}"),
-        (
-            not 0 <= args.shard_index < max(args.shard_count, 1),
-            f"--shard-index must be in [0, {args.shard_count}), got {args.shard_index}",
-        ),
-    ]
-    for failed, message in checks:
-        if failed:
-            print(message, file=sys.stderr)
-            return 2
+    Returns the task list, or ``None`` after printing the failure (exit
+    code 2 territory).  Shared by the command-line grid axes and each
+    ``--manifest`` entry, so both reject cross-kind flags the same way.
+    """
     # Flags belonging to another grid would be silently ignored -- the
     # shard would quietly cover a different grid than the user asked for,
     # breaking the merge-vs-single-machine identity.  Name the mistake.
@@ -1615,7 +1665,7 @@ def _run_shard(args: argparse.Namespace) -> int:
                 f"--kind {owner}, not --kind {args.kind}",
                 file=sys.stderr,
             )
-            return 2
+            return None
     if args.kind == "throughput":
         for provided, flag in (
             (args.protocol, "--protocol"),
@@ -1628,7 +1678,7 @@ def _run_shard(args: argparse.Namespace) -> int:
                     f"the throughput grid takes --protocols",
                     file=sys.stderr,
                 )
-                return 2
+                return None
     if args.kind == "modelcheck":
         for provided, flag in (
             (args.times, "--times"),
@@ -1640,25 +1690,164 @@ def _run_shard(args: argparse.Namespace) -> int:
                     f"the modelcheck grid has no timing axis",
                     file=sys.stderr,
                 )
-                return 2
+                return None
     if args.kind == "sweep":
         built = _sweep_grid_tasks(args)
+        return None if built is None else built[0]
+    if args.kind == "modelcheck":
+        return _modelcheck_grid_tasks(args)
+    # The shard parser leaves --heal-after unset by default (the sweep
+    # axes own the flag); apply the throughput subcommand's default so
+    # both build the same grid.
+    if args.heal_after is None:
+        args.heal_after = _TPUT_HEAL_DEFAULT
+    return _throughput_grid_tasks(args)
+
+
+def _manifest_tasks(args: argparse.Namespace):
+    """Build the concatenated task list a ``--manifest`` file describes.
+
+    The manifest is ``{"grids": [{"kind": ..., "args": [...]}, ...]}``;
+    each entry's args are parsed through the shard grammar itself, so a
+    manifest grid accepts exactly the flags the command line does and
+    fails with the same messages.  Returns ``None`` after printing the
+    failure.
+    """
+    import json
+    import os
+    import pathlib
+
+    try:
+        payload = json.loads(pathlib.Path(args.manifest).read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest {args.manifest}: {exc}", file=sys.stderr)
+        return None
+    entries = payload.get("grids") if isinstance(payload, dict) else None
+    if not isinstance(entries, list) or not entries:
+        print(
+            f"{args.manifest}: manifest needs a non-empty 'grids' list",
+            file=sys.stderr,
+        )
+        return None
+    parser = _build_parser()
+    tasks: list = []
+    for position, entry in enumerate(entries):
+        kind = entry.get("kind") if isinstance(entry, dict) else None
+        if kind not in ("sweep", "throughput", "modelcheck"):
+            print(
+                f"{args.manifest}: grids[{position}] needs "
+                f"\"kind\": sweep|throughput|modelcheck, got {kind!r}",
+                file=sys.stderr,
+            )
+            return None
+        extra = entry.get("args", [])
+        if not isinstance(extra, list) or not all(
+            isinstance(item, str) for item in extra
+        ):
+            print(
+                f"{args.manifest}: grids[{position}] \"args\" must be a "
+                f"list of strings",
+                file=sys.stderr,
+            )
+            return None
+        try:
+            entry_args = parser.parse_args(
+                [
+                    "shard",
+                    "--shard-index",
+                    "0",
+                    "--shard-count",
+                    "1",
+                    "--out",
+                    os.devnull,
+                    "--kind",
+                    kind,
+                    *extra,
+                ]
+            )
+        except SystemExit:
+            print(
+                f"{args.manifest}: grids[{position}] ({kind}): invalid "
+                f"arguments",
+                file=sys.stderr,
+            )
+            return None
+        built = _shard_kind_tasks(entry_args)
         if built is None:
+            print(
+                f"{args.manifest}: grids[{position}] ({kind}): invalid grid",
+                file=sys.stderr,
+            )
+            return None
+        tasks.extend(built)
+    return tasks
+
+
+def _run_shard(args: argparse.Namespace) -> int:
+    from repro.engine import SweepEngine
+    from repro.engine.resultlog import DEFAULT_SEGMENT_RECORDS, run_shard_log
+    from repro.engine.shard import ShardFormatError, run_shard
+
+    checks = [
+        (args.workers < 1, f"--workers must be >= 1, got {args.workers}"),
+        (
+            args.chunk_size is not None and args.chunk_size < 1,
+            f"--chunk-size must be >= 1, got {args.chunk_size}",
+        ),
+        (args.shard_count < 1, f"--shard-count must be >= 1, got {args.shard_count}"),
+        (
+            not 0 <= args.shard_index < max(args.shard_count, 1),
+            f"--shard-index must be in [0, {args.shard_count}), got {args.shard_index}",
+        ),
+        (
+            (args.out is None) == (args.log is None),
+            "pass exactly one of --out PATH (one-shot spill) or --log DIR "
+            "(durable result log)",
+        ),
+        (
+            args.segment_records is not None and args.log is None,
+            "--segment-records applies to --log shards only",
+        ),
+        (
+            args.segment_records is not None and args.segment_records < 1,
+            f"--segment-records must be >= 1, got {args.segment_records}",
+        ),
+    ]
+    for failed, message in checks:
+        if failed:
+            print(message, file=sys.stderr)
             return 2
-        tasks = built[0]
-    elif args.kind == "modelcheck":
-        tasks = _modelcheck_grid_tasks(args)
-        if tasks is None:
+    if args.manifest is not None:
+        # Command-line grid axes alongside --manifest would be silently
+        # ignored; insist the manifest owns the whole grid definition.
+        grid_axes = {
+            **_TPUT_ONLY_DEFAULTS,
+            **_MC_ONLY_DEFAULTS,
+            "protocol": None,
+            "times": None,
+            "no_voters": None,
+            "heal_after": None,
+            "faults": None,
+        }
+        set_flags = [
+            "--" + dest.replace("_", "-")
+            for dest, default in grid_axes.items()
+            if getattr(args, dest) != default
+        ]
+        if set_flags:
+            print(
+                f"{', '.join(set_flags)} cannot be combined with "
+                f"--manifest; put grid flags in the manifest entries",
+                file=sys.stderr,
+            )
             return 2
+        tasks = _manifest_tasks(args)
+        kind_label = "manifest"
     else:
-        # The shard parser leaves --heal-after unset by default (the sweep
-        # axes own the flag); apply the throughput subcommand's default so
-        # both build the same grid.
-        if args.heal_after is None:
-            args.heal_after = _TPUT_HEAL_DEFAULT
-        tasks = _throughput_grid_tasks(args)
-        if tasks is None:
-            return 2
+        tasks = _shard_kind_tasks(args)
+        kind_label = args.kind
+    if tasks is None:
+        return 2
     obs_metrics, obs_spans = _make_obs(args)
     engine = SweepEngine(
         workers=args.workers,
@@ -1667,19 +1856,49 @@ def _run_shard(args: argparse.Namespace) -> int:
         metrics=obs_metrics,
         spans=obs_spans,
     )
-    stats = run_shard(tasks, args.shard_index, args.shard_count, args.out, engine=engine)
-    print(
-        f"shard {args.shard_index}/{args.shard_count} ({args.kind} grid): "
-        f"{stats.total} of {len(tasks)} task(s) spilled to {args.out}"
-    )
+    extra_fields: dict = {}
+    if args.log is not None:
+        try:
+            result = run_shard_log(
+                tasks,
+                args.shard_index,
+                args.shard_count,
+                args.log,
+                engine=engine,
+                segment_records=args.segment_records or DEFAULT_SEGMENT_RECORDS,
+            )
+        except (ShardFormatError, OSError) as exc:
+            print(f"shard failed: {exc}", file=sys.stderr)
+            return 2
+        stats = result.stats
+        print(
+            f"shard {args.shard_index}/{args.shard_count} ({kind_label} "
+            f"grid): {result.appended} of {result.shard_tasks} task(s) "
+            f"appended to {args.log} ({result.skipped} already sealed, "
+            f"{result.segments_sealed} segment(s) sealed)"
+        )
+        extra_fields = {
+            "resumed_skips": result.skipped,
+            "records_appended": result.appended,
+            "segments_sealed": result.segments_sealed,
+        }
+    else:
+        stats = run_shard(
+            tasks, args.shard_index, args.shard_count, args.out, engine=engine
+        )
+        print(
+            f"shard {args.shard_index}/{args.shard_count} ({kind_label} grid): "
+            f"{stats.total} of {len(tasks)} task(s) spilled to {args.out}"
+        )
     _print_stats(stats, args.workers, engine.cache)
     payload = _run_stats_payload("shard", stats, engine.cache)
     payload.update(
         {
-            "kind": args.kind,
+            "kind": kind_label,
             "shard_index": args.shard_index,
             "shard_count": args.shard_count,
             "total_tasks": len(tasks),
+            **extra_fields,
         }
     )
     _write_stats_json(args.stats_json, payload)
@@ -1688,27 +1907,87 @@ def _run_shard(args: argparse.Namespace) -> int:
 
 
 def _run_merge(args: argparse.Namespace) -> int:
+    import os
     from contextlib import nullcontext
 
     from repro.engine.registry import UnknownSpecKindError
+    from repro.engine.resultlog import (
+        DEFAULT_BATCH_RECORDS,
+        InjectedMergeCrash,
+        merge_result_log,
+    )
     from repro.engine.shard import ShardFormatError, merge_shards
     from repro.metrics.reporting import format_table
     from repro.obs.metrics import activate
 
+    checks = [
+        (
+            bool(args.spills) == (args.log is not None),
+            "pass exactly one source: SPILL files or --log DIR",
+        ),
+        (
+            args.log is None and args.resume,
+            "--resume applies to --log merges only",
+        ),
+        (
+            args.log is None and args.checkpoint is not None,
+            "--checkpoint applies to --log merges only",
+        ),
+        (
+            args.log is None and args.batch_records is not None,
+            "--batch-records applies to --log merges only",
+        ),
+        (
+            args.batch_records is not None and args.batch_records < 1,
+            f"--batch-records must be >= 1, got {args.batch_records}",
+        ),
+    ]
+    for failed, message in checks:
+        if failed:
+            print(message, file=sys.stderr)
+            return 2
+    crash_env = os.environ.get("REPRO_MERGE_CRASH_AFTER")
+    try:
+        crash_after = int(crash_env) if crash_env else None
+    except ValueError:
+        print(
+            f"REPRO_MERGE_CRASH_AFTER must be an integer, got {crash_env!r}",
+            file=sys.stderr,
+        )
+        return 2
     obs_metrics, obs_spans = _make_obs(args)
+    span_fields = (
+        {"log": str(args.log)}
+        if args.log is not None
+        else {"spills": len(args.spills)}
+    )
     try:
         with (
             activate(obs_metrics) if obs_metrics is not None else nullcontext()
         ), (
-            obs_spans.span("merge", spills=len(args.spills))
+            obs_spans.span("merge", **span_fields)
             if obs_spans is not None
             else nullcontext()
         ):
-            result = merge_shards(
-                args.spills,
-                jsonl=args.jsonl,
-                require_complete=not args.allow_partial,
-            )
+            if args.log is not None:
+                result = merge_result_log(
+                    args.log,
+                    jsonl=args.jsonl,
+                    checkpoint=args.checkpoint,
+                    resume=args.resume,
+                    require_complete=not args.allow_partial,
+                    batch_records=args.batch_records or DEFAULT_BATCH_RECORDS,
+                    crash_after=crash_after,
+                )
+            else:
+                result = merge_shards(
+                    args.spills,
+                    jsonl=args.jsonl,
+                    require_complete=not args.allow_partial,
+                )
+    except InjectedMergeCrash as exc:
+        print(f"merge interrupted: {exc}", file=sys.stderr)
+        return 3
     except (ShardFormatError, UnknownSpecKindError, OSError) as exc:
         print(f"merge failed: {exc}", file=sys.stderr)
         return 2
@@ -1718,10 +1997,28 @@ def _run_merge(args: argparse.Namespace) -> int:
             print(format_table(rows))
     if args.jsonl is not None:
         print(f"spilled {result.records} merged summaries to {args.jsonl}")
-    print(
-        f"merged {result.records} record(s) from {len(result.headers)} shard "
-        f"spill(s) (grid of {result.total_tasks} task(s), "
-        f"{result.elapsed:.2f}s)"
+    if args.log is not None:
+        print(
+            f"merged {result.records} record(s) from {result.segments} "
+            f"sealed segment(s) across {len(result.headers)} shard(s) "
+            f"(grid of {result.total_tasks} task(s), {result.deduped} "
+            f"deduped, {result.replayed} replayed from checkpoint, "
+            f"{result.elapsed:.2f}s)"
+        )
+    else:
+        print(
+            f"merged {result.records} record(s) from {len(result.headers)} "
+            f"shard spill(s) (grid of {result.total_tasks} task(s), "
+            f"{result.elapsed:.2f}s)"
+        )
+    # Deliberately excluded from the stats payload: the replayed count,
+    # which differs between a resumed and an uninterrupted merge of the
+    # same log -- everything written here is a property of the log itself,
+    # so resumed stats match single-shot stats (modulo elapsed).
+    log_fields = (
+        {"segments": result.segments, "records_deduped": result.deduped}
+        if args.log is not None
+        else {}
     )
     _write_stats_json(
         args.stats_json,
@@ -1733,6 +2030,7 @@ def _run_merge(args: argparse.Namespace) -> int:
             total_tasks=result.total_tasks,
             kinds=sorted(result.kind_sinks),
             elapsed=round(result.elapsed, 6),
+            **log_fields,
         ),
     )
     if obs_metrics is not None:

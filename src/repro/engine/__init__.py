@@ -25,7 +25,12 @@ through, so new spec types plug in with one ``register_spec_kind`` call.
 :mod:`~repro.engine.shard` distributes a sweep across machines: a
 deterministic, content-addressed shard partition, self-describing JSONL
 spills, and a merge that reproduces single-machine aggregates
-byte-identically.
+byte-identically.  :mod:`~repro.engine.resultlog` makes that pipeline
+durable: shards append atomically-sealed segments to a shared log
+directory (interrupted shards resume from their last sealed segment) and
+:func:`~repro.engine.resultlog.merge_result_log` folds the log through
+checkpointed, outbox-committed batches so an interrupted merge resumes
+exactly-once.
 
 Every experiment sweep, benchmark and the ``repro sweep`` / ``repro
 boundaries`` / ``repro shard`` / ``repro merge`` CLI subcommands run on
@@ -55,6 +60,19 @@ from repro.engine.registry import (
     register_spec_kind,
     registered_kinds,
     unregister_spec_kind,
+)
+from repro.engine.resultlog import (
+    InjectedMergeCrash,
+    LogMergeResult,
+    MergeCursor,
+    ResultLogError,
+    ResultLogWriter,
+    ShardLogResult,
+    discover_segments,
+    merge_result_log,
+    read_segment,
+    run_shard_log,
+    write_segment,
 )
 from repro.engine.shard import (
     MergeResult,
@@ -87,17 +105,23 @@ __all__ = [
     "Boundary",
     "CallbackSink",
     "DecisionTimeHistogramSink",
+    "InjectedMergeCrash",
     "JsonlSink",
     "ListSink",
+    "LogMergeResult",
+    "MergeCursor",
     "MergeResult",
     "OnsetLine",
     "RefinementDriver",
     "RefinementResult",
     "ResultCache",
+    "ResultLogError",
+    "ResultLogWriter",
     "RunSummary",
     "ScenarioGrid",
     "ShardFormatError",
     "ShardHeader",
+    "ShardLogResult",
     "SpecKind",
     "StreamStats",
     "SummarySink",
@@ -107,20 +131,25 @@ __all__ = [
     "UnknownSpecKindError",
     "VerdictCounterSink",
     "ViolationCollectorSink",
+    "discover_segments",
     "execute_task",
     "kind_by_name",
     "kind_for_payload",
     "kind_for_spec",
     "kind_for_tag",
+    "merge_result_log",
     "merge_shards",
     "read_jsonl",
+    "read_segment",
     "read_shard",
     "register_measure",
     "register_spec_kind",
     "registered_kinds",
     "run_shard",
+    "run_shard_log",
     "shard_of",
     "shard_tasks",
+    "write_segment",
     "spec_hash",
     "summary_from_json_dict",
     "tasks_from_specs",

@@ -152,6 +152,11 @@ class _ShardSpillSink(SummarySink):
     The engine delivers summaries by *local* (within-shard) index; this sink
     maps them back to global task indices so the merge can restore global
     order.  An empty shard still produces a header-only spill on close.
+
+    The spill is written to a temporary sibling and atomically renamed
+    into place on :meth:`close`, so a killed ``run_shard`` never leaves a
+    truncated spill at the final path that would only fail later, at merge
+    time: the spill either exists complete or not at all.
     """
 
     def __init__(
@@ -163,12 +168,13 @@ class _ShardSpillSink(SummarySink):
         self.path = pathlib.Path(path)
         self.header = header
         self.global_indices = list(global_indices)
+        self._tmp_path = self.path.parent / f".{self.path.name}.tmp-{os.getpid()}"
         self._handle: Optional[IO[bytes]] = None
 
     def _ensure_open(self) -> IO[bytes]:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "wb")
+            self._handle = open(self._tmp_path, "wb")
             self._handle.write(canonical_json_bytes(self.header.to_json_dict()) + b"\n")
         return self._handle
 
@@ -192,8 +198,11 @@ class _ShardSpillSink(SummarySink):
 
     def close(self) -> None:
         handle = self._ensure_open()  # header even when nothing was delivered
+        handle.flush()
+        os.fsync(handle.fileno())
         handle.close()
         self._handle = None
+        os.replace(self._tmp_path, self.path)
 
 
 def run_shard(
@@ -248,13 +257,14 @@ def read_shard(
     Payloads stay as JSON dicts (decode them through
     :func:`~repro.engine.summary.summary_from_json_dict` / the registry
     when objects are needed).  Raises :class:`ShardFormatError` on a
-    missing or malformed header, malformed records, out-of-range indices,
-    or a record count disagreeing with the header (e.g. a truncated
-    artifact download).
+    missing or malformed header, malformed records, out-of-range or
+    duplicated indices, or a record count disagreeing with the header
+    (e.g. a truncated artifact download).
     """
     path = pathlib.Path(path)
     header: Optional[ShardHeader] = None
     records: list[tuple[int, dict[str, Any]]] = []
+    seen: set[int] = set()
     with open(path, "rb") as handle:
         for number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -281,6 +291,15 @@ def read_shard(
                     f"{path}:{number}: task index {index} outside "
                     f"[0, {header.total_tasks})"
                 )
+            if index in seen:
+                # Without this check a duplicated index can mask a missing
+                # one: the record count still matches the header, and the
+                # corruption only surfaces (or worse, doesn't) at merge time.
+                raise ShardFormatError(
+                    f"{path}:{number}: task index {index} appears twice in "
+                    f"one spill"
+                )
+            seen.add(index)
             records.append((index, payload["summary"]))
     if header is None:
         raise ShardFormatError(f"{path}: empty spill (no {_HEADER_KIND} line)")

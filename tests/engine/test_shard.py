@@ -276,6 +276,46 @@ class TestSpillFormat:
         with pytest.raises(ShardFormatError, match="format 99"):
             read_shard(tmp_path / "future.jsonl")
 
+    def test_duplicated_index_masking_a_missing_one_is_rejected(self, sweep_tasks, tmp_path):
+        # The record count still matches the header, so only an explicit
+        # duplicate check catches this corruption -- naming the index.
+        spill = tmp_path / "shard-0.jsonl"
+        run_shard(sweep_tasks, 0, N_SHARDS, spill, engine=SweepEngine(workers=1))
+        lines = spill.read_bytes().splitlines(keepends=True)
+        assert len(lines) > 3
+        (tmp_path / "dup.jsonl").write_bytes(
+            b"".join(lines[:-1]) + lines[-2]  # last record replaced by a dup
+        )
+        import json
+
+        duplicated = json.loads(lines[-2])["index"]
+        with pytest.raises(
+            ShardFormatError, match=f"index {duplicated} appears twice"
+        ):
+            read_shard(tmp_path / "dup.jsonl")
+
+    def test_spill_appears_atomically_on_close(self, sweep_tasks, tmp_path):
+        # A killed run_shard must never leave a truncated spill at the
+        # final path: the spill is written to a temp sibling and renamed
+        # into place only on close().
+        from repro.engine import ListSink
+        from repro.engine.shard import _ShardSpillSink
+
+        header = ShardHeader(0, 1, len(sweep_tasks), 1, ("scenario",))
+        spill = tmp_path / "atomic.jsonl"
+        sink = _ShardSpillSink(spill, header, [0])
+        collector = ListSink()
+        SweepEngine(workers=1).run_streaming(sweep_tasks[:1], sinks=[collector])
+        sink.accept(0, collector.summaries[0])
+        assert not spill.exists()  # mid-run: nothing at the final path
+        sink.close()
+        assert spill.exists()
+        header_back, records = read_shard(spill)
+        assert header_back == header
+        assert len(records) == 1
+        # No temp debris left behind after the rename.
+        assert list(tmp_path.iterdir()) == [spill]
+
 
 class TestMergeValidation:
     def test_missing_shard_is_named(self, sweep_tasks, tmp_path):

@@ -219,6 +219,167 @@ class TestShardMergeCli:
         ) == 0
 
 
+class TestResultLogCli:
+    SWEEP = ["--protocol", "two-phase-commit", "--times", "0.5", "1.5"]
+
+    def _log_all(self, log_dir, *extra):
+        for index in range(3):
+            assert main(
+                [
+                    "shard",
+                    "--shard-index", str(index),
+                    "--shard-count", "3",
+                    "--log", str(log_dir),
+                    *(extra or self.SWEEP),
+                ]
+            ) == 0
+
+    def test_interrupted_merge_resumes_byte_identical(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        single = tmp_path / "single.jsonl"
+        assert main(["sweep", *self.SWEEP, "--stream", "--jsonl", str(single)]) == 0
+        self._log_all(tmp_path / "log")
+        merged = tmp_path / "merged.jsonl"
+        base = [
+            "merge", "--log", str(tmp_path / "log"),
+            "--jsonl", str(merged), "--batch-records", "2",
+        ]
+        monkeypatch.setenv("REPRO_MERGE_CRASH_AFTER", "3")
+        capsys.readouterr()
+        assert main(base) == 3
+        assert "merge interrupted" in capsys.readouterr().err
+        monkeypatch.delenv("REPRO_MERGE_CRASH_AFTER")
+        stats = tmp_path / "stats.json"
+        assert main(base + ["--resume", "--stats-json", str(stats)]) == 0
+        assert "replayed from checkpoint" in capsys.readouterr().out
+        assert merged.read_bytes() == single.read_bytes()
+        # The stats document matches an uninterrupted merge of the same
+        # log (its own checkpoint + spill), modulo wall-clock time.
+        fresh_stats = tmp_path / "fresh-stats.json"
+        assert main(
+            [
+                "merge", "--log", str(tmp_path / "log"),
+                "--jsonl", str(tmp_path / "fresh.jsonl"),
+                "--checkpoint", str(tmp_path / "fresh.ckpt"),
+                "--stats-json", str(fresh_stats),
+            ]
+        ) == 0
+        resumed = json.loads(stats.read_text())
+        uninterrupted = json.loads(fresh_stats.read_text())
+        resumed.pop("elapsed")
+        uninterrupted.pop("elapsed")
+        assert resumed == uninterrupted
+        assert (tmp_path / "fresh.jsonl").read_bytes() == single.read_bytes()
+
+    def test_shard_rerun_resumes_from_the_log(self, capsys, tmp_path):
+        self._log_all(tmp_path / "log")
+        capsys.readouterr()
+        assert main(
+            [
+                "shard", "--shard-index", "0", "--shard-count", "3",
+                "--log", str(tmp_path / "log"), *self.SWEEP,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 of " in out
+        assert "already sealed" in out
+
+    def test_manifest_builds_a_mixed_kind_task_list(self, capsys, tmp_path):
+        import json
+
+        manifest = tmp_path / "grids.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "grids": [
+                        {"kind": "sweep", "args": self.SWEEP},
+                        {
+                            "kind": "throughput",
+                            "args": [
+                                "--protocols", "two-phase-commit",
+                                "--transactions", "10",
+                            ],
+                        },
+                    ]
+                }
+            )
+        )
+        for index in range(2):
+            assert main(
+                [
+                    "shard",
+                    "--shard-index", str(index),
+                    "--shard-count", "2",
+                    "--log", str(tmp_path / "log"),
+                    "--manifest", str(manifest),
+                ]
+            ) == 0
+        stats = tmp_path / "stats.json"
+        capsys.readouterr()
+        assert main(
+            [
+                "merge", "--log", str(tmp_path / "log"),
+                "--stats-json", str(stats),
+            ]
+        ) == 0
+        payload = json.loads(stats.read_text())
+        assert payload["total_tasks"] == 7  # 6 sweep scenarios + 1 workload
+        assert payload["kinds"] == ["scenario", "throughput"]
+
+    def test_manifest_rejects_command_line_grid_flags(self, capsys, tmp_path):
+        import json
+
+        manifest = tmp_path / "grids.json"
+        manifest.write_text(json.dumps({"grids": [{"kind": "sweep"}]}))
+        assert main(
+            [
+                "shard", "--shard-index", "0", "--shard-count", "1",
+                "--log", str(tmp_path / "log"),
+                "--manifest", str(manifest),
+                "--protocol", "all",
+            ]
+        ) == 2
+        assert "cannot be combined with --manifest" in capsys.readouterr().err
+
+    def test_manifest_entry_errors_name_the_entry(self, capsys, tmp_path):
+        import json
+
+        manifest = tmp_path / "grids.json"
+        manifest.write_text(
+            json.dumps({"grids": [{"kind": "sweep", "args": ["--protocol", "nope"]}]})
+        )
+        assert main(
+            [
+                "shard", "--shard-index", "0", "--shard-count", "1",
+                "--log", str(tmp_path / "log"),
+                "--manifest", str(manifest),
+            ]
+        ) == 2
+        assert "grids[0]" in capsys.readouterr().err
+
+    def test_source_flag_validation_exits_2(self, capsys, tmp_path):
+        log = str(tmp_path / "log")
+        out = str(tmp_path / "s.jsonl")
+        base = ["shard", "--shard-index", "0", "--shard-count", "1", *self.SWEEP]
+        assert main(base + ["--out", out, "--log", log]) == 2
+        assert "exactly one of --out" in capsys.readouterr().err
+        assert main(base) == 2
+        assert "exactly one of --out" in capsys.readouterr().err
+        assert main(base + ["--out", out, "--segment-records", "8"]) == 2
+        assert "--segment-records applies to --log" in capsys.readouterr().err
+        assert main(["merge"]) == 2
+        assert "exactly one source" in capsys.readouterr().err
+        assert main(["merge", out, "--log", log]) == 2
+        assert "exactly one source" in capsys.readouterr().err
+        assert main(["merge", out, "--resume"]) == 2
+        assert "--resume applies to --log" in capsys.readouterr().err
+        assert main(["merge", "--log", log, "--batch-records", "0"]) == 2
+        assert "--batch-records must be >= 1" in capsys.readouterr().err
+
+
 class TestFaultsCli:
     SWEEP = ["sweep", "--protocol", "two-phase-commit", "--times", "0.5"]
 
